@@ -1,0 +1,160 @@
+package rma
+
+import (
+	"rma/internal/abtree"
+	"rma/internal/art"
+	"rma/internal/dense"
+)
+
+// OrderedMap is the operation surface shared by the RMA and the
+// comparison structures of the paper's evaluation, so applications (and
+// the benchmark harness) can swap implementations.
+type OrderedMap interface {
+	Find(key int64) (int64, bool)
+	ScanRange(lo, hi int64, yield func(key, val int64) bool)
+	Sum(lo, hi int64) (count int, sum int64)
+	SumAll() (count int, sum int64)
+	Size() int
+	FootprintBytes() int64
+}
+
+// UpdatableMap is an OrderedMap that also supports point updates.
+type UpdatableMap interface {
+	OrderedMap
+	InsertKV(key, val int64) error
+	DeleteKey(key int64) (bool, error)
+}
+
+// --- RMA adapter ------------------------------------------------------------
+
+// InsertKV implements UpdatableMap.
+func (r *Array) InsertKV(key, val int64) error { return r.Insert(key, val) }
+
+// DeleteKey implements UpdatableMap.
+func (r *Array) DeleteKey(key int64) (bool, error) { return r.Delete(key) }
+
+// --- (a,b)-tree -------------------------------------------------------------
+
+// ABTree is a tuned (a,b)-tree (B+-tree with cache-line-sized inner
+// nodes): the paper's main competitor.
+type ABTree struct{ t *abtree.Tree }
+
+// NewABTree returns an empty (a,b)-tree with the given leaf capacity.
+func NewABTree(leafCap int) *ABTree { return &ABTree{t: abtree.New(leafCap)} }
+
+// Insert adds a key/value pair.
+func (b *ABTree) Insert(key, val int64) { b.t.Insert(key, val) }
+
+// Delete removes one occurrence of key.
+func (b *ABTree) Delete(key int64) bool { return b.t.Delete(key) }
+
+// Find returns a value stored under key.
+func (b *ABTree) Find(key int64) (int64, bool) { return b.t.Find(key) }
+
+// ScanRange visits elements in [lo, hi] through the leaf chain.
+func (b *ABTree) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	b.t.ScanRange(lo, hi, yield)
+}
+
+// Sum aggregates elements in [lo, hi].
+func (b *ABTree) Sum(lo, hi int64) (count int, sum int64) { return b.t.Sum(lo, hi) }
+
+// SumAll aggregates every element.
+func (b *ABTree) SumAll() (count int, sum int64) { return b.t.SumAll() }
+
+// BulkLoad rebuilds the tree from sorted slices.
+func (b *ABTree) BulkLoad(keys, vals []int64) { b.t.BulkLoad(keys, vals) }
+
+// Size returns the number of stored elements.
+func (b *ABTree) Size() int { return b.t.Size() }
+
+// FootprintBytes estimates the tree's memory.
+func (b *ABTree) FootprintBytes() int64 { return b.t.FootprintBytes() }
+
+// InsertKV implements UpdatableMap.
+func (b *ABTree) InsertKV(key, val int64) error { b.t.Insert(key, val); return nil }
+
+// DeleteKey implements UpdatableMap.
+func (b *ABTree) DeleteKey(key int64) (bool, error) { return b.t.Delete(key), nil }
+
+// --- ART-indexed tree ---------------------------------------------------------
+
+// ARTTree is an (a,b)-tree whose leaves are indexed by an Adaptive Radix
+// Tree: the strongest competitor in the paper's evaluation.
+type ARTTree struct{ t *art.Tree }
+
+// NewARTTree returns an empty ART-indexed tree with the given leaf
+// capacity.
+func NewARTTree(leafCap int) *ARTTree { return &ARTTree{t: art.New(leafCap)} }
+
+// Insert adds a key/value pair.
+func (b *ARTTree) Insert(key, val int64) { b.t.Insert(key, val) }
+
+// Delete removes one occurrence of key.
+func (b *ARTTree) Delete(key int64) bool { return b.t.Delete(key) }
+
+// Find returns a value stored under key.
+func (b *ARTTree) Find(key int64) (int64, bool) { return b.t.Find(key) }
+
+// ScanRange visits elements in [lo, hi] through the leaf chain.
+func (b *ARTTree) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	b.t.ScanRange(lo, hi, yield)
+}
+
+// Sum aggregates elements in [lo, hi].
+func (b *ARTTree) Sum(lo, hi int64) (count int, sum int64) { return b.t.Sum(lo, hi) }
+
+// SumAll aggregates every element.
+func (b *ARTTree) SumAll() (count int, sum int64) { return b.t.SumAll() }
+
+// BulkLoad rebuilds the tree from sorted slices.
+func (b *ARTTree) BulkLoad(keys, vals []int64) { b.t.BulkLoad(keys, vals) }
+
+// Size returns the number of stored elements.
+func (b *ARTTree) Size() int { return b.t.Size() }
+
+// FootprintBytes estimates the tree's memory.
+func (b *ARTTree) FootprintBytes() int64 { return b.t.FootprintBytes() }
+
+// InsertKV implements UpdatableMap.
+func (b *ARTTree) InsertKV(key, val int64) error { b.t.Insert(key, val); return nil }
+
+// DeleteKey implements UpdatableMap.
+func (b *ARTTree) DeleteKey(key int64) (bool, error) { return b.t.Delete(key), nil }
+
+// --- static dense array -------------------------------------------------------
+
+// Dense is an immutable sorted dense column: the scan-throughput upper
+// bound of the evaluation.
+type Dense struct{ a *dense.Array }
+
+// NewDense builds a dense column from sorted parallel slices.
+func NewDense(keys, vals []int64) *Dense { return &Dense{a: dense.FromSorted(keys, vals)} }
+
+// Find returns a value stored under key.
+func (d *Dense) Find(key int64) (int64, bool) { return d.a.Find(key) }
+
+// ScanRange visits elements in [lo, hi].
+func (d *Dense) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	d.a.ScanRange(lo, hi, yield)
+}
+
+// Sum aggregates elements in [lo, hi].
+func (d *Dense) Sum(lo, hi int64) (count int, sum int64) { return d.a.Sum(lo, hi) }
+
+// SumAll aggregates the whole column.
+func (d *Dense) SumAll() (count int, sum int64) { return d.a.SumAll() }
+
+// Size returns the number of elements.
+func (d *Dense) Size() int { return d.a.Size() }
+
+// FootprintBytes returns the column's memory (16 bytes per element).
+func (d *Dense) FootprintBytes() int64 { return d.a.FootprintBytes() }
+
+// Interface conformance.
+var (
+	_ UpdatableMap = (*Array)(nil)
+	_ UpdatableMap = (*ABTree)(nil)
+	_ UpdatableMap = (*ARTTree)(nil)
+	_ OrderedMap   = (*Dense)(nil)
+)

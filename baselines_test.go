@@ -1,0 +1,153 @@
+package rma
+
+import (
+	"testing"
+
+	"rma/internal/workload"
+)
+
+func TestABTreeWrapperSurface(t *testing.T) {
+	b := NewABTree(64)
+	for i := int64(0); i < 1000; i++ {
+		b.Insert(i, i*2)
+	}
+	if v, ok := b.Find(500); !ok || v != 1000 {
+		t.Fatalf("Find = (%d,%v)", v, ok)
+	}
+	if !b.Delete(500) || b.Delete(500) {
+		t.Fatal("Delete semantics")
+	}
+	if b.Size() != 999 {
+		t.Fatalf("Size %d", b.Size())
+	}
+	cnt, sum := b.Sum(0, 9)
+	if cnt != 10 || sum != 90 {
+		t.Fatalf("Sum = (%d,%d)", cnt, sum)
+	}
+	if c, _ := b.SumAll(); c != 999 {
+		t.Fatalf("SumAll count %d", c)
+	}
+	seen := 0
+	b.ScanRange(0, 99, func(_, _ int64) bool { seen++; return true })
+	if seen != 100 {
+		t.Fatalf("scan saw %d", seen)
+	}
+	if b.FootprintBytes() <= 0 {
+		t.Fatal("footprint")
+	}
+	// BulkLoad replaces content.
+	keys := []int64{1, 2, 3}
+	b.BulkLoad(keys, keys)
+	if b.Size() != 3 {
+		t.Fatalf("after BulkLoad size %d", b.Size())
+	}
+}
+
+func TestARTTreeWrapperSurface(t *testing.T) {
+	b := NewARTTree(64)
+	for i := int64(0); i < 1000; i++ {
+		b.Insert(i, i*3)
+	}
+	if v, ok := b.Find(123); !ok || v != 369 {
+		t.Fatalf("Find = (%d,%v)", v, ok)
+	}
+	if !b.Delete(123) {
+		t.Fatal("Delete missed")
+	}
+	cnt, _ := b.Sum(0, 999)
+	if cnt != 999 {
+		t.Fatalf("Sum count %d", cnt)
+	}
+	if c, _ := b.SumAll(); c != 999 {
+		t.Fatalf("SumAll %d", c)
+	}
+	seen := 0
+	b.ScanRange(10, 19, func(_, _ int64) bool { seen++; return true })
+	if seen != 10 {
+		t.Fatalf("scan saw %d", seen)
+	}
+	if b.FootprintBytes() <= 0 {
+		t.Fatal("footprint")
+	}
+	keys := []int64{5, 6, 7, 8}
+	b.BulkLoad(keys, keys)
+	if b.Size() != 4 {
+		t.Fatalf("after BulkLoad size %d", b.Size())
+	}
+}
+
+func TestDenseWrapperSurface(t *testing.T) {
+	keys := []int64{1, 3, 5, 7}
+	vals := []int64{10, 30, 50, 70}
+	d := NewDense(keys, vals)
+	seen := 0
+	d.ScanRange(2, 6, func(_, _ int64) bool { seen++; return true })
+	if seen != 2 {
+		t.Fatalf("scan saw %d", seen)
+	}
+	if c, s := d.SumAll(); c != 4 || s != 160 {
+		t.Fatalf("SumAll = (%d,%d)", c, s)
+	}
+	if d.FootprintBytes() <= 0 {
+		t.Fatal("footprint")
+	}
+}
+
+// The three updatable structures must agree under a randomized workload
+// driven purely through the public interface.
+func TestPublicDifferential(t *testing.T) {
+	a, err := New(WithSegmentCapacity(16), WithPageCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := []UpdatableMap{a, NewABTree(16), NewARTTree(16)}
+	rng := workload.NewRNG(123)
+	for op := 0; op < 8000; op++ {
+		k := int64(rng.Uint64n(400))
+		if rng.Uint64n(3) == 0 {
+			var first bool
+			for i, m := range maps {
+				ok, err := m.DeleteKey(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					first = ok
+				} else if ok != first {
+					t.Fatalf("op %d: delete disagreement", op)
+				}
+			}
+		} else {
+			for _, m := range maps {
+				if err := m.InsertKV(k, workload.ValueFor(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	c0, s0 := maps[0].SumAll()
+	for i, m := range maps[1:] {
+		if c, s := m.SumAll(); c != c0 || s != s0 {
+			t.Fatalf("map %d: SumAll (%d,%d) vs (%d,%d)", i+1, c, s, c0, s0)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxEmptyPublic(t *testing.T) {
+	a, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if _, ok := a.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+	if a.Contains(1) {
+		t.Fatal("Contains on empty")
+	}
+}

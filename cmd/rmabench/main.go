@@ -1,0 +1,84 @@
+// Command rmabench regenerates the figures of "Packed Memory Arrays –
+// Rewired" (De Leo & Boncz, ICDE 2019) at a configurable scale.
+//
+// Usage:
+//
+//	rmabench -exp fig14 -n 1048576
+//	rmabench -exp all -n 262144 -out results.txt
+//
+// Experiments: fig01a fig01b fig01c fig10 fig11a fig11b fig12 fig13a
+// fig13b fig14, or "all". Output is TSV with one block per figure; the
+// series names match the paper's legends. EXPERIMENTS.md interprets the
+// shapes against the paper's reported results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"rma/internal/exp"
+)
+
+var experiments = map[string]func(exp.Params){
+	"fig01a": exp.Fig01a,
+	"fig01b": exp.Fig01b,
+	"fig01c": exp.Fig01c,
+	"fig10":  exp.Fig10,
+	"fig11a": exp.Fig11a,
+	"fig11b": exp.Fig11b,
+	"fig12":  exp.Fig12,
+	"fig13a": exp.Fig13a,
+	"fig13b": exp.Fig13b,
+	"fig14":  exp.Fig14,
+}
+
+func main() {
+	var (
+		name = flag.String("exp", "all", "experiment id (fig01a..fig14) or 'all'")
+		n    = flag.Int("n", 1<<20, "final cardinality (paper used 2^30)")
+		seed = flag.Uint64("seed", 42, "base RNG seed")
+		out  = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmabench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	p := exp.Params{N: *n, Seed: *seed, Out: w}
+
+	var names []string
+	if *name == "all" {
+		for k := range experiments {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+	} else {
+		if _, ok := experiments[*name]; !ok {
+			fmt.Fprintf(os.Stderr, "rmabench: unknown experiment %q (have:", *name)
+			for k := range experiments {
+				fmt.Fprintf(os.Stderr, " %s", k)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+			os.Exit(2)
+		}
+		names = []string{*name}
+	}
+
+	for _, k := range names {
+		t0 := time.Now()
+		experiments[k](p)
+		fmt.Fprintf(w, "# %s completed in %v (N=%d, seed=%d)\n\n", k, time.Since(t0).Round(time.Millisecond), p.N, p.Seed)
+	}
+}

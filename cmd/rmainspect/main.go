@@ -1,0 +1,113 @@
+// Command rmainspect loads a workload into an RMA (or a baseline
+// configuration) and dumps its internal anatomy: geometry, density
+// profile per calibrator level, operation counters and memory breakdown.
+// It exists for debugging and for studying how the structure reacts to a
+// distribution.
+//
+// Usage:
+//
+//	rmainspect -n 1000000 -dist zipf -alpha 1.5 -b 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rma/internal/calibrator"
+	"rma/internal/core"
+	"rma/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1<<20, "elements to insert")
+		dist     = flag.String("dist", "uniform", "distribution: uniform | zipf | sequential")
+		alpha    = flag.Float64("alpha", 1.0, "zipf skew factor")
+		b        = flag.Int("b", 128, "segment capacity B")
+		seed     = flag.Uint64("seed", 42, "RNG seed")
+		scanTh   = flag.Bool("st", false, "use scan-oriented thresholds")
+		adaptive = flag.Bool("adaptive", true, "adaptive rebalancing")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.SegmentSlots = *b
+	if cfg.PageSlots < 2**b {
+		cfg.PageSlots = 2 * *b
+	}
+	if *scanTh {
+		cfg.Thresholds = calibrator.ScanOriented()
+	}
+	if !*adaptive {
+		cfg.Adaptive = core.AdaptiveOff
+	}
+
+	a, err := core.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmainspect:", err)
+		os.Exit(1)
+	}
+
+	var g workload.Generator
+	switch *dist {
+	case "uniform":
+		g = workload.NewUniform(*seed, 0)
+	case "zipf":
+		g = workload.NewZipf(*seed, *alpha, workload.ZipfRange, true)
+	case "sequential":
+		g = workload.NewSequential(0, 1)
+	default:
+		fmt.Fprintf(os.Stderr, "rmainspect: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	for i := 0; i < *n; i++ {
+		if err := a.Insert(g.Next(), int64(i)); err != nil {
+			fmt.Fprintln(os.Stderr, "rmainspect: insert:", err)
+			os.Exit(1)
+		}
+	}
+
+	if err := a.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rmainspect: INVARIANT VIOLATION:", err)
+		os.Exit(1)
+	}
+
+	s := a.Stats()
+	fmt.Printf("geometry:\n")
+	fmt.Printf("  elements        %12d\n", a.Size())
+	fmt.Printf("  capacity        %12d slots\n", a.Capacity())
+	fmt.Printf("  segments        %12d x B=%d\n", a.NumSegments(), a.SegmentSlots())
+	fmt.Printf("  density         %12.4f\n", a.Density())
+	fmt.Printf("  footprint       %12.2f MB (%.2f bytes/elt; dense = 16)\n",
+		float64(a.FootprintBytes())/(1<<20), float64(a.FootprintBytes())/float64(a.Size()))
+	fmt.Printf("counters:\n")
+	fmt.Printf("  rebalances      %12d (%d adaptive)\n", s.Rebalances, s.AdaptiveRebalances)
+	fmt.Printf("  rebal elements  %12d (%.2f per insert)\n", s.RebalancedElements,
+		float64(s.RebalancedElements)/float64(s.Inserts))
+	fmt.Printf("  element copies  %12d\n", s.ElementCopies)
+	fmt.Printf("  page swaps      %12d\n", s.PageSwaps)
+	fmt.Printf("  resizes         %12d (%d grows, %d shrinks)\n", s.Resizes, s.Grows, s.Shrinks)
+	fmt.Printf("  max window      %12d segments\n", s.MaxWindowSegments)
+
+	// Density histogram across segments (16 buckets).
+	var hist [16]int
+	for seg := 0; seg < a.NumSegments(); seg++ {
+		d := a.SegmentDensity(seg)
+		bucket := int(d * 16)
+		if bucket > 15 {
+			bucket = 15
+		}
+		hist[bucket]++
+	}
+	fmt.Printf("segment density histogram:\n")
+	for i, c := range hist {
+		fmt.Printf("  %4.2f-%4.2f %8d ", float64(i)/16, float64(i+1)/16, c)
+		stars := c * 50 / a.NumSegments()
+		for j := 0; j < stars; j++ {
+			fmt.Print("*")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,49 @@
+package rma
+
+// Cursor iterates the array in key order without callbacks, for callers
+// that need pull-style traversal (merge joins, pagination). It is a
+// snapshot-free iterator: mutating the array invalidates it (like the
+// paper's sequential design, there is no concurrency control).
+type Cursor struct {
+	pairs []cursorPair
+	pos   int
+}
+
+type cursorPair struct{ k, v int64 }
+
+// NewCursor returns a cursor positioned before the first element with
+// key >= lo, bounded by hi (inclusive).
+//
+// The cursor materializes the range up front through the array's
+// tight-loop scan: for range sizes up to millions of elements this is
+// both simpler and faster than incremental segment hopping, and it makes
+// the cursor robust to subsequent mutations.
+func (r *Array) NewCursor(lo, hi int64) *Cursor {
+	c := &Cursor{}
+	n, _ := r.Sum(lo, hi)
+	c.pairs = make([]cursorPair, 0, n)
+	r.ScanRange(lo, hi, func(k, v int64) bool {
+		c.pairs = append(c.pairs, cursorPair{k, v})
+		return true
+	})
+	return c
+}
+
+// Next advances the cursor and reports whether an element is available.
+func (c *Cursor) Next() bool {
+	if c.pos >= len(c.pairs) {
+		return false
+	}
+	c.pos++
+	return true
+}
+
+// Key returns the current element's key. Valid only after a true Next.
+func (c *Cursor) Key() int64 { return c.pairs[c.pos-1].k }
+
+// Value returns the current element's value. Valid only after a true
+// Next.
+func (c *Cursor) Value() int64 { return c.pairs[c.pos-1].v }
+
+// Remaining returns the number of elements not yet visited.
+func (c *Cursor) Remaining() int { return len(c.pairs) - c.pos }

@@ -1,0 +1,138 @@
+package rma
+
+import (
+	"testing"
+
+	"rma/internal/workload"
+)
+
+func TestCursorFullTraversal(t *testing.T) {
+	a, err := New(WithSegmentCapacity(16), WithPageCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		if err := a.Insert(i*2, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := a.NewCursor(minKey, maxKey)
+	if c.Remaining() != n {
+		t.Fatalf("Remaining %d", c.Remaining())
+	}
+	count := int64(0)
+	prev := int64(-1)
+	for c.Next() {
+		if c.Key() <= prev {
+			t.Fatalf("cursor out of order at %d", c.Key())
+		}
+		if c.Value() != c.Key()/2 {
+			t.Fatalf("value mismatch at %d", c.Key())
+		}
+		prev = c.Key()
+		count++
+	}
+	if count != n {
+		t.Fatalf("visited %d", count)
+	}
+	if c.Next() {
+		t.Fatal("Next after exhaustion")
+	}
+	if c.Remaining() != 0 {
+		t.Fatal("Remaining after exhaustion")
+	}
+}
+
+const (
+	minKey = -1 << 63
+	maxKey = 1<<63 - 1
+)
+
+func TestCursorBoundedRange(t *testing.T) {
+	a, err := New(WithSegmentCapacity(16), WithPageCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewUniform(3, 10000)
+	for i := 0; i < 5000; i++ {
+		k := g.Next()
+		if err := a.Insert(k, workload.ValueFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := a.NewCursor(2500, 7500)
+	wantCnt, _ := a.Sum(2500, 7500)
+	got := 0
+	for c.Next() {
+		if c.Key() < 2500 || c.Key() > 7500 {
+			t.Fatalf("key %d outside bounds", c.Key())
+		}
+		got++
+	}
+	if got != wantCnt {
+		t.Fatalf("cursor visited %d, Sum says %d", got, wantCnt)
+	}
+}
+
+func TestCursorEmpty(t *testing.T) {
+	a, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.NewCursor(minKey, maxKey)
+	if c.Next() {
+		t.Fatal("Next on empty")
+	}
+	if err := a.Insert(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	c = a.NewCursor(6, 10)
+	if c.Next() {
+		t.Fatal("Next on empty range")
+	}
+}
+
+// Merge-join: the use case cursors exist for.
+func TestCursorMergeJoin(t *testing.T) {
+	mk := func(keys []int64) *Array {
+		a, err := New(WithSegmentCapacity(16), WithPageCapacity(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := a.Insert(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return a
+	}
+	left := mk([]int64{1, 3, 5, 7, 9, 11})
+	right := mk([]int64{3, 4, 5, 9, 10})
+	lc := left.NewCursor(minKey, maxKey)
+	rc := right.NewCursor(minKey, maxKey)
+
+	var joined []int64
+	lOK, rOK := lc.Next(), rc.Next()
+	for lOK && rOK {
+		switch {
+		case lc.Key() < rc.Key():
+			lOK = lc.Next()
+		case lc.Key() > rc.Key():
+			rOK = rc.Next()
+		default:
+			joined = append(joined, lc.Key())
+			lOK = lc.Next()
+			rOK = rc.Next()
+		}
+	}
+	want := []int64{3, 5, 9}
+	if len(joined) != len(want) {
+		t.Fatalf("join = %v", joined)
+	}
+	for i := range want {
+		if joined[i] != want[i] {
+			t.Fatalf("join = %v, want %v", joined, want)
+		}
+	}
+}

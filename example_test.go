@@ -1,0 +1,92 @@
+package rma_test
+
+import (
+	"fmt"
+
+	"rma"
+)
+
+func Example() {
+	a, err := rma.New()
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range []int64{30, 10, 50, 20, 40} {
+		if err := a.Insert(k, k*100); err != nil {
+			panic(err)
+		}
+	}
+	v, ok := a.Find(20)
+	fmt.Println(v, ok)
+
+	count, sum := a.Sum(15, 45)
+	fmt.Println(count, sum)
+
+	a.Scan(func(k, v int64) bool {
+		fmt.Print(k, " ")
+		return true
+	})
+	fmt.Println()
+	// Output:
+	// 2000 true
+	// 3 9000
+	// 10 20 30 40 50
+}
+
+func ExampleArray_BulkLoad() {
+	a, err := rma.New()
+	if err != nil {
+		panic(err)
+	}
+	keys := []int64{5, 1, 3, 2, 4} // batches need not be pre-sorted
+	vals := []int64{50, 10, 30, 20, 40}
+	if err := a.BulkLoad(keys, vals); err != nil {
+		panic(err)
+	}
+	fmt.Println(a.Size())
+	mn, _ := a.Min()
+	mx, _ := a.Max()
+	fmt.Println(mn, mx)
+	// Output:
+	// 5
+	// 1 5
+}
+
+func ExampleArray_ScanRange() {
+	a, err := rma.New(rma.WithSegmentCapacity(32))
+	if err != nil {
+		panic(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := a.Insert(i, i*i); err != nil {
+			panic(err)
+		}
+	}
+	// Early termination: stop after three elements.
+	n := 0
+	a.ScanRange(10, 99, func(k, v int64) bool {
+		fmt.Println(k, v)
+		n++
+		return n < 3
+	})
+	// Output:
+	// 10 100
+	// 11 121
+	// 12 144
+}
+
+func ExampleArray_Stats() {
+	a, err := rma.New(rma.WithSegmentCapacity(32), rma.WithPageCapacity(64))
+	if err != nil {
+		panic(err)
+	}
+	for i := int64(0); i < 10_000; i++ {
+		if err := a.Insert(i, 0); err != nil {
+			panic(err)
+		}
+	}
+	s := a.Stats()
+	fmt.Println(s.Inserts == 10_000, s.Rebalances > 0, s.Grows > 0)
+	// Output:
+	// true true true
+}

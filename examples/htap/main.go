@@ -1,0 +1,107 @@
+// HTAP: the workload that motivates the paper. A "orders" column keyed
+// by timestamp sustains a stream of inserts and deletes (the
+// transactional side) while analytic queries continuously run range
+// aggregations over recent windows (the analytical side).
+//
+// The example runs the identical workload over an RMA and over a tuned
+// (a,b)-tree at the same segment/leaf capacity and reports both sides'
+// throughput: the tree is somewhat faster to update, the RMA is much
+// faster to scan — the trade the paper quantifies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rma"
+	"rma/internal/workload"
+)
+
+const (
+	preload    = 400_000 // orders already in the system
+	txRounds   = 50      // transactional bursts
+	txPerRound = 2_000   // inserts + deletes per burst
+	queries    = 200     // analytic range queries per burst
+)
+
+type store interface {
+	InsertKV(k, v int64) error
+	DeleteKey(k int64) (bool, error)
+	Sum(lo, hi int64) (int, int64)
+	Size() int
+}
+
+func run(name string, s store) {
+	// Preload history: timestamps with some jitter, amount as value.
+	ts := workload.NewSequential(1_000_000, 3)
+	rng := workload.NewRNG(7)
+	var minKey, maxKey int64 = 1 << 62, 0
+	for i := 0; i < preload; i++ {
+		k := ts.Next() + int64(rng.Uint64n(5))
+		if k < minKey {
+			minKey = k
+		}
+		if k > maxKey {
+			maxKey = k
+		}
+		if err := s.InsertKV(k, int64(rng.Uint64n(10_000))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var txTime, scanTime time.Duration
+	var scanned int64
+	for round := 0; round < txRounds; round++ {
+		// Transactional burst: new orders arrive, old ones are archived.
+		t0 := time.Now()
+		for i := 0; i < txPerRound; i++ {
+			k := ts.Next() + int64(rng.Uint64n(5))
+			if k > maxKey {
+				maxKey = k
+			}
+			if err := s.InsertKV(k, int64(rng.Uint64n(10_000))); err != nil {
+				log.Fatal(err)
+			}
+			// Archive an old order.
+			old := minKey + int64(rng.Uint64n(uint64(maxKey-minKey)))
+			if _, err := s.DeleteKey(old); err != nil {
+				log.Fatal(err)
+			}
+		}
+		txTime += time.Since(t0)
+
+		// Analytical burst: revenue over random recent windows.
+		t0 = time.Now()
+		span := (maxKey - minKey) / 20 // 5% windows
+		for q := 0; q < queries; q++ {
+			lo := minKey + int64(rng.Uint64n(uint64(maxKey-minKey-span)))
+			c, _ := s.Sum(lo, lo+span)
+			scanned += int64(c)
+		}
+		scanTime += time.Since(t0)
+	}
+
+	totalTx := float64(txRounds*txPerRound*2) / txTime.Seconds() / 1e6
+	totalScan := float64(scanned) / scanTime.Seconds() / 1e6
+	fmt.Printf("%-10s  updates %6.2f Mops/s   analytics %8.2f Melts/s   (final size %d)\n",
+		name, totalTx, totalScan, s.Size())
+}
+
+// treeStore adapts the (a,b)-tree to the store interface.
+type treeStore struct{ t *rma.ABTree }
+
+func (s treeStore) InsertKV(k, v int64) error       { s.t.Insert(k, v); return nil }
+func (s treeStore) DeleteKey(k int64) (bool, error) { return s.t.Delete(k), nil }
+func (s treeStore) Sum(lo, hi int64) (int, int64)   { return s.t.Sum(lo, hi) }
+func (s treeStore) Size() int                       { return s.t.Size() }
+
+func main() {
+	fmt.Println("HTAP mix: 50 bursts of 2k inserts + 2k deletes, 200 range queries each")
+	a, err := rma.New(rma.WithSegmentCapacity(128))
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("rma", a)
+	run("abtree", treeStore{rma.NewABTree(128)})
+}

@@ -1,0 +1,101 @@
+// Particles: the Durand et al. (VRIPHYS 2012) scenario the paper cites —
+// a particle simulation keeps moving particles sorted by their Morton
+// (Z-order) code so neighbourhood queries become range scans. Each
+// simulation step perturbs positions, which changes Z-codes: the store
+// sustains a delete+insert batch per step while neighbourhood scans run
+// between steps.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rma"
+	"rma/internal/workload"
+)
+
+const (
+	particles = 200_000
+	steps     = 30
+	moving    = 20_000 // particles whose cell changes per step
+)
+
+// morton interleaves the bits of a 2D grid position into a Z-order code.
+func morton(x, y uint32) int64 {
+	return int64(spread(x) | spread(y)<<1)
+}
+
+// spread inserts a zero bit between each bit of v (lower 31 bits).
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0x7fffffff
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+func main() {
+	a, err := rma.New(rma.WithSegmentCapacity(256)) // scans dominate
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := workload.NewRNG(2024)
+	const grid = 1 << 12
+	xs := make([]uint32, particles)
+	ys := make([]uint32, particles)
+	for i := range xs {
+		xs[i] = uint32(rng.Uint64n(grid))
+		ys[i] = uint32(rng.Uint64n(grid))
+		if err := a.Insert(morton(xs[i], ys[i]), int64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d particles on a %dx%d grid (size=%d)\n", particles, grid, grid, a.Size())
+
+	var moveTime, scanTime time.Duration
+	var neighbours int64
+	perm := make([]int, particles)
+	for step := 0; step < steps; step++ {
+		// Move a subset of *distinct* particles one cell: delete the old
+		// code, insert the new one. (Moving the same particle twice in
+		// one batch would delete its intermediate code before the batch
+		// inserts it: batches apply deletions first.)
+		t0 := time.Now()
+		rng.Perm(perm)
+		var dels, ins []int64
+		for _, i := range perm[:moving] {
+			dels = append(dels, morton(xs[i], ys[i]))
+			xs[i] = (xs[i] + uint32(rng.Uint64n(3)) - 1) % grid
+			ys[i] = (ys[i] + uint32(rng.Uint64n(3)) - 1) % grid
+			ins = append(ins, morton(xs[i], ys[i]))
+		}
+		vals := make([]int64, len(ins))
+		if err := a.BulkUpdate(ins, vals, dels); err != nil {
+			log.Fatal(err)
+		}
+		moveTime += time.Since(t0)
+
+		// Neighbourhood queries: particles within a Z-code block are
+		// spatially close; scan 64 random blocks.
+		t0 = time.Now()
+		for q := 0; q < 64; q++ {
+			x := uint32(rng.Uint64n(grid))
+			y := uint32(rng.Uint64n(grid))
+			base := morton(x&^63, y&^63) // align to a 64x64 Z-block
+			c, _ := a.Sum(base, base+64*64-1)
+			neighbours += int64(c)
+		}
+		scanTime += time.Since(t0)
+	}
+
+	fmt.Printf("steps: %d x %d moved particles\n", steps, moving)
+	fmt.Printf("batch moves: %6.2f Mops/s\n",
+		float64(2*moving*steps)/moveTime.Seconds()/1e6)
+	fmt.Printf("z-block scans: %6.2f Melts/s (%d neighbours visited)\n",
+		float64(neighbours)/scanTime.Seconds()/1e6, neighbours)
+	fmt.Printf("final size %d, density %.2f\n", a.Size(), a.Density())
+}

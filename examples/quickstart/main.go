@@ -1,0 +1,58 @@
+// Quickstart: the basic RMA lifecycle — create, insert, look up, scan,
+// aggregate, delete — plus a peek at the internal statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rma"
+)
+
+func main() {
+	// An RMA with the paper's defaults: B=128 clustered segments, static
+	// index, memory rewiring, adaptive rebalancing, update-oriented
+	// density thresholds.
+	a, err := rma.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Point updates keep the array sorted and physically sequential.
+	for i := int64(0); i < 100_000; i++ {
+		if err := a.Insert(i*7%100_000, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("size=%d capacity=%d density=%.2f\n", a.Size(), a.Capacity(), a.Density())
+
+	// Point lookup: index descent + one binary search in a segment.
+	if v, ok := a.Find(777); ok {
+		fmt.Printf("find(777) = %d\n", v)
+	}
+
+	// Range scan: one tight loop per segment pair, no gap checks.
+	count, sum := a.Sum(1000, 1999)
+	fmt.Printf("sum over keys [1000,1999]: count=%d sum=%d\n", count, sum)
+
+	// Callback iteration with early termination.
+	printed := 0
+	a.ScanRange(0, 50, func(k, v int64) bool {
+		printed++
+		return printed < 5
+	})
+	fmt.Printf("visited %d elements of [0,50]\n", printed)
+
+	// Deletes shrink the array when it gets too sparse.
+	for i := int64(0); i < 50_000; i++ {
+		if _, err := a.Delete(i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after deletes: size=%d capacity=%d\n", a.Size(), a.Capacity())
+
+	// The stats expose what the structure did under the hood.
+	s := a.Stats()
+	fmt.Printf("rebalances=%d (adaptive %d) resizes=%d pageswaps=%d copies=%d\n",
+		s.Rebalances, s.AdaptiveRebalances, s.Resizes, s.PageSwaps, s.ElementCopies)
+}

@@ -1,0 +1,87 @@
+// Streaming: the bulk-loading scenario of Section III — a sliding window
+// over a temporal stream (the paper cites tweet streams and particle
+// simulations). The store holds the most recent W events; every tick, a
+// batch of new events arrives and the expired ones leave. Cardinality
+// stays constant, so every tick is one BulkUpdate: deletions applied
+// first with rebalances disabled, then the bottom-up batch insert that
+// rebalances each touched window at most once.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rma"
+	"rma/internal/workload"
+)
+
+const (
+	window    = 500_000 // events kept
+	batchSize = 10_000  // events per tick
+	ticks     = 60
+)
+
+func main() {
+	a, err := rma.New(rma.WithScanOrientedThresholds()) // dense array, fast scans
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Event keys: millisecond timestamps with per-batch jitter.
+	rng := workload.NewRNG(99)
+	now := int64(1_700_000_000_000)
+	var pending [][]int64 // batches in arrival order, for expiry
+
+	mkBatch := func() []int64 {
+		keys := make([]int64, batchSize)
+		for i := range keys {
+			now += int64(rng.Uint64n(3))
+			keys[i] = now
+		}
+		return keys
+	}
+
+	// Fill the window.
+	for len(pending)*batchSize < window {
+		keys := mkBatch()
+		if err := a.BulkLoad(keys, keys); err != nil {
+			log.Fatal(err)
+		}
+		pending = append(pending, keys)
+	}
+	fmt.Printf("window filled: %d events, density %.2f\n", a.Size(), a.Density())
+
+	var loadTime, queryTime time.Duration
+	var totalScanned int64
+	for tick := 0; tick < ticks; tick++ {
+		newKeys := mkBatch()
+		expired := pending[0]
+		pending = append(pending[1:], newKeys)
+
+		t0 := time.Now()
+		if err := a.BulkUpdate(newKeys, newKeys, expired); err != nil {
+			log.Fatal(err)
+		}
+		loadTime += time.Since(t0)
+
+		// Continuous query: events in the most recent 10% of the window.
+		t0 = time.Now()
+		hi := now
+		lo := hi - (now-pending[0][0])/10
+		c, _ := a.Sum(lo, hi)
+		totalScanned += int64(c)
+		queryTime += time.Since(t0)
+	}
+
+	fmt.Printf("ticks: %d x (%d in + %d out)\n", ticks, batchSize, batchSize)
+	fmt.Printf("bulk updates: %6.2f Mops/s\n",
+		float64(2*batchSize*ticks)/loadTime.Seconds()/1e6)
+	fmt.Printf("window queries: %6.2f Melts/s (scanned %d)\n",
+		float64(totalScanned)/queryTime.Seconds()/1e6, totalScanned)
+	fmt.Printf("final size %d (constant), density %.2f\n", a.Size(), a.Density())
+
+	s := a.Stats()
+	fmt.Printf("bulk loads=%d rebalances=%d pageswaps=%d resizes=%d\n",
+		s.BulkLoads, s.Rebalances, s.PageSwaps, s.Resizes)
+}

@@ -1,0 +1,550 @@
+// Package abtree implements the paper's main competitor: an (a,b)-tree —
+// a B+-tree whose node capacities are tuned for CPU cache lines rather
+// than disk blocks (Section I). Leaves hold up to B key/value pairs in
+// two parallel sorted arrays (the same layout as an RMA segment, Fig 3);
+// inner nodes hold up to 64 separator keys, the optimum the paper
+// determined by micro-benchmarks. Leaves are linked for range scans and
+// allocated from slabs, so a freshly bulk-loaded tree enjoys the same
+// physical locality the paper observes — and loses it as updates allocate
+// new leaves elsewhere, which is exactly the "aging" effect of Fig 13a.
+package abtree
+
+import "fmt"
+
+// InnerKeys is the maximum number of separator keys per inner node
+// (fanout 65), as fixed in the paper's evaluation.
+const InnerKeys = 64
+
+const minKids = (InnerKeys + 1) / 2 // minimum children of a non-root inner node
+
+// leaf is a tree leaf: parallel sorted key/value arrays plus the scan
+// chain.
+type leaf struct {
+	keys []int64
+	vals []int64
+	next *leaf
+}
+
+// inner is an internal node: n children and n-1 separator keys, where
+// keys[i] is the minimum key of child i+1. Exactly one of kids/leaves is
+// non-nil, so child access needs no interface dispatch.
+type inner struct {
+	keys   []int64
+	kids   []*inner
+	leaves []*leaf
+}
+
+// Tree is a sequential (a,b)-tree storing int64 key/value pairs with
+// multiset key semantics, mirroring the engine's API.
+type Tree struct {
+	leafCap int
+	minLeaf int
+
+	rootInner *inner
+	rootLeaf  *leaf // used while the tree has a single leaf
+
+	n      int
+	height int // number of inner levels (0 = root is a leaf)
+
+	// Slab allocation of leaf storage: sequentially created leaves get
+	// adjacent key/value memory, giving bulk-loaded trees their initial
+	// scan locality.
+	slabK, slabV []int64
+	slabLeaves   []leaf
+	slabBytes    int64
+
+	stats Stats
+}
+
+// Stats counts structural operations.
+type Stats struct {
+	Splits, Merges, Borrows uint64
+}
+
+// New returns an empty tree with the given leaf capacity (>= 2).
+func New(leafCap int) *Tree {
+	if leafCap < 2 {
+		panic(fmt.Sprintf("abtree: leaf capacity %d < 2", leafCap))
+	}
+	t := &Tree{leafCap: leafCap, minLeaf: leafCap / 2}
+	t.rootLeaf = t.newLeaf()
+	return t
+}
+
+// LeafCap returns the configured leaf capacity B.
+func (t *Tree) LeafCap() int { return t.leafCap }
+
+// Size returns the number of stored elements.
+func (t *Tree) Size() int { return t.n }
+
+// Stats returns the structural operation counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+const slabLeafCount = 128
+
+// newLeaf allocates a leaf with storage carved from the current slab.
+func (t *Tree) newLeaf() *leaf {
+	if len(t.slabLeaves) == 0 {
+		t.slabLeaves = make([]leaf, slabLeafCount)
+		t.slabK = make([]int64, slabLeafCount*t.leafCap)
+		t.slabV = make([]int64, slabLeafCount*t.leafCap)
+		t.slabBytes += int64(slabLeafCount)*int64(t.leafCap)*16 + slabLeafCount*48
+	}
+	l := &t.slabLeaves[0]
+	t.slabLeaves = t.slabLeaves[1:]
+	l.keys = t.slabK[:0:t.leafCap]
+	l.vals = t.slabV[:0:t.leafCap]
+	t.slabK = t.slabK[t.leafCap:]
+	t.slabV = t.slabV[t.leafCap:]
+	return l
+}
+
+// FootprintBytes estimates the memory held by the tree: leaf slabs plus
+// inner nodes.
+func (t *Tree) FootprintBytes() int64 {
+	f := t.slabBytes
+	var walk func(*inner)
+	walk = func(nd *inner) {
+		f += int64(cap(nd.keys))*8 + int64(cap(nd.kids)+cap(nd.leaves))*8 + 80
+		for _, c := range nd.kids {
+			walk(c)
+		}
+	}
+	if t.rootInner != nil {
+		walk(t.rootInner)
+	}
+	return f
+}
+
+// --- search -----------------------------------------------------------------
+
+// childIndex returns the index of the child of nd that covers key
+// (number of separators <= key).
+func childIndex(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeaf descends to the leaf that must contain key.
+func (t *Tree) findLeaf(key int64) *leaf {
+	if t.rootInner == nil {
+		return t.rootLeaf
+	}
+	nd := t.rootInner
+	for nd.kids != nil {
+		nd = nd.kids[childIndex(nd.keys, key)]
+	}
+	return nd.leaves[childIndex(nd.keys, key)]
+}
+
+// childIndexLB is childIndex with strict comparison: the child holding
+// the first element >= key. Range scans and duplicate-aware lookups
+// descend this way so duplicates equal to a separator are not skipped.
+func childIndexLB(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeafLB descends to the leaf holding the first element >= key (or
+// the last leaf before it).
+func (t *Tree) findLeafLB(key int64) *leaf {
+	if t.rootInner == nil {
+		return t.rootLeaf
+	}
+	nd := t.rootInner
+	for nd.kids != nil {
+		nd = nd.kids[childIndexLB(nd.keys, key)]
+	}
+	return nd.leaves[childIndexLB(nd.keys, key)]
+}
+
+// Find returns a value stored under key.
+func (t *Tree) Find(key int64) (int64, bool) {
+	l := t.findLeafLB(key)
+	i := lowerBound(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		return l.vals[i], true
+	}
+	// The first occurrence may start exactly at the next leaf when every
+	// key of this leaf is smaller.
+	if i == len(l.keys) && l.next != nil && len(l.next.keys) > 0 && l.next.keys[0] == key {
+		return l.next.vals[0], true
+	}
+	return 0, false
+}
+
+func lowerBound(a []int64, key int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func upperBound(a []int64, key int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// --- insert -----------------------------------------------------------------
+
+// Insert adds the key/value pair.
+func (t *Tree) Insert(key, val int64) {
+	t.n++
+	if t.rootInner == nil {
+		l := t.rootLeaf
+		if len(l.keys) < t.leafCap {
+			leafInsert(l, key, val)
+			return
+		}
+		right, sep := t.splitLeaf(l)
+		t.rootInner = &inner{keys: []int64{sep}, leaves: []*leaf{l, right}}
+		t.rootLeaf = nil
+		t.height = 1
+		if key < sep {
+			leafInsert(l, key, val)
+		} else {
+			leafInsert(right, key, val)
+		}
+		return
+	}
+	if nn, sep, split := t.insertInner(t.rootInner, key, val); split {
+		t.rootInner = &inner{keys: []int64{sep}, kids: []*inner{t.rootInner, nn}}
+		t.height++
+	}
+}
+
+func leafInsert(l *leaf, key, val int64) {
+	i := upperBound(l.keys, key)
+	l.keys = append(l.keys, 0)
+	l.vals = append(l.vals, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	copy(l.vals[i+1:], l.vals[i:])
+	l.keys[i] = key
+	l.vals[i] = val
+}
+
+// splitLeaf moves the upper half of l into a fresh leaf, returning it and
+// its separator (minimum) key.
+func (t *Tree) splitLeaf(l *leaf) (*leaf, int64) {
+	t.stats.Splits++
+	mid := len(l.keys) / 2
+	r := t.newLeaf()
+	r.keys = append(r.keys, l.keys[mid:]...)
+	r.vals = append(r.vals, l.vals[mid:]...)
+	l.keys = l.keys[:mid]
+	l.vals = l.vals[:mid]
+	r.next = l.next
+	l.next = r
+	return r, r.keys[0]
+}
+
+// insertInner inserts under nd; if nd splits, the new right node and its
+// separator are returned.
+func (t *Tree) insertInner(nd *inner, key, val int64) (*inner, int64, bool) {
+	ci := childIndex(nd.keys, key)
+	if nd.leaves != nil {
+		l := nd.leaves[ci]
+		if len(l.keys) == t.leafCap {
+			right, sep := t.splitLeaf(l)
+			nd.insertChildLeaf(ci, sep, right)
+			if key >= sep {
+				l = right
+			}
+		}
+		leafInsert(l, key, val)
+	} else {
+		child := nd.kids[ci]
+		if nn, sep, split := t.insertInner(child, key, val); split {
+			nd.insertChildInner(ci, sep, nn)
+		}
+	}
+	if len(nd.keys) > InnerKeys {
+		nn, sep := t.splitInner(nd)
+		return nn, sep, true
+	}
+	return nil, 0, false
+}
+
+func (nd *inner) insertChildLeaf(ci int, sep int64, right *leaf) {
+	nd.keys = append(nd.keys, 0)
+	copy(nd.keys[ci+1:], nd.keys[ci:])
+	nd.keys[ci] = sep
+	nd.leaves = append(nd.leaves, nil)
+	copy(nd.leaves[ci+2:], nd.leaves[ci+1:])
+	nd.leaves[ci+1] = right
+}
+
+func (nd *inner) insertChildInner(ci int, sep int64, right *inner) {
+	nd.keys = append(nd.keys, 0)
+	copy(nd.keys[ci+1:], nd.keys[ci:])
+	nd.keys[ci] = sep
+	nd.kids = append(nd.kids, nil)
+	copy(nd.kids[ci+2:], nd.kids[ci+1:])
+	nd.kids[ci+1] = right
+}
+
+// splitInner splits an overfull inner node, promoting the middle key.
+func (t *Tree) splitInner(nd *inner) (*inner, int64) {
+	t.stats.Splits++
+	mid := len(nd.keys) / 2
+	sep := nd.keys[mid]
+	r := &inner{}
+	r.keys = append(r.keys, nd.keys[mid+1:]...)
+	nd.keys = nd.keys[:mid]
+	if nd.leaves != nil {
+		r.leaves = append(r.leaves, nd.leaves[mid+1:]...)
+		nd.leaves = nd.leaves[:mid+1]
+	} else {
+		r.kids = append(r.kids, nd.kids[mid+1:]...)
+		nd.kids = nd.kids[:mid+1]
+	}
+	return r, sep
+}
+
+// --- delete -----------------------------------------------------------------
+
+// Delete removes one occurrence of key, reporting whether it existed.
+func (t *Tree) Delete(key int64) bool {
+	if t.rootInner == nil {
+		l := t.rootLeaf
+		i := lowerBound(l.keys, key)
+		if i >= len(l.keys) || l.keys[i] != key {
+			return false
+		}
+		leafRemove(l, i)
+		t.n--
+		return true
+	}
+	if !t.deleteInner(t.rootInner, key) {
+		return false
+	}
+	t.n--
+	// Collapse a root with a single child.
+	for t.rootInner != nil && len(t.rootInner.keys) == 0 {
+		if t.rootInner.kids != nil {
+			t.rootInner = t.rootInner.kids[0]
+		} else {
+			t.rootLeaf = t.rootInner.leaves[0]
+			t.rootInner = nil
+		}
+		t.height--
+	}
+	return true
+}
+
+func leafRemove(l *leaf, i int) {
+	copy(l.keys[i:], l.keys[i+1:])
+	copy(l.vals[i:], l.vals[i+1:])
+	l.keys = l.keys[:len(l.keys)-1]
+	l.vals = l.vals[:len(l.vals)-1]
+}
+
+// deleteInner removes key under nd and repairs any child underflow.
+func (t *Tree) deleteInner(nd *inner, key int64) bool {
+	ci := childIndex(nd.keys, key)
+	if nd.leaves != nil {
+		l := nd.leaves[ci]
+		i := lowerBound(l.keys, key)
+		if i >= len(l.keys) || l.keys[i] != key {
+			// Duplicates equal to the separator may sit in the left
+			// sibling; check it once.
+			if ci > 0 && i == 0 {
+				sib := nd.leaves[ci-1]
+				j := lowerBound(sib.keys, key)
+				if j < len(sib.keys) && sib.keys[j] == key {
+					leafRemove(sib, j)
+					t.fixLeafUnderflow(nd, ci-1)
+					return true
+				}
+			}
+			return false
+		}
+		leafRemove(l, i)
+		t.fixLeafUnderflow(nd, ci)
+		return true
+	}
+	if !t.deleteInner(nd.kids[ci], key) {
+		// Same duplicate-on-separator case one level up.
+		if ci > 0 && t.deleteInner(nd.kids[ci-1], key) {
+			t.fixInnerUnderflow(nd, ci-1)
+			return true
+		}
+		return false
+	}
+	t.fixInnerUnderflow(nd, ci)
+	return true
+}
+
+// fixLeafUnderflow rebalances leaf child ci of nd if it fell below the
+// minimum fill, borrowing from or merging with a sibling.
+func (t *Tree) fixLeafUnderflow(nd *inner, ci int) {
+	l := nd.leaves[ci]
+	if len(l.keys) >= t.minLeaf {
+		return
+	}
+	if ci > 0 {
+		left := nd.leaves[ci-1]
+		if len(left.keys) > t.minLeaf {
+			t.stats.Borrows++
+			k := left.keys[len(left.keys)-1]
+			v := left.vals[len(left.vals)-1]
+			leafRemove(left, len(left.keys)-1)
+			l.keys = append(l.keys, 0)
+			l.vals = append(l.vals, 0)
+			copy(l.keys[1:], l.keys)
+			copy(l.vals[1:], l.vals)
+			l.keys[0], l.vals[0] = k, v
+			nd.keys[ci-1] = k
+			return
+		}
+	}
+	if ci < len(nd.leaves)-1 {
+		right := nd.leaves[ci+1]
+		if len(right.keys) > t.minLeaf {
+			t.stats.Borrows++
+			l.keys = append(l.keys, right.keys[0])
+			l.vals = append(l.vals, right.vals[0])
+			leafRemove(right, 0)
+			nd.keys[ci] = right.keys[0]
+			return
+		}
+	}
+	// Merge with a sibling (prefer left).
+	if ci > 0 {
+		ci--
+	}
+	t.mergeLeaves(nd, ci)
+}
+
+// mergeLeaves merges leaf ci+1 into leaf ci and drops the separator.
+func (t *Tree) mergeLeaves(nd *inner, ci int) {
+	if ci+1 >= len(nd.leaves) {
+		return
+	}
+	t.stats.Merges++
+	l, r := nd.leaves[ci], nd.leaves[ci+1]
+	l.keys = append(l.keys, r.keys...)
+	l.vals = append(l.vals, r.vals...)
+	l.next = r.next
+	copy(nd.keys[ci:], nd.keys[ci+1:])
+	nd.keys = nd.keys[:len(nd.keys)-1]
+	copy(nd.leaves[ci+1:], nd.leaves[ci+2:])
+	nd.leaves = nd.leaves[:len(nd.leaves)-1]
+}
+
+// fixInnerUnderflow rebalances inner child ci of nd if it has too few
+// children.
+func (t *Tree) fixInnerUnderflow(nd *inner, ci int) {
+	c := nd.kids[ci]
+	if c.childCount() >= minKids {
+		return
+	}
+	if ci > 0 {
+		left := nd.kids[ci-1]
+		if left.childCount() > minKids {
+			t.stats.Borrows++
+			// Rotate the left sibling's last child through the parent.
+			c.keys = append(c.keys, 0)
+			copy(c.keys[1:], c.keys)
+			c.keys[0] = nd.keys[ci-1]
+			if c.kids != nil {
+				moved := left.kids[len(left.kids)-1]
+				left.kids = left.kids[:len(left.kids)-1]
+				c.kids = append(c.kids, nil)
+				copy(c.kids[1:], c.kids)
+				c.kids[0] = moved
+			} else {
+				moved := left.leaves[len(left.leaves)-1]
+				left.leaves = left.leaves[:len(left.leaves)-1]
+				c.leaves = append(c.leaves, nil)
+				copy(c.leaves[1:], c.leaves)
+				c.leaves[0] = moved
+			}
+			nd.keys[ci-1] = left.keys[len(left.keys)-1]
+			left.keys = left.keys[:len(left.keys)-1]
+			return
+		}
+	}
+	if ci < len(nd.kids)-1 {
+		right := nd.kids[ci+1]
+		if right.childCount() > minKids {
+			t.stats.Borrows++
+			c.keys = append(c.keys, nd.keys[ci])
+			if c.kids != nil {
+				c.kids = append(c.kids, right.kids[0])
+				copy(right.kids, right.kids[1:])
+				right.kids = right.kids[:len(right.kids)-1]
+			} else {
+				c.leaves = append(c.leaves, right.leaves[0])
+				copy(right.leaves, right.leaves[1:])
+				right.leaves = right.leaves[:len(right.leaves)-1]
+			}
+			nd.keys[ci] = right.keys[0]
+			copy(right.keys, right.keys[1:])
+			right.keys = right.keys[:len(right.keys)-1]
+			return
+		}
+	}
+	if ci > 0 {
+		ci--
+	}
+	t.mergeInners(nd, ci)
+}
+
+// mergeInners merges inner child ci+1 into child ci, pulling the
+// separator down.
+func (t *Tree) mergeInners(nd *inner, ci int) {
+	if ci+1 >= len(nd.kids) {
+		return
+	}
+	t.stats.Merges++
+	l, r := nd.kids[ci], nd.kids[ci+1]
+	l.keys = append(l.keys, nd.keys[ci])
+	l.keys = append(l.keys, r.keys...)
+	if l.kids != nil {
+		l.kids = append(l.kids, r.kids...)
+	} else {
+		l.leaves = append(l.leaves, r.leaves...)
+	}
+	copy(nd.keys[ci:], nd.keys[ci+1:])
+	nd.keys = nd.keys[:len(nd.keys)-1]
+	copy(nd.kids[ci+1:], nd.kids[ci+2:])
+	nd.kids = nd.kids[:len(nd.kids)-1]
+}
+
+func (nd *inner) childCount() int {
+	if nd.kids != nil {
+		return len(nd.kids)
+	}
+	return len(nd.leaves)
+}

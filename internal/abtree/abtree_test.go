@@ -1,0 +1,284 @@
+package abtree
+
+import (
+	"sort"
+	"testing"
+
+	"rma/internal/workload"
+)
+
+func TestInsertFindSmall(t *testing.T) {
+	for _, b := range []int{4, 8, 128} {
+		tr := New(b)
+		keys := []int64{10, 5, 30, 20, 25, 1, 100, 50, 7, 3}
+		for _, k := range keys {
+			tr.Insert(k, k*2)
+		}
+		if tr.Size() != len(keys) {
+			t.Fatalf("B=%d: size %d", b, tr.Size())
+		}
+		for _, k := range keys {
+			v, ok := tr.Find(k)
+			if !ok || v != k*2 {
+				t.Fatalf("B=%d: Find(%d) = (%d,%v)", b, k, v, ok)
+			}
+		}
+		if _, ok := tr.Find(999); ok {
+			t.Fatal("found absent key")
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInsertManySplitLevels(t *testing.T) {
+	tr := New(4) // tiny leaves force deep trees quickly
+	const n = 20000
+	g := workload.NewUniform(1, 1<<40)
+	for i := 0; i < n; i++ {
+		tr.Insert(g.Next(), int64(i))
+	}
+	if tr.Size() != n {
+		t.Fatalf("size %d", tr.Size())
+	}
+	if tr.height < 3 {
+		t.Fatalf("expected a deep tree, height %d", tr.height)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialAndDescending(t *testing.T) {
+	for _, b := range []int{4, 16} {
+		up := New(b)
+		down := New(b)
+		for i := 0; i < 5000; i++ {
+			up.Insert(int64(i), 0)
+			down.Insert(int64(5000-i), 0)
+		}
+		if err := up.Validate(); err != nil {
+			t.Fatalf("ascending: %v", err)
+		}
+		if err := down.Validate(); err != nil {
+			t.Fatalf("descending: %v", err)
+		}
+	}
+}
+
+func TestDeleteWithBorrowAndMerge(t *testing.T) {
+	tr := New(4)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int64(i))
+	}
+	// Delete every other key, then everything: exercises borrows, leaf
+	// merges, inner merges and root collapse.
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(int64(i)) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().Merges == 0 || tr.Stats().Borrows == 0 {
+		t.Fatalf("expected merges and borrows, got %+v", tr.Stats())
+	}
+	for i := 1; i < n; i += 2 {
+		if !tr.Delete(int64(i)) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size %d after deleting all", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Still usable.
+	tr.Insert(42, 420)
+	if v, ok := tr.Find(42); !ok || v != 420 {
+		t.Fatal("tree unusable after emptying")
+	}
+}
+
+func TestDuplicatesAcrossLeaves(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(7, int64(i))
+	}
+	tr.Insert(3, 0)
+	tr.Insert(9, 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cnt, _ := tr.Sum(7, 7)
+	if cnt != 100 {
+		t.Fatalf("dup count %d", cnt)
+	}
+	for i := 0; i < 100; i++ {
+		if !tr.Delete(7) {
+			t.Fatalf("Delete #%d of duplicate missed", i)
+		}
+	}
+	if tr.Delete(7) {
+		t.Fatal("deleted a 101st duplicate")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("size %d", tr.Size())
+	}
+}
+
+func TestDifferentialAgainstOracle(t *testing.T) {
+	tr := New(8)
+	var model []int64
+	rng := workload.NewRNG(3)
+	for op := 0; op < 20000; op++ {
+		k := int64(rng.Uint64n(500))
+		if rng.Uint64n(3) == 0 && len(model) > 0 {
+			got := tr.Delete(k)
+			i := sort.Search(len(model), func(i int) bool { return model[i] >= k })
+			want := i < len(model) && model[i] == k
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+			if want {
+				model = append(model[:i], model[i+1:]...)
+			}
+		} else {
+			tr.Insert(k, k)
+			i := sort.Search(len(model), func(i int) bool { return model[i] > k })
+			model = append(model, 0)
+			copy(model[i+1:], model[i:])
+			model[i] = k
+		}
+		if tr.Size() != len(model) {
+			t.Fatalf("op %d: size %d want %d", op, tr.Size(), len(model))
+		}
+		if op%2500 == 2499 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			var got []int64
+			tr.Scan(func(k, _ int64) bool { got = append(got, k); return true })
+			if len(got) != len(model) {
+				t.Fatalf("op %d: scan %d vs model %d", op, len(got), len(model))
+			}
+			for i := range got {
+				if got[i] != model[i] {
+					t.Fatalf("op %d: content mismatch at %d", op, i)
+				}
+			}
+		}
+	}
+}
+
+func TestScanRangeAndSum(t *testing.T) {
+	tr := New(16)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(int64(i*3), int64(i))
+	}
+	cnt, sum := tr.Sum(300, 600)
+	wantCnt, wantSum := 0, int64(0)
+	for i := 0; i < 1000; i++ {
+		if k := int64(i * 3); k >= 300 && k <= 600 {
+			wantCnt++
+			wantSum += int64(i)
+		}
+	}
+	if cnt != wantCnt || sum != wantSum {
+		t.Fatalf("Sum = (%d,%d), want (%d,%d)", cnt, sum, wantCnt, wantSum)
+	}
+	// Early-terminating scan.
+	seen := 0
+	tr.ScanRange(0, maxInt64, func(_, _ int64) bool { seen++; return seen < 10 })
+	if seen != 10 {
+		t.Fatalf("early stop visited %d", seen)
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 64, 65, 1000, 12345} {
+		g := workload.NewUniform(uint64(n)+1, 1<<30)
+		keys := workload.Keys(g, n)
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = workload.ValueFor(keys[i])
+		}
+		bl := New(128)
+		bl.BulkLoad(keys, vals)
+		if bl.Size() != n {
+			t.Fatalf("n=%d: size %d", n, bl.Size())
+		}
+		if err := bl.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i += 101 {
+			if v, ok := bl.Find(keys[i]); !ok || v != vals[i] {
+				t.Fatalf("n=%d: Find(%d) failed", n, keys[i])
+			}
+		}
+		// The loaded tree must keep working under subsequent updates.
+		for i := 0; i < 500; i++ {
+			bl.Insert(g.Next(), 0)
+		}
+		if err := bl.Validate(); err != nil {
+			t.Fatalf("n=%d post-insert: %v", n, err)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New(8)
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	for _, k := range []int64{50, 10, 90, 30} {
+		tr.Insert(k, 0)
+	}
+	mn, _ := tr.Min()
+	mx, _ := tr.Max()
+	if mn != 10 || mx != 90 {
+		t.Fatalf("Min/Max = %d/%d", mn, mx)
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	tr := New(64)
+	before := tr.FootprintBytes()
+	for i := 0; i < 50000; i++ {
+		tr.Insert(int64(i), 0)
+	}
+	if after := tr.FootprintBytes(); after <= before {
+		t.Fatalf("footprint %d -> %d", before, after)
+	}
+}
+
+func TestSlabLocalityOfSequentialLeaves(t *testing.T) {
+	// Leaves created back-to-back must carve adjacent storage from the
+	// same slab: the physical-locality property behind the paper's
+	// young-tree scans (and its loss, the Fig 13a aging).
+	tr := New(8)
+	orig := tr.slabK // remaining slab after the root leaf
+	before := len(orig)
+	a := tr.newLeaf()
+	b := tr.newLeaf()
+	if got := before - len(tr.slabK); got != 2*tr.leafCap {
+		t.Fatalf("two leaves consumed %d slab slots, want %d", got, 2*tr.leafCap)
+	}
+	// Adjacency: the two leaves' storage must be consecutive regions of
+	// the same slab.
+	a.keys = a.keys[:tr.leafCap]
+	b.keys = b.keys[:1]
+	a.keys[0] = 111
+	b.keys[0] = 222
+	if orig[0] != 111 || orig[tr.leafCap] != 222 {
+		t.Fatal("sequential leaves are not adjacent in the slab")
+	}
+}

@@ -1,0 +1,365 @@
+package abtree
+
+import "fmt"
+
+// ScanRange calls yield for every element with lo <= key <= hi in key
+// order, walking the leaf chain — the Theta(R/B) pointer jumps the paper
+// contrasts with the RMA's purely sequential scan.
+func (t *Tree) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	if lo > hi || t.n == 0 {
+		return
+	}
+	l := t.findLeafLB(lo)
+	i := lowerBound(l.keys, lo)
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			k := l.keys[i]
+			if k > hi {
+				return
+			}
+			if !yield(k, l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+	}
+}
+
+// Scan iterates every element in key order.
+func (t *Tree) Scan(yield func(key, val int64) bool) {
+	t.ScanRange(minInt64, maxInt64, yield)
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// Sum aggregates elements with lo <= key <= hi: count and value sum.
+func (t *Tree) Sum(lo, hi int64) (count int, sum int64) {
+	if lo > hi || t.n == 0 {
+		return 0, 0
+	}
+	l := t.findLeafLB(lo)
+	i := lowerBound(l.keys, lo)
+	for l != nil {
+		start := i
+		end := len(l.keys)
+		if end > 0 && l.keys[end-1] > hi {
+			end = upperBound(l.keys, hi)
+		}
+		for ; i < end; i++ {
+			sum += l.vals[i]
+		}
+		count += end - start
+		if end < len(l.keys) {
+			return count, sum
+		}
+		l = l.next
+		i = 0
+	}
+	return count, sum
+}
+
+// SumAll aggregates the whole tree.
+func (t *Tree) SumAll() (count int, sum int64) { return t.Sum(minInt64, maxInt64) }
+
+// Min returns the smallest key.
+func (t *Tree) Min() (int64, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	nd := t.rootInner
+	if nd == nil {
+		return t.rootLeaf.keys[0], true
+	}
+	for nd.kids != nil {
+		nd = nd.kids[0]
+	}
+	l := nd.leaves[0]
+	for len(l.keys) == 0 && l.next != nil {
+		l = l.next
+	}
+	return l.keys[0], true
+}
+
+// Max returns the largest key.
+func (t *Tree) Max() (int64, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	nd := t.rootInner
+	if nd == nil {
+		return t.rootLeaf.keys[len(t.rootLeaf.keys)-1], true
+	}
+	for nd.kids != nil {
+		nd = nd.kids[len(nd.kids)-1]
+	}
+	l := nd.leaves[len(nd.leaves)-1]
+	return l.keys[len(l.keys)-1], true
+}
+
+// BulkLoad builds the tree from sorted key/value slices, replacing its
+// content. Leaves are filled to capacity and allocated sequentially, so a
+// fresh bulk-loaded tree scans with near-dense locality (the young state
+// of Fig 13a).
+func (t *Tree) BulkLoad(keys, vals []int64) {
+	if len(keys) != len(vals) {
+		panic("abtree: BulkLoad length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			panic("abtree: BulkLoad input not sorted")
+		}
+	}
+	t.rootInner = nil
+	t.rootLeaf = nil
+	t.height = 0
+	t.n = len(keys)
+
+	if len(keys) == 0 {
+		t.rootLeaf = t.newLeaf()
+		return
+	}
+
+	// Build the leaf level.
+	var leaves []*leaf
+	var prev *leaf
+	for pos := 0; pos < len(keys); pos += t.leafCap {
+		end := pos + t.leafCap
+		if end > len(keys) {
+			end = len(keys)
+		}
+		l := t.newLeaf()
+		l.keys = append(l.keys, keys[pos:end]...)
+		l.vals = append(l.vals, vals[pos:end]...)
+		if prev != nil {
+			prev.next = l
+		}
+		prev = l
+		leaves = append(leaves, l)
+	}
+	// Avoid an undersized trailing leaf (would violate the fill invariant).
+	if n := len(leaves); n > 1 && len(leaves[n-1].keys) < t.minLeaf {
+		last, before := leaves[n-1], leaves[n-2]
+		move := t.minLeaf - len(last.keys)
+		cut := len(before.keys) - move
+		// Prepend the tail of the previous leaf.
+		last.keys = append(append(make([]int64, 0, t.leafCap), before.keys[cut:]...), last.keys...)
+		last.vals = append(append(make([]int64, 0, t.leafCap), before.vals[cut:]...), last.vals...)
+		before.keys = before.keys[:cut]
+		before.vals = before.vals[:cut]
+	}
+
+	if len(leaves) == 1 {
+		t.rootLeaf = leaves[0]
+		return
+	}
+
+	// Build the first inner level over the leaves.
+	fan := InnerKeys + 1
+	var level []*inner
+	for pos := 0; pos < len(leaves); pos += fan {
+		end := pos + fan
+		if end > len(leaves) {
+			end = len(leaves)
+		}
+		nd := &inner{leaves: leaves[pos:end:end]}
+		for i := pos + 1; i < end; i++ {
+			nd.keys = append(nd.keys, leaves[i].keys[0])
+		}
+		level = append(level, nd)
+	}
+	t.fixTrailingInner(level, leaves, nil)
+	t.height = 1
+
+	// Build the remaining levels.
+	for len(level) > 1 {
+		var up []*inner
+		for pos := 0; pos < len(level); pos += fan {
+			end := pos + fan
+			if end > len(level) {
+				end = len(level)
+			}
+			nd := &inner{kids: level[pos:end:end]}
+			for i := pos + 1; i < end; i++ {
+				nd.keys = append(nd.keys, subtreeMin(level[i]))
+			}
+			up = append(up, nd)
+		}
+		t.fixTrailingInner(up, nil, level)
+		level = up
+		t.height++
+	}
+	t.rootInner = level[0]
+}
+
+// fixTrailingInner rebalances the last node of a freshly built level if
+// it has fewer than minKids children (root excepted).
+func (t *Tree) fixTrailingInner(level []*inner, _ []*leaf, _ []*inner) {
+	n := len(level)
+	if n < 2 {
+		return
+	}
+	last, before := level[n-1], level[n-2]
+	if last.childCount() >= minKids {
+		return
+	}
+	move := minKids - last.childCount()
+	if last.kids != nil {
+		cut := len(before.kids) - move
+		moved := append([]*inner{}, before.kids[cut:]...)
+		before.kids = before.kids[:cut]
+		last.kids = append(moved, last.kids...)
+	} else {
+		cut := len(before.leaves) - move
+		moved := append([]*leaf{}, before.leaves[cut:]...)
+		before.leaves = before.leaves[:cut]
+		last.leaves = append(moved, last.leaves...)
+	}
+	// Rebuild both nodes' separator keys from scratch.
+	rebuildKeys := func(nd *inner) {
+		nd.keys = nd.keys[:0]
+		if nd.kids != nil {
+			for i := 1; i < len(nd.kids); i++ {
+				nd.keys = append(nd.keys, subtreeMin(nd.kids[i]))
+			}
+		} else {
+			for i := 1; i < len(nd.leaves); i++ {
+				nd.keys = append(nd.keys, nd.leaves[i].keys[0])
+			}
+		}
+	}
+	rebuildKeys(before)
+	rebuildKeys(last)
+}
+
+func subtreeMin(nd *inner) int64 {
+	for nd.kids != nil {
+		nd = nd.kids[0]
+	}
+	return nd.leaves[0].keys[0]
+}
+
+// Validate checks the tree's structural invariants (tests only).
+func (t *Tree) Validate() error {
+	if t.rootInner == nil {
+		if t.rootLeaf == nil {
+			return fmt.Errorf("abtree: no root")
+		}
+		if len(t.rootLeaf.keys) != t.n {
+			return fmt.Errorf("abtree: size %d != root leaf %d", t.n, len(t.rootLeaf.keys))
+		}
+		return validateSorted(t.rootLeaf.keys)
+	}
+	count := 0
+	var walk func(nd *inner, lo, hi int64, root bool, depth int) error
+	leafDepth := -1
+	walk = func(nd *inner, lo, hi int64, root bool, depth int) error {
+		cc := nd.childCount()
+		if len(nd.keys) != cc-1 {
+			return fmt.Errorf("abtree: node with %d keys, %d children", len(nd.keys), cc)
+		}
+		if !root && nd.kids != nil && cc < minKids {
+			return fmt.Errorf("abtree: inner underflow: %d children", cc)
+		}
+		if len(nd.keys) > InnerKeys {
+			return fmt.Errorf("abtree: node overflow: %d keys", len(nd.keys))
+		}
+		for i := 1; i < len(nd.keys); i++ {
+			if nd.keys[i-1] > nd.keys[i] {
+				return fmt.Errorf("abtree: unsorted separators")
+			}
+		}
+		if nd.leaves != nil {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("abtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			for i, l := range nd.leaves {
+				count += len(l.keys)
+				if len(l.keys) > t.leafCap {
+					return fmt.Errorf("abtree: leaf overflow")
+				}
+				if len(l.keys) < t.minLeaf {
+					return fmt.Errorf("abtree: leaf underflow: %d < %d", len(l.keys), t.minLeaf)
+				}
+				if err := validateSorted(l.keys); err != nil {
+					return err
+				}
+				clo := lo
+				if i > 0 {
+					clo = nd.keys[i-1]
+				}
+				chi := hi
+				if i < len(nd.keys) {
+					chi = nd.keys[i]
+				}
+				for _, k := range l.keys {
+					if k < clo || k > chi {
+						return fmt.Errorf("abtree: leaf key %d outside [%d,%d]", k, clo, chi)
+					}
+				}
+				if i > 0 && len(l.keys) > 0 && l.keys[0] != nd.keys[i-1] {
+					// Separator must equal the right child's minimum
+					// unless duplicates straddle (then it may be <=).
+					if l.keys[0] < nd.keys[i-1] {
+						return fmt.Errorf("abtree: separator above child min")
+					}
+				}
+			}
+			return nil
+		}
+		for i, c := range nd.kids {
+			clo := lo
+			if i > 0 {
+				clo = nd.keys[i-1]
+			}
+			chi := hi
+			if i < len(nd.keys) {
+				chi = nd.keys[i]
+			}
+			if err := walk(c, clo, chi, false, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.rootInner, minInt64, maxInt64, true, 0); err != nil {
+		return err
+	}
+	if count != t.n {
+		return fmt.Errorf("abtree: counted %d elements, size says %d", count, t.n)
+	}
+	// Leaf chain must visit all elements in order.
+	nd := t.rootInner
+	for nd.kids != nil {
+		nd = nd.kids[0]
+	}
+	chain := 0
+	prev := int64(minInt64)
+	for l := nd.leaves[0]; l != nil; l = l.next {
+		for _, k := range l.keys {
+			if k < prev {
+				return fmt.Errorf("abtree: leaf chain out of order")
+			}
+			prev = k
+			chain++
+		}
+	}
+	if chain != t.n {
+		return fmt.Errorf("abtree: leaf chain has %d elements, size says %d", chain, t.n)
+	}
+	return nil
+}
+
+func validateSorted(a []int64) error {
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			return fmt.Errorf("abtree: unsorted keys")
+		}
+	}
+	return nil
+}

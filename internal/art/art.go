@@ -1,0 +1,596 @@
+// Package art implements the Adaptive Radix Tree (Leis, Kemper, Neumann,
+// ICDE 2013) over fixed 8-byte keys, plus the "ART" competitor of the
+// paper's evaluation: an (a,b)-tree whose leaves are indexed by an ART
+// instead of separator-key inner nodes (Section V: "it is still actually
+// an (a,b)-tree, but the leaves are this time indexed by ART").
+//
+// The radix tree maps the minimum key of every leaf to the leaf. Keys are
+// int64, transformed by flipping the sign bit so that unsigned
+// byte-lexicographic order equals signed numeric order. Node types 4, 16,
+// 48 and 256 adapt to fanout, with pessimistic path compression (the full
+// prefix fits in 8 bytes since keys are 8 bytes).
+package art
+
+// keyBytes converts a signed key into its order-preserving unsigned form.
+func keyBytes(k int64) uint64 { return uint64(k) ^ (1 << 63) }
+
+func keyAt(u uint64, depth int) byte { return byte(u >> (56 - 8*uint(depth))) }
+
+// radix node kinds.
+type artNode interface{}
+
+// entry is a terminal radix entry: the full transformed key and the tree
+// leaf whose minimum it is.
+type entry struct {
+	key uint64
+	ref *leaf
+}
+
+type header struct {
+	prefix    [8]byte
+	prefixLen int
+}
+
+type node4 struct {
+	header
+	n        int
+	keys     [4]byte
+	children [4]artNode
+}
+
+type node16 struct {
+	header
+	n        int
+	keys     [16]byte
+	children [16]artNode
+}
+
+type node48 struct {
+	header
+	n        int
+	index    [256]int8 // -1 = absent, else slot in children
+	children [48]artNode
+}
+
+type node256 struct {
+	header
+	n        int
+	children [256]artNode
+}
+
+// index is the radix tree over leaf minima.
+type index struct {
+	root artNode
+	size int
+}
+
+// --- prefix helpers ---------------------------------------------------------
+
+func (h *header) prefixMatch(key uint64, depth int) int {
+	for i := 0; i < h.prefixLen; i++ {
+		if h.prefix[i] != keyAt(key, depth+i) {
+			return i
+		}
+	}
+	return h.prefixLen
+}
+
+func commonPrefix(a, b uint64, depth int) int {
+	n := 0
+	for depth+n < 8 && keyAt(a, depth+n) == keyAt(b, depth+n) {
+		n++
+	}
+	return n
+}
+
+// --- child access -----------------------------------------------------------
+
+func findChild(n artNode, c byte) artNode {
+	switch nd := n.(type) {
+	case *node4:
+		for i := 0; i < nd.n; i++ {
+			if nd.keys[i] == c {
+				return nd.children[i]
+			}
+		}
+	case *node16:
+		lo, hi := 0, nd.n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if nd.keys[mid] < c {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < nd.n && nd.keys[lo] == c {
+			return nd.children[lo]
+		}
+	case *node48:
+		if s := nd.index[c]; s >= 0 {
+			return nd.children[s]
+		}
+	case *node256:
+		return nd.children[c]
+	}
+	return nil
+}
+
+// replaceChild swaps the child at byte c with nn.
+func replaceChild(n artNode, c byte, nn artNode) {
+	switch nd := n.(type) {
+	case *node4:
+		for i := 0; i < nd.n; i++ {
+			if nd.keys[i] == c {
+				nd.children[i] = nn
+				return
+			}
+		}
+	case *node16:
+		for i := 0; i < nd.n; i++ {
+			if nd.keys[i] == c {
+				nd.children[i] = nn
+				return
+			}
+		}
+	case *node48:
+		nd.children[nd.index[c]] = nn
+	case *node256:
+		nd.children[c] = nn
+	}
+}
+
+// addChild inserts child at byte c, growing the node when full; returns
+// the (possibly new) node.
+func addChild(n artNode, c byte, child artNode) artNode {
+	switch nd := n.(type) {
+	case *node4:
+		if nd.n < 4 {
+			i := 0
+			for i < nd.n && nd.keys[i] < c {
+				i++
+			}
+			copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+			copy(nd.children[i+1:nd.n+1], nd.children[i:nd.n])
+			nd.keys[i] = c
+			nd.children[i] = child
+			nd.n++
+			return nd
+		}
+		g := &node16{header: nd.header, n: nd.n}
+		copy(g.keys[:], nd.keys[:nd.n])
+		copy(g.children[:], nd.children[:nd.n])
+		return addChild(g, c, child)
+	case *node16:
+		if nd.n < 16 {
+			i := 0
+			for i < nd.n && nd.keys[i] < c {
+				i++
+			}
+			copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+			copy(nd.children[i+1:nd.n+1], nd.children[i:nd.n])
+			nd.keys[i] = c
+			nd.children[i] = child
+			nd.n++
+			return nd
+		}
+		g := &node48{header: nd.header, n: nd.n}
+		for i := range g.index {
+			g.index[i] = -1
+		}
+		for i := 0; i < nd.n; i++ {
+			g.index[nd.keys[i]] = int8(i)
+			g.children[i] = nd.children[i]
+		}
+		return addChild(g, c, child)
+	case *node48:
+		if nd.n < 48 {
+			slot := 0
+			for nd.children[slot] != nil {
+				slot++
+			}
+			nd.children[slot] = child
+			nd.index[c] = int8(slot)
+			nd.n++
+			return nd
+		}
+		g := &node256{header: nd.header, n: nd.n}
+		for b := 0; b < 256; b++ {
+			if s := nd.index[b]; s >= 0 {
+				g.children[b] = nd.children[s]
+			}
+		}
+		return addChild(g, c, child)
+	case *node256:
+		nd.children[c] = child
+		nd.n++
+		return nd
+	}
+	panic("art: addChild on leaf")
+}
+
+// removeChild deletes the child at byte c, shrinking the node when
+// sparse; returns the (possibly new, possibly collapsed) node.
+func removeChild(n artNode, c byte) artNode {
+	switch nd := n.(type) {
+	case *node4:
+		for i := 0; i < nd.n; i++ {
+			if nd.keys[i] == c {
+				copy(nd.keys[i:nd.n-1], nd.keys[i+1:nd.n])
+				copy(nd.children[i:nd.n-1], nd.children[i+1:nd.n])
+				nd.n--
+				nd.children[nd.n] = nil
+				break
+			}
+		}
+		if nd.n == 1 {
+			// Path compression: merge the lone child upward.
+			child := nd.children[0]
+			if e, ok := child.(*entry); ok {
+				return e
+			}
+			ch := childHeader(child)
+			// New prefix: nd.prefix + key byte + child prefix.
+			var p [8]byte
+			pl := nd.prefixLen
+			copy(p[:], nd.prefix[:pl])
+			p[pl] = nd.keys[0]
+			pl++
+			copy(p[pl:], ch.prefix[:ch.prefixLen])
+			pl += ch.prefixLen
+			ch.prefix = p
+			ch.prefixLen = pl
+			return child
+		}
+		return nd
+	case *node16:
+		for i := 0; i < nd.n; i++ {
+			if nd.keys[i] == c {
+				copy(nd.keys[i:nd.n-1], nd.keys[i+1:nd.n])
+				copy(nd.children[i:nd.n-1], nd.children[i+1:nd.n])
+				nd.n--
+				nd.children[nd.n] = nil
+				break
+			}
+		}
+		if nd.n <= 3 {
+			g := &node4{header: nd.header, n: nd.n}
+			copy(g.keys[:], nd.keys[:nd.n])
+			copy(g.children[:], nd.children[:nd.n])
+			return g
+		}
+		return nd
+	case *node48:
+		if s := nd.index[c]; s >= 0 {
+			nd.children[s] = nil
+			nd.index[c] = -1
+			nd.n--
+		}
+		if nd.n <= 12 {
+			g := &node16{header: nd.header}
+			for b := 0; b < 256; b++ {
+				if s := nd.index[b]; s >= 0 {
+					g.keys[g.n] = byte(b)
+					g.children[g.n] = nd.children[s]
+					g.n++
+				}
+			}
+			return g
+		}
+		return nd
+	case *node256:
+		if nd.children[c] != nil {
+			nd.children[c] = nil
+			nd.n--
+		}
+		if nd.n <= 40 {
+			g := &node48{header: nd.header}
+			for i := range g.index {
+				g.index[i] = -1
+			}
+			for b := 0; b < 256; b++ {
+				if nd.children[b] != nil {
+					g.index[b] = int8(g.n)
+					g.children[g.n] = nd.children[b]
+					g.n++
+				}
+			}
+			return g
+		}
+		return nd
+	}
+	panic("art: removeChild on leaf")
+}
+
+func childHeader(n artNode) *header {
+	switch nd := n.(type) {
+	case *node4:
+		return &nd.header
+	case *node16:
+		return &nd.header
+	case *node48:
+		return &nd.header
+	case *node256:
+		return &nd.header
+	}
+	panic("art: header of leaf")
+}
+
+// --- index operations ---------------------------------------------------------
+
+// insert maps key -> ref, replacing an existing mapping.
+func (ix *index) insert(k int64, ref *leaf) {
+	key := keyBytes(k)
+	if ix.root == nil {
+		ix.root = &entry{key, ref}
+		ix.size++
+		return
+	}
+	ix.root = ix.insertRec(ix.root, key, 0, ref)
+}
+
+func (ix *index) insertRec(n artNode, key uint64, depth int, ref *leaf) artNode {
+	if e, ok := n.(*entry); ok {
+		if e.key == key {
+			e.ref = ref
+			return e
+		}
+		cp := commonPrefix(e.key, key, depth)
+		nn := &node4{}
+		nn.prefixLen = cp
+		for i := 0; i < cp; i++ {
+			nn.prefix[i] = keyAt(key, depth+i)
+		}
+		var out artNode = nn
+		out = addChild(out, keyAt(e.key, depth+cp), e)
+		out = addChild(out, keyAt(key, depth+cp), &entry{key, ref})
+		ix.size++
+		return out
+	}
+	h := childHeader(n)
+	p := h.prefixMatch(key, depth)
+	if p < h.prefixLen {
+		// Split the compressed path.
+		nn := &node4{}
+		nn.prefixLen = p
+		copy(nn.prefix[:], h.prefix[:p])
+		oldByte := h.prefix[p]
+		// Trim the old node's prefix past the split byte.
+		copy(h.prefix[:], h.prefix[p+1:h.prefixLen])
+		h.prefixLen -= p + 1
+		var out artNode = nn
+		out = addChild(out, oldByte, n)
+		out = addChild(out, keyAt(key, depth+p), &entry{key, ref})
+		ix.size++
+		return out
+	}
+	depth += h.prefixLen
+	c := keyAt(key, depth)
+	if child := findChild(n, c); child != nil {
+		nn := ix.insertRec(child, key, depth+1, ref)
+		if nn != child {
+			replaceChild(n, c, nn)
+		}
+		return n
+	}
+	ix.size++
+	return addChild(n, c, &entry{key, ref})
+}
+
+// remove deletes the mapping of key; reports whether it existed.
+func (ix *index) remove(k int64) bool {
+	key := keyBytes(k)
+	if ix.root == nil {
+		return false
+	}
+	if e, ok := ix.root.(*entry); ok {
+		if e.key == key {
+			ix.root = nil
+			ix.size--
+			return true
+		}
+		return false
+	}
+	nn, ok := ix.removeRec(ix.root, key, 0)
+	if ok {
+		ix.root = nn
+		ix.size--
+	}
+	return ok
+}
+
+func (ix *index) removeRec(n artNode, key uint64, depth int) (artNode, bool) {
+	h := childHeader(n)
+	if h.prefixMatch(key, depth) < h.prefixLen {
+		return n, false
+	}
+	depth += h.prefixLen
+	c := keyAt(key, depth)
+	child := findChild(n, c)
+	if child == nil {
+		return n, false
+	}
+	if e, ok := child.(*entry); ok {
+		if e.key != key {
+			return n, false
+		}
+		return removeChild(n, c), true
+	}
+	nn, ok := ix.removeRec(child, key, depth+1)
+	if !ok {
+		return n, false
+	}
+	if nn != child {
+		replaceChild(n, c, nn)
+	}
+	return n, true
+}
+
+// floor returns the leaf mapped to the greatest key <= k, or nil.
+func (ix *index) floor(k int64) *leaf {
+	key := keyBytes(k)
+	if ix.root == nil {
+		return nil
+	}
+	return floorRec(ix.root, key, 0)
+}
+
+func floorRec(n artNode, key uint64, depth int) *leaf {
+	if e, ok := n.(*entry); ok {
+		if e.key <= key {
+			return e.ref
+		}
+		return nil
+	}
+	h := childHeader(n)
+	for i := 0; i < h.prefixLen; i++ {
+		kb := keyAt(key, depth+i)
+		if h.prefix[i] < kb {
+			return maxOf(n) // whole subtree below key
+		}
+		if h.prefix[i] > kb {
+			return nil // whole subtree above key
+		}
+	}
+	depth += h.prefixLen
+	c := keyAt(key, depth)
+	if child := findChild(n, c); child != nil {
+		if r := floorRec(child, key, depth+1); r != nil {
+			return r
+		}
+	}
+	// Greatest child strictly below c.
+	if child := maxChildBelow(n, c); child != nil {
+		return maxOf(child)
+	}
+	return nil
+}
+
+// maxChildBelow returns the child with the greatest key byte < c.
+func maxChildBelow(n artNode, c byte) artNode {
+	switch nd := n.(type) {
+	case *node4:
+		for i := nd.n - 1; i >= 0; i-- {
+			if nd.keys[i] < c {
+				return nd.children[i]
+			}
+		}
+	case *node16:
+		for i := nd.n - 1; i >= 0; i-- {
+			if nd.keys[i] < c {
+				return nd.children[i]
+			}
+		}
+	case *node48:
+		for b := int(c) - 1; b >= 0; b-- {
+			if s := nd.index[b]; s >= 0 {
+				return nd.children[s]
+			}
+		}
+	case *node256:
+		for b := int(c) - 1; b >= 0; b-- {
+			if nd.children[b] != nil {
+				return nd.children[b]
+			}
+		}
+	}
+	return nil
+}
+
+// maxOf returns the leaf under the greatest key of the subtree.
+func maxOf(n artNode) *leaf {
+	for {
+		if e, ok := n.(*entry); ok {
+			return e.ref
+		}
+		switch nd := n.(type) {
+		case *node4:
+			n = nd.children[nd.n-1]
+		case *node16:
+			n = nd.children[nd.n-1]
+		case *node48:
+			for b := 255; b >= 0; b-- {
+				if s := nd.index[b]; s >= 0 {
+					n = nd.children[s]
+					break
+				}
+			}
+		case *node256:
+			for b := 255; b >= 0; b-- {
+				if nd.children[b] != nil {
+					n = nd.children[b]
+					break
+				}
+			}
+		}
+	}
+}
+
+// minOf returns the leaf under the smallest key of the subtree.
+func minOf(n artNode) *leaf {
+	for {
+		if e, ok := n.(*entry); ok {
+			return e.ref
+		}
+		switch nd := n.(type) {
+		case *node4:
+			n = nd.children[0]
+		case *node16:
+			n = nd.children[0]
+		case *node48:
+			for b := 0; b < 256; b++ {
+				if s := nd.index[b]; s >= 0 {
+					n = nd.children[s]
+					break
+				}
+			}
+		case *node256:
+			for b := 0; b < 256; b++ {
+				if nd.children[b] != nil {
+					n = nd.children[b]
+					break
+				}
+			}
+		}
+	}
+}
+
+// footprint estimates the radix tree's memory.
+func (ix *index) footprint() int64 {
+	var f int64
+	var walk func(artNode)
+	walk = func(n artNode) {
+		switch nd := n.(type) {
+		case *entry:
+			f += 24
+		case *node4:
+			f += 64
+			for i := 0; i < nd.n; i++ {
+				walk(nd.children[i])
+			}
+		case *node16:
+			f += 176
+			for i := 0; i < nd.n; i++ {
+				walk(nd.children[i])
+			}
+		case *node48:
+			f += 672
+			for i := 0; i < 48; i++ {
+				if nd.children[i] != nil {
+					walk(nd.children[i])
+				}
+			}
+		case *node256:
+			f += 2064
+			for b := 0; b < 256; b++ {
+				if nd.children[b] != nil {
+					walk(nd.children[b])
+				}
+			}
+		}
+	}
+	if ix.root != nil {
+		walk(ix.root)
+	}
+	return f
+}

@@ -1,0 +1,364 @@
+package art
+
+import (
+	"sort"
+	"testing"
+
+	"rma/internal/workload"
+)
+
+// --- radix index -------------------------------------------------------------
+
+// floorOracle computes the expected floor over a sorted key list.
+func floorOracle(keys []int64, k int64) (int64, bool) {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] > k })
+	if i == 0 {
+		return 0, false
+	}
+	return keys[i-1], true
+}
+
+func TestIndexInsertFloorAgainstOracle(t *testing.T) {
+	var ix index
+	refs := map[int64]*leaf{}
+	var keys []int64
+	g := workload.NewUniform(1, 1<<48)
+	for i := 0; i < 5000; i++ {
+		k := g.Next() - (1 << 47) // include negatives
+		if _, dup := refs[k]; dup {
+			continue
+		}
+		l := &leaf{keys: []int64{k}}
+		refs[k] = l
+		keys = append(keys, k)
+		ix.insert(k, l)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if ix.size != len(keys) {
+		t.Fatalf("index size %d, want %d", ix.size, len(keys))
+	}
+	probe := workload.NewUniform(2, 1<<48)
+	for i := 0; i < 3000; i++ {
+		k := probe.Next() - (1 << 47)
+		want, ok := floorOracle(keys, k)
+		got := ix.floor(k)
+		if !ok {
+			if got != nil {
+				t.Fatalf("floor(%d) = %v, want nil", k, got.keys)
+			}
+			continue
+		}
+		if got == nil || got != refs[want] {
+			t.Fatalf("floor(%d) wrong: want leaf of %d", k, want)
+		}
+	}
+	// Exact hits must floor to themselves.
+	for _, k := range keys[:200] {
+		if got := ix.floor(k); got != refs[k] {
+			t.Fatalf("floor(%d) must be its own leaf", k)
+		}
+	}
+}
+
+func TestIndexRemove(t *testing.T) {
+	var ix index
+	var keys []int64
+	refs := map[int64]*leaf{}
+	for i := 0; i < 2000; i++ {
+		k := int64(i * 7)
+		l := &leaf{keys: []int64{k}}
+		refs[k] = l
+		keys = append(keys, k)
+		ix.insert(k, l)
+	}
+	// Remove every other key; floors must fall back to survivors.
+	for i := 0; i < len(keys); i += 2 {
+		if !ix.remove(keys[i]) {
+			t.Fatalf("remove(%d) missed", keys[i])
+		}
+	}
+	if ix.remove(keys[0]) {
+		t.Fatal("double remove succeeded")
+	}
+	for i := 1; i < len(keys); i += 2 {
+		if got := ix.floor(keys[i]); got != refs[keys[i]] {
+			t.Fatalf("floor(%d) lost after removals", keys[i])
+		}
+	}
+	// floor of a removed key falls to the previous surviving key.
+	if got := ix.floor(keys[2]); got != refs[keys[1]] {
+		t.Fatalf("floor of removed key wrong")
+	}
+	for i := 1; i < len(keys); i += 2 {
+		if !ix.remove(keys[i]) {
+			t.Fatalf("remove(%d) missed", keys[i])
+		}
+	}
+	if ix.size != 0 || ix.root != nil {
+		t.Fatalf("index not empty: size %d", ix.size)
+	}
+}
+
+func TestIndexNodeGrowthChain(t *testing.T) {
+	// Keys differing in the last byte force one node to grow 4->16->48->256.
+	var ix index
+	refs := map[int64]*leaf{}
+	for b := 0; b < 256; b++ {
+		k := int64(b)
+		l := &leaf{keys: []int64{k}}
+		refs[k] = l
+		ix.insert(k, l)
+	}
+	for b := 0; b < 256; b++ {
+		if got := ix.floor(int64(b)); got != refs[int64(b)] {
+			t.Fatalf("floor(%d) wrong after growth", b)
+		}
+	}
+	// And shrink back down through removals.
+	for b := 0; b < 250; b++ {
+		if !ix.remove(int64(b)) {
+			t.Fatalf("remove(%d) missed", b)
+		}
+	}
+	for b := 250; b < 256; b++ {
+		if got := ix.floor(int64(b)); got != refs[int64(b)] {
+			t.Fatalf("floor(%d) wrong after shrink", b)
+		}
+	}
+}
+
+func TestIndexPathCompressionSplit(t *testing.T) {
+	// Two keys sharing a long prefix create a deep compressed path; a
+	// third key splitting the prefix must restructure correctly.
+	var ix index
+	a := &leaf{keys: []int64{0x1111111111110000}}
+	b := &leaf{keys: []int64{0x1111111111110001}}
+	c := &leaf{keys: []int64{0x1111000000000000}}
+	ix.insert(a.keys[0], a)
+	ix.insert(b.keys[0], b)
+	ix.insert(c.keys[0], c)
+	for _, l := range []*leaf{a, b, c} {
+		if ix.floor(l.keys[0]) != l {
+			t.Fatalf("floor(%x) wrong after path split", l.keys[0])
+		}
+	}
+	if ix.floor(0x1111111111110000-1) != c {
+		t.Fatal("floor between split paths wrong")
+	}
+}
+
+func TestIndexNegativeKeysOrder(t *testing.T) {
+	var ix index
+	neg := &leaf{keys: []int64{-100}}
+	pos := &leaf{keys: []int64{100}}
+	ix.insert(-100, neg)
+	ix.insert(100, pos)
+	if ix.floor(-50) != neg || ix.floor(50) != neg || ix.floor(200) != pos {
+		t.Fatal("sign-flip transform broke ordering")
+	}
+	if ix.floor(-200) != nil {
+		t.Fatal("floor below all keys must be nil")
+	}
+}
+
+// --- ART-indexed tree ----------------------------------------------------------
+
+func TestTreeInsertFind(t *testing.T) {
+	for _, b := range []int{4, 8, 128} {
+		tr := New(b)
+		keys := []int64{10, 5, 30, 20, 25, 1, 100, 50, 7, 3}
+		for _, k := range keys {
+			tr.Insert(k, k*2)
+		}
+		for _, k := range keys {
+			v, ok := tr.Find(k)
+			if !ok || v != k*2 {
+				t.Fatalf("B=%d: Find(%d) = (%d,%v)", b, k, v, ok)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTreeDifferentialAgainstOracle(t *testing.T) {
+	tr := New(8)
+	var model []int64
+	rng := workload.NewRNG(17)
+	for op := 0; op < 20000; op++ {
+		k := int64(rng.Uint64n(500))
+		if rng.Uint64n(3) == 0 && len(model) > 0 {
+			got := tr.Delete(k)
+			i := sort.Search(len(model), func(i int) bool { return model[i] >= k })
+			want := i < len(model) && model[i] == k
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+			if want {
+				model = append(model[:i], model[i+1:]...)
+			}
+		} else {
+			tr.Insert(k, k)
+			i := sort.Search(len(model), func(i int) bool { return model[i] > k })
+			model = append(model, 0)
+			copy(model[i+1:], model[i:])
+			model[i] = k
+		}
+		if tr.Size() != len(model) {
+			t.Fatalf("op %d: size %d want %d", op, tr.Size(), len(model))
+		}
+		if op%2500 == 2499 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			var got []int64
+			tr.Scan(func(k, _ int64) bool { got = append(got, k); return true })
+			for i := range got {
+				if got[i] != model[i] {
+					t.Fatalf("op %d: content mismatch at %d", op, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeDuplicateOverflowChains(t *testing.T) {
+	tr := New(4)
+	// Many duplicates force unindexed overflow leaves.
+	for i := 0; i < 200; i++ {
+		tr.Insert(7, int64(i))
+	}
+	tr.Insert(3, 0)
+	tr.Insert(9, 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cnt, _ := tr.Sum(7, 7)
+	if cnt != 200 {
+		t.Fatalf("dup count %d", cnt)
+	}
+	for i := 0; i < 200; i++ {
+		if !tr.Delete(7) {
+			t.Fatalf("Delete #%d missed", i)
+		}
+	}
+	if tr.Delete(7) {
+		t.Fatal("deleted phantom duplicate")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Find(3); !ok {
+		t.Fatal("lost key 3")
+	}
+	if _, ok := tr.Find(9); !ok {
+		t.Fatal("lost key 9")
+	}
+}
+
+func TestTreeSequentialInsertScan(t *testing.T) {
+	tr := New(16)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int64(i))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cnt, sum := tr.SumAll()
+	if cnt != n || sum != int64(n)*(n-1)/2 {
+		t.Fatalf("SumAll = (%d,%d)", cnt, sum)
+	}
+	cnt, _ = tr.Sum(100, 199)
+	if cnt != 100 {
+		t.Fatalf("range count %d", cnt)
+	}
+}
+
+func TestTreeBulkLoad(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 1000, 9999} {
+		keys := make([]int64, n)
+		vals := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(i * 2)
+			vals[i] = int64(i)
+		}
+		tr := New(128)
+		tr.BulkLoad(keys, vals)
+		if tr.Size() != n {
+			t.Fatalf("n=%d: size %d", n, tr.Size())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Updates after bulk load.
+		for i := 0; i < 200; i++ {
+			tr.Insert(int64(i*2+1), 0)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d post-insert: %v", n, err)
+		}
+	}
+}
+
+func TestTreeBulkLoadWithDuplicates(t *testing.T) {
+	keys := make([]int64, 500)
+	vals := make([]int64, 500)
+	for i := range keys {
+		keys[i] = int64(i / 50) // runs of 50 duplicates
+	}
+	tr := New(8)
+	tr.BulkLoad(keys, vals)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cnt, _ := tr.Sum(3, 3)
+	if cnt != 50 {
+		t.Fatalf("dup count %d", cnt)
+	}
+}
+
+func TestTreeMinMaxFootprint(t *testing.T) {
+	tr := New(8)
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	for _, k := range []int64{50, 10, 90} {
+		tr.Insert(k, 0)
+	}
+	mn, _ := tr.Min()
+	mx, _ := tr.Max()
+	if mn != 10 || mx != 90 {
+		t.Fatalf("Min/Max = %d/%d", mn, mx)
+	}
+	before := tr.FootprintBytes()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(int64(i), 0)
+	}
+	if tr.FootprintBytes() <= before {
+		t.Fatal("footprint did not grow")
+	}
+}
+
+func TestTreeDeleteToEmpty(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(int64(i), 0)
+	}
+	for i := 0; i < 1000; i++ {
+		if !tr.Delete(int64(i)) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert(5, 50)
+	if v, ok := tr.Find(5); !ok || v != 50 {
+		t.Fatal("tree unusable after emptying")
+	}
+}

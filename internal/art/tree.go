@@ -1,0 +1,510 @@
+package art
+
+import "fmt"
+
+// leaf is a tree leaf: parallel sorted key/value arrays plus the scan
+// chain — the same layout as the (a,b)-tree's leaves (Fig 3), since the
+// paper's "ART" competitor differs only in how leaves are indexed.
+type leaf struct {
+	keys []int64
+	vals []int64
+	next *leaf
+	prev *leaf
+}
+
+// Tree is an (a,b)-tree with ART-indexed leaves: the strongest competitor
+// of the paper's evaluation (Section V).
+type Tree struct {
+	ix      index
+	leafCap int
+	minLeaf int
+	head    *leaf
+	n       int
+
+	slabK, slabV []int64
+	slabLeaves   []leaf
+	slabBytes    int64
+}
+
+// New returns an empty tree with the given leaf capacity (>= 2).
+func New(leafCap int) *Tree {
+	if leafCap < 2 {
+		panic(fmt.Sprintf("art: leaf capacity %d < 2", leafCap))
+	}
+	return &Tree{leafCap: leafCap, minLeaf: leafCap / 2}
+}
+
+// LeafCap returns the configured leaf capacity B.
+func (t *Tree) LeafCap() int { return t.leafCap }
+
+// Size returns the number of stored elements.
+func (t *Tree) Size() int { return t.n }
+
+const slabLeafCount = 128
+
+func (t *Tree) newLeaf() *leaf {
+	if len(t.slabLeaves) == 0 {
+		t.slabLeaves = make([]leaf, slabLeafCount)
+		t.slabK = make([]int64, slabLeafCount*t.leafCap)
+		t.slabV = make([]int64, slabLeafCount*t.leafCap)
+		t.slabBytes += int64(slabLeafCount)*int64(t.leafCap)*16 + slabLeafCount*64
+	}
+	l := &t.slabLeaves[0]
+	t.slabLeaves = t.slabLeaves[1:]
+	l.keys = t.slabK[:0:t.leafCap]
+	l.vals = t.slabV[:0:t.leafCap]
+	t.slabK = t.slabK[t.leafCap:]
+	t.slabV = t.slabV[t.leafCap:]
+	return l
+}
+
+// FootprintBytes estimates the tree's memory: leaf slabs + radix nodes.
+func (t *Tree) FootprintBytes() int64 { return t.slabBytes + t.ix.footprint() }
+
+func lowerBound(a []int64, key int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func upperBound(a []int64, key int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// targetLeaf returns a chain leaf able to hold key: the floor leaf from
+// the radix index, advanced through duplicate "overflow" leaves (leaves
+// sharing their predecessor's minimum are not indexed) only while key is
+// strictly beyond the current leaf's content. Stopping as soon as
+// key <= max(leaf) keeps hot-duplicate insertion O(1) instead of walking
+// the whole overflow chain.
+func (t *Tree) targetLeaf(key int64) *leaf {
+	l := t.ix.floor(key)
+	if l == nil {
+		l = t.head
+	}
+	if l == nil {
+		return nil
+	}
+	for len(l.keys) > 0 && key > l.keys[len(l.keys)-1] &&
+		l.next != nil && len(l.next.keys) > 0 && l.next.keys[0] <= key {
+		l = l.next
+	}
+	return l
+}
+
+// indexed reports whether leaf l owns an index entry: it is the first
+// leaf of the chain with its minimum.
+func (l *leaf) indexedUnder(min int64) bool {
+	return l.prev == nil || len(l.prev.keys) == 0 || l.prev.keys[0] != min
+}
+
+// scanStart returns the leaf where a scan from lo must begin: the last
+// leaf whose minimum is strictly below lo (duplicates of lo may trail a
+// preceding leaf), or the head.
+func (t *Tree) scanStart(lo int64) *leaf {
+	if lo == minInt64 {
+		return t.head
+	}
+	if l := t.ix.floor(lo - 1); l != nil {
+		return l
+	}
+	return t.head
+}
+
+// Insert adds the key/value pair.
+func (t *Tree) Insert(key, val int64) {
+	t.n++
+	if t.head == nil {
+		l := t.newLeaf()
+		l.keys = append(l.keys, key)
+		l.vals = append(l.vals, val)
+		t.head = l
+		t.ix.insert(key, l)
+		return
+	}
+	l := t.targetLeaf(key)
+	if len(l.keys) == t.leafCap {
+		r := t.splitLeaf(l)
+		if key >= r.keys[0] {
+			l = r
+		}
+	}
+	oldMin := l.keys[0]
+	i := upperBound(l.keys, key)
+	l.keys = append(l.keys, 0)
+	l.vals = append(l.vals, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	copy(l.vals[i+1:], l.vals[i:])
+	l.keys[i] = key
+	l.vals[i] = val
+	if i == 0 {
+		t.reindex(l, oldMin)
+	}
+}
+
+// splitLeaf halves l into a new right leaf, preferring a split point at
+// a key boundary so the new leaf gets a distinct minimum; when the whole
+// leaf is one duplicated key the right leaf stays unindexed (an overflow
+// leaf reached through the chain).
+func (t *Tree) splitLeaf(l *leaf) *leaf {
+	mid := len(l.keys) / 2
+	// Nudge the split point to the nearest key boundary.
+	if l.keys[mid] == l.keys[mid-1] {
+		up := mid
+		for up < len(l.keys) && l.keys[up] == l.keys[mid-1] {
+			up++
+		}
+		down := mid
+		for down > 1 && l.keys[down-1] == l.keys[down-2] {
+			down--
+		}
+		switch {
+		case up < len(l.keys) && (down <= 1 || up-mid <= mid-down):
+			mid = up
+		case down > 1:
+			mid = down
+		}
+	}
+	r := t.newLeaf()
+	r.keys = append(r.keys, l.keys[mid:]...)
+	r.vals = append(r.vals, l.vals[mid:]...)
+	l.keys = l.keys[:mid]
+	l.vals = l.vals[:mid]
+	r.next = l.next
+	if r.next != nil {
+		r.next.prev = r
+	}
+	r.prev = l
+	l.next = r
+	if r.keys[0] != l.keys[0] {
+		t.ix.insert(r.keys[0], r)
+	}
+	return r
+}
+
+// reindex records that l's minimum changed from oldMin to its current
+// first key, preserving the one-entry-per-distinct-minimum invariant.
+func (t *Tree) reindex(l *leaf, oldMin int64) {
+	newMin := l.keys[0]
+	if newMin == oldMin {
+		return
+	}
+	if l.indexedUnder(oldMin) {
+		// If a duplicate-overflow successor still starts with oldMin, it
+		// inherits the entry; otherwise the entry goes away.
+		if l.next != nil && len(l.next.keys) > 0 && l.next.keys[0] == oldMin {
+			t.ix.insert(oldMin, l.next)
+		} else {
+			t.ix.remove(oldMin)
+		}
+	}
+	if l.indexedUnder(newMin) {
+		t.ix.insert(newMin, l)
+	}
+}
+
+// Find returns a value stored under key.
+func (t *Tree) Find(key int64) (int64, bool) {
+	if t.head == nil {
+		return 0, false
+	}
+	l := t.targetLeaf(key)
+	i := lowerBound(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		return l.vals[i], true
+	}
+	return 0, false
+}
+
+// Delete removes one occurrence of key, merging or borrowing when the
+// leaf underflows.
+func (t *Tree) Delete(key int64) bool {
+	if t.head == nil {
+		return false
+	}
+	l := t.targetLeaf(key)
+	i := lowerBound(l.keys, key)
+	if i >= len(l.keys) || l.keys[i] != key {
+		return false
+	}
+	oldMin := l.keys[0]
+	copy(l.keys[i:], l.keys[i+1:])
+	copy(l.vals[i:], l.vals[i+1:])
+	l.keys = l.keys[:len(l.keys)-1]
+	l.vals = l.vals[:len(l.vals)-1]
+	t.n--
+
+	if len(l.keys) == 0 {
+		t.unlink(l, oldMin)
+		return true
+	}
+	if i == 0 {
+		t.reindex(l, oldMin)
+	}
+	if len(l.keys) < t.minLeaf {
+		t.fixUnderflow(l)
+	}
+	return true
+}
+
+// unlink removes a drained leaf from the chain and fixes the index: the
+// entry disappears or passes to a duplicate-overflow successor.
+func (t *Tree) unlink(l *leaf, oldMin int64) {
+	if l.indexedUnder(oldMin) {
+		if l.next != nil && len(l.next.keys) > 0 && l.next.keys[0] == oldMin {
+			t.ix.insert(oldMin, l.next)
+		} else {
+			t.ix.remove(oldMin)
+		}
+	}
+	if l.prev != nil {
+		l.prev.next = l.next
+	} else {
+		t.head = l.next
+	}
+	if l.next != nil {
+		l.next.prev = l.prev
+	}
+}
+
+// fixUnderflow borrows from or merges with the right neighbour (or left
+// at the chain end), keeping index entries current.
+func (t *Tree) fixUnderflow(l *leaf) {
+	r := l.next
+	if r != nil {
+		if len(l.keys)+len(r.keys) <= t.leafCap {
+			// Merge r into l.
+			rMin := r.keys[0]
+			l.keys = append(l.keys, r.keys...)
+			l.vals = append(l.vals, r.vals...)
+			t.unlink(r, rMin)
+			return
+		}
+		// Borrow the right neighbour's first element.
+		rMin := r.keys[0]
+		l.keys = append(l.keys, r.keys[0])
+		l.vals = append(l.vals, r.vals[0])
+		copy(r.keys, r.keys[1:])
+		copy(r.vals, r.vals[1:])
+		r.keys = r.keys[:len(r.keys)-1]
+		r.vals = r.vals[:len(r.vals)-1]
+		t.reindex(r, rMin)
+		return
+	}
+	p := l.prev
+	if p == nil {
+		return // single leaf: no minimum fill requirement
+	}
+	if len(p.keys)+len(l.keys) <= t.leafCap {
+		lMin := l.keys[0]
+		p.keys = append(p.keys, l.keys...)
+		p.vals = append(p.vals, l.vals...)
+		t.unlink(l, lMin)
+		return
+	}
+	// Borrow the left neighbour's last element.
+	oldMin := l.keys[0]
+	k := p.keys[len(p.keys)-1]
+	v := p.vals[len(p.vals)-1]
+	p.keys = p.keys[:len(p.keys)-1]
+	p.vals = p.vals[:len(p.vals)-1]
+	l.keys = append(l.keys, 0)
+	l.vals = append(l.vals, 0)
+	copy(l.keys[1:], l.keys)
+	copy(l.vals[1:], l.vals)
+	l.keys[0], l.vals[0] = k, v
+	t.reindex(l, oldMin)
+}
+
+// ScanRange calls yield for every element with lo <= key <= hi in order.
+func (t *Tree) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	if t.head == nil || lo > hi {
+		return
+	}
+	l := t.scanStart(lo)
+	i := lowerBound(l.keys, lo)
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			k := l.keys[i]
+			if k > hi {
+				return
+			}
+			if !yield(k, l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+		// Duplicate-overflow predecessors may still trail keys below lo.
+		if l != nil && len(l.keys) > 0 && l.keys[0] < lo {
+			i = lowerBound(l.keys, lo)
+		}
+	}
+}
+
+// Scan iterates every element.
+func (t *Tree) Scan(yield func(key, val int64) bool) {
+	t.ScanRange(minInt64, maxInt64, yield)
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// Sum aggregates elements in [lo, hi].
+func (t *Tree) Sum(lo, hi int64) (count int, sum int64) {
+	if t.head == nil || lo > hi {
+		return 0, 0
+	}
+	l := t.scanStart(lo)
+	i := lowerBound(l.keys, lo)
+	for l != nil {
+		start := i
+		end := len(l.keys)
+		if end > 0 && l.keys[end-1] > hi {
+			end = upperBound(l.keys, hi)
+		}
+		for ; i < end; i++ {
+			sum += l.vals[i]
+		}
+		count += end - start
+		if end < len(l.keys) {
+			return count, sum
+		}
+		l = l.next
+		i = 0
+		// Duplicate-overflow predecessors may still trail keys below lo.
+		if l != nil && len(l.keys) > 0 && l.keys[0] < lo {
+			i = lowerBound(l.keys, lo)
+		}
+	}
+	return count, sum
+}
+
+// SumAll aggregates the whole tree.
+func (t *Tree) SumAll() (count int, sum int64) { return t.Sum(minInt64, maxInt64) }
+
+// Min returns the smallest key.
+func (t *Tree) Min() (int64, bool) {
+	if t.head == nil || len(t.head.keys) == 0 {
+		return 0, false
+	}
+	return t.head.keys[0], true
+}
+
+// Max returns the largest key.
+func (t *Tree) Max() (int64, bool) {
+	if t.ix.root == nil {
+		if t.head == nil || len(t.head.keys) == 0 {
+			return 0, false
+		}
+		return t.head.keys[len(t.head.keys)-1], true
+	}
+	l := maxOf(t.ix.root)
+	return l.keys[len(l.keys)-1], true
+}
+
+// BulkLoad builds the tree from sorted key/value slices, replacing its
+// content.
+func (t *Tree) BulkLoad(keys, vals []int64) {
+	if len(keys) != len(vals) {
+		panic("art: BulkLoad length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			panic("art: BulkLoad input not sorted")
+		}
+	}
+	t.ix = index{}
+	t.head = nil
+	t.n = len(keys)
+	if len(keys) == 0 {
+		return
+	}
+	var prev *leaf
+	for pos := 0; pos < len(keys); pos += t.leafCap {
+		end := pos + t.leafCap
+		if end > len(keys) {
+			end = len(keys)
+		}
+		l := t.newLeaf()
+		l.keys = append(l.keys, keys[pos:end]...)
+		l.vals = append(l.vals, vals[pos:end]...)
+		if prev != nil {
+			prev.next = l
+			l.prev = prev
+		} else {
+			t.head = l
+		}
+		// Index only the first leaf of each distinct-minimum chain.
+		if l.indexedUnder(l.keys[0]) {
+			t.ix.insert(l.keys[0], l)
+		}
+		prev = l
+	}
+}
+
+// Validate checks structural invariants (tests only).
+func (t *Tree) Validate() error {
+	count := 0
+	prevKey := int64(minInt64)
+	indexedLeaves := 0
+	for l := t.head; l != nil; l = l.next {
+		if len(l.keys) == 0 {
+			return fmt.Errorf("art: empty leaf in chain")
+		}
+		if len(l.keys) > t.leafCap {
+			return fmt.Errorf("art: leaf overflow")
+		}
+		for _, k := range l.keys {
+			if k < prevKey {
+				return fmt.Errorf("art: chain out of order at %d", k)
+			}
+			prevKey = k
+			count++
+		}
+		if l.next != nil && l.next.prev != l {
+			return fmt.Errorf("art: broken chain back-pointer")
+		}
+		if l.indexedUnder(l.keys[0]) {
+			indexedLeaves++
+			// The index must route this minimum to exactly this leaf.
+			if got := t.ix.floor(l.keys[0]); got != l {
+				return fmt.Errorf("art: index misroutes min %d", l.keys[0])
+			}
+		}
+	}
+	if count != t.n {
+		return fmt.Errorf("art: chain has %d elements, size says %d", count, t.n)
+	}
+	if t.ix.size != indexedLeaves {
+		return fmt.Errorf("art: index has %d entries, chain has %d indexed leaves", t.ix.size, indexedLeaves)
+	}
+	// Floor must route every stored key to the leaf that holds it.
+	for l := t.head; l != nil; l = l.next {
+		for _, k := range l.keys {
+			tgt := t.targetLeaf(k)
+			if _, ok := t.Find(k); !ok {
+				return fmt.Errorf("art: stored key %d not findable (routed to %p)", k, tgt)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package art
+
+import (
+	"testing"
+	"time"
+
+	"rma/internal/workload"
+)
+
+func TestZipfInsertThroughputRegression(t *testing.T) {
+	t.Parallel()
+	tr := New(128)
+	z := workload.NewZipf(1, 1.5, 1<<27, true)
+	const n = 200000
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		tr.Insert(z.Next(), 0)
+	}
+	d := time.Since(t0)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Before the O(1) duplicate fast path this took minutes; require a
+	// generous but regression-catching bound.
+	if d > 5*time.Second {
+		t.Fatalf("200k zipf-1.5 inserts took %v: duplicate chain walk regressed", d)
+	}
+}

@@ -1,0 +1,201 @@
+// Package calibrator implements the calibrator tree of a packed memory
+// array: the implicit binary tree over the segments whose per-level
+// density thresholds decide when and how widely to rebalance (Section II
+// of the paper, Fig 2a).
+//
+// The tree is never materialized; levels and windows are pure arithmetic
+// over segment indices, which is all the rebalancing procedures need.
+package calibrator
+
+import (
+	"fmt"
+	"math"
+)
+
+// ResizeStrategy selects how the array capacity changes on resize
+// (Section II, "Density thresholds").
+type ResizeStrategy int
+
+const (
+	// ResizeDouble doubles (halves) the capacity: the update-oriented
+	// approach, which requires 2*RhoH <= TauH for consistency.
+	ResizeDouble ResizeStrategy = iota
+	// ResizeProportional sets the capacity to 2N/(TauH+RhoH): the
+	// scan-oriented approach, which keeps the array close to its target
+	// density after every resize.
+	ResizeProportional
+)
+
+// Thresholds holds the four extreme density thresholds of the calibrator
+// tree; intermediate levels are interpolated arithmetically. The required
+// order is 0 <= Rho1 < RhoH <= TauH < Tau1 <= 1: Rho1/Tau1 bound the
+// segments (leaves), RhoH/TauH bound the root.
+type Thresholds struct {
+	Rho1, RhoH, TauH, Tau1 float64
+	Strategy               ResizeStrategy
+	// ForceShrinkFill, when > 0, forces a resize whenever a deletion
+	// leaves the global fill factor below this value. The paper's
+	// scan-oriented configuration sets it to 0.5 so the minimum potential
+	// fill factor stays at 50% even though Rho1 = 0.
+	ForceShrinkFill float64
+}
+
+// UpdateOriented returns the paper's update-oriented thresholds (UT):
+// rho1=0.08, rhoH=0.3, tauH=0.75, tau1=1, doubling resizes. These mimic
+// the configuration of prior PMA implementations and are the defaults of
+// the evaluation (Section V, "Density thresholds").
+func UpdateOriented() Thresholds {
+	return Thresholds{Rho1: 0.08, RhoH: 0.3, TauH: 0.75, Tau1: 1.0, Strategy: ResizeDouble}
+}
+
+// ScanOriented returns the paper's scan-oriented thresholds (ST):
+// rho1=0, rhoH=tauH=0.75, tau1=1, proportional resizes, plus the forced
+// shrink at fill < 50% after deletions (Section III, "Scan-oriented
+// thresholds").
+func ScanOriented() Thresholds {
+	return Thresholds{Rho1: 0, RhoH: 0.75, TauH: 0.75, Tau1: 1.0,
+		Strategy: ResizeProportional, ForceShrinkFill: 0.5}
+}
+
+// Baseline returns thresholds mimicking the traditional-PMA literature
+// (rho1~0.1, rhoH~0.3, tauH~0.75, tau1=0.92), used by the TPMA baseline
+// configurations of Fig 1a.
+func Baseline() Thresholds {
+	return Thresholds{Rho1: 0.1, RhoH: 0.3, TauH: 0.75, Tau1: 0.92, Strategy: ResizeDouble}
+}
+
+// Validate checks the ordering constraints on the thresholds.
+func (t Thresholds) Validate() error {
+	if !(0 <= t.Rho1 && t.Rho1 < t.RhoH && t.RhoH <= t.TauH && t.TauH < t.Tau1 && t.Tau1 <= 1) {
+		return fmt.Errorf("calibrator: thresholds must satisfy 0 <= rho1 < rhoH <= tauH < tau1 <= 1, got rho1=%v rhoH=%v tauH=%v tau1=%v",
+			t.Rho1, t.RhoH, t.TauH, t.Tau1)
+	}
+	if t.Strategy == ResizeDouble && 2*t.RhoH > t.TauH {
+		return fmt.Errorf("calibrator: doubling resizes require 2*rhoH <= tauH, got rhoH=%v tauH=%v", t.RhoH, t.TauH)
+	}
+	if t.ForceShrinkFill < 0 || t.ForceShrinkFill > 1 {
+		return fmt.Errorf("calibrator: ForceShrinkFill out of [0,1]: %v", t.ForceShrinkFill)
+	}
+	return nil
+}
+
+// Tree is the implicit calibrator tree over numSegs segments. Windows are
+// power-of-two segment ranges, clipped at the array end when numSegs is
+// not a power of two (arbitrary counts are needed by the proportional
+// resize strategy, whose capacities are not powers of two). Level 1 is
+// the segment level; level Height() is the root, covering the whole
+// array.
+type Tree struct {
+	numSegs int
+	height  int
+	th      Thresholds
+}
+
+// NewTree builds the implicit tree geometry for numSegs segments.
+func NewTree(numSegs int, th Thresholds) Tree {
+	if numSegs <= 0 {
+		panic(fmt.Sprintf("calibrator: numSegs must be positive, got %d", numSegs))
+	}
+	h := 1
+	for s := numSegs - 1; s > 0; s >>= 1 {
+		h++
+	}
+	if numSegs == 1 {
+		h = 1
+	}
+	return Tree{numSegs: numSegs, height: h, th: th}
+}
+
+// NumSegs returns the number of segments (leaves).
+func (c Tree) NumSegs() int { return c.numSegs }
+
+// Height returns the number of levels; level l in [1, Height()].
+func (c Tree) Height() int { return c.height }
+
+// Thresholds returns the configured extreme thresholds.
+func (c Tree) Thresholds() Thresholds { return c.th }
+
+// At returns the (rho, tau) density thresholds of level l, interpolated
+// arithmetically between the segment extremes (rho1, tau1) at l=1 and the
+// root extremes (rhoH, tauH) at l=Height() (Section II).
+func (c Tree) At(l int) (rho, tau float64) {
+	if l < 1 || l > c.height {
+		panic(fmt.Sprintf("calibrator: level %d out of [1,%d]", l, c.height))
+	}
+	if c.height == 1 {
+		// A single segment is simultaneously leaf and root; use the root
+		// bounds, which are the tighter pair.
+		return c.th.RhoH, c.th.TauH
+	}
+	frac := float64(l-1) / float64(c.height-1)
+	rho = c.th.Rho1 + (c.th.RhoH-c.th.Rho1)*frac
+	tau = c.th.Tau1 - (c.th.Tau1-c.th.TauH)*frac
+	return
+}
+
+// Window returns the half-open segment interval [lo, hi) of the level-l
+// window containing segment seg, clipped at the array end. At level 1
+// the window is the segment itself; at level Height() it covers the
+// whole array.
+func (c Tree) Window(seg, l int) (lo, hi int) {
+	if seg < 0 || seg >= c.numSegs {
+		panic(fmt.Sprintf("calibrator: segment %d out of [0,%d)", seg, c.numSegs))
+	}
+	w := 1 << (l - 1) // window size in segments at level l
+	lo = seg &^ (w - 1)
+	hi = lo + w
+	if hi > c.numSegs {
+		hi = c.numSegs
+	}
+	return lo, hi
+}
+
+// GrowCapacity returns the new capacity in slots after an expansion,
+// given the current capacity, the number of stored elements (including
+// the pending insertion), and the capacity granule (slot counts must be
+// multiples of granule, the storage page size). Doubling doubles;
+// proportional sizing lands on ceil(2N/(tauH+rhoH)) rounded up to the
+// granule, the paper's second strategy.
+func (c Tree) GrowCapacity(capSlots, n, granule int) int {
+	switch c.th.Strategy {
+	case ResizeProportional:
+		want := roundUp(int(math.Ceil(2*float64(n)/(c.th.TauH+c.th.RhoH))), granule)
+		if want <= capSlots {
+			want = capSlots + granule // an expansion must expand
+		}
+		return want
+	default:
+		return capSlots * 2
+	}
+}
+
+// ShrinkCapacity returns the new capacity in slots after a contraction,
+// or the current capacity if no shrink should happen. minSlots bounds
+// the result from below.
+func (c Tree) ShrinkCapacity(capSlots, n, granule, minSlots int) int {
+	switch c.th.Strategy {
+	case ResizeProportional:
+		want := roundUp(int(math.Ceil(2*float64(n)/(c.th.TauH+c.th.RhoH))), granule)
+		if want < minSlots {
+			want = minSlots
+		}
+		if want >= capSlots {
+			return capSlots
+		}
+		return want
+	default:
+		out := capSlots / 2
+		if out < minSlots {
+			return capSlots
+		}
+		return out
+	}
+}
+
+// roundUp rounds x up to a multiple of m.
+func roundUp(x, m int) int {
+	if r := x % m; r != 0 {
+		return x + m - r
+	}
+	return x
+}

@@ -1,0 +1,184 @@
+package calibrator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, th := range map[string]Thresholds{
+		"update-oriented": UpdateOriented(),
+		"scan-oriented":   ScanOriented(),
+		"baseline":        Baseline(),
+	} {
+		if err := th.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadOrders(t *testing.T) {
+	bad := []Thresholds{
+		{Rho1: 0.5, RhoH: 0.3, TauH: 0.75, Tau1: 1},                         // rho1 >= rhoH
+		{Rho1: 0.1, RhoH: 0.8, TauH: 0.75, Tau1: 1},                         // rhoH > tauH
+		{Rho1: 0.1, RhoH: 0.3, TauH: 1.0, Tau1: 1.0},                        // tauH >= tau1
+		{Rho1: -0.1, RhoH: 0.3, TauH: 0.75, Tau1: 1},                        // negative
+		{Rho1: 0.1, RhoH: 0.5, TauH: 0.75, Tau1: 1, Strategy: ResizeDouble}, // 2*rhoH > tauH
+		{Rho1: 0.1, RhoH: 0.3, TauH: 0.75, Tau1: 1, ForceShrinkFill: 1.5},   // bad fill
+	}
+	for i, th := range bad {
+		if err := th.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTreeGeometry(t *testing.T) {
+	c := NewTree(4, UpdateOriented())
+	if c.Height() != 3 {
+		t.Fatalf("height of 4 segments: got %d want 3", c.Height())
+	}
+	// Fig 2a: 4 segments, windows by level.
+	cases := []struct{ seg, level, lo, hi int }{
+		{0, 1, 0, 1}, {3, 1, 3, 4},
+		{0, 2, 0, 2}, {1, 2, 0, 2}, {2, 2, 2, 4},
+		{0, 3, 0, 4}, {3, 3, 0, 4},
+	}
+	for _, tc := range cases {
+		lo, hi := c.Window(tc.seg, tc.level)
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("Window(%d,%d) = [%d,%d), want [%d,%d)", tc.seg, tc.level, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestThresholdInterpolation(t *testing.T) {
+	th := Thresholds{Rho1: 0.1, RhoH: 0.3, TauH: 0.75, Tau1: 1.0}
+	c := NewTree(4, th) // height 3
+	rho1, tau1 := c.At(1)
+	if rho1 != 0.1 || tau1 != 1.0 {
+		t.Fatalf("leaf level: got (%v,%v)", rho1, tau1)
+	}
+	rhoH, tauH := c.At(3)
+	if rhoH != 0.3 || tauH != 0.75 {
+		t.Fatalf("root level: got (%v,%v)", rhoH, tauH)
+	}
+	rho2, tau2 := c.At(2)
+	if math.Abs(rho2-0.2) > 1e-12 || math.Abs(tau2-0.875) > 1e-12 {
+		t.Fatalf("mid level: got (%v,%v), want (0.2, 0.875) as in Fig 2a", rho2, tau2)
+	}
+}
+
+func TestThresholdMonotoneAcrossLevels(t *testing.T) {
+	f := func(hseed uint8) bool {
+		segs := 1 << (hseed%10 + 1)
+		c := NewTree(segs, UpdateOriented())
+		prevRho, prevTau := c.At(1)
+		for l := 2; l <= c.Height(); l++ {
+			rho, tau := c.At(l)
+			if rho < prevRho || tau > prevTau {
+				return false // rho must rise, tau must fall toward the root
+			}
+			if !(rho < tau) {
+				return false
+			}
+			prevRho, prevTau = rho, tau
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleSegmentTree(t *testing.T) {
+	c := NewTree(1, UpdateOriented())
+	if c.Height() != 1 {
+		t.Fatalf("height: %d", c.Height())
+	}
+	rho, tau := c.At(1)
+	if rho != 0.3 || tau != 0.75 {
+		t.Fatalf("single-segment thresholds (%v,%v), want root extremes", rho, tau)
+	}
+	if lo, hi := c.Window(0, 1); lo != 0 || hi != 1 {
+		t.Fatalf("window [%d,%d)", lo, hi)
+	}
+}
+
+func TestNonPowerOfTwoWindowsClip(t *testing.T) {
+	// Arbitrary segment counts (proportional resizes produce them): the
+	// window containing the trailing segments clips at the array end.
+	c := NewTree(6, UpdateOriented())
+	if c.Height() != 4 {
+		t.Fatalf("height of 6 segments: got %d want 4", c.Height())
+	}
+	if lo, hi := c.Window(5, 2); lo != 4 || hi != 6 {
+		t.Fatalf("Window(5,2) = [%d,%d), want [4,6)", lo, hi)
+	}
+	if lo, hi := c.Window(5, 3); lo != 4 || hi != 6 {
+		t.Fatalf("Window(5,3) = [%d,%d), want clipped [4,6)", lo, hi)
+	}
+	if lo, hi := c.Window(5, 4); lo != 0 || hi != 6 {
+		t.Fatalf("Window(5,4) = [%d,%d), want the whole array", lo, hi)
+	}
+	if lo, hi := c.Window(1, 2); lo != 0 || hi != 2 {
+		t.Fatalf("Window(1,2) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestGrowCapacityDoubling(t *testing.T) {
+	c := NewTree(8, UpdateOriented())
+	if got := c.GrowCapacity(1024, 1024, 128); got != 2048 {
+		t.Fatalf("doubling grow: got %d", got)
+	}
+}
+
+func TestGrowCapacityProportional(t *testing.T) {
+	c := NewTree(8, ScanOriented())
+	// n=1024 at tauH=rhoH=0.75: want ceil(2*1024/1.5) = 1366, rounded up
+	// to the 128-slot granule: 1408 — the proportional strategy lands
+	// close to its target density instead of jumping to a power of two.
+	if got := c.GrowCapacity(1024, 1024, 128); got != 1408 {
+		t.Fatalf("proportional grow: got %d", got)
+	}
+	// Even if n already fits, an expansion must expand by a granule.
+	if got := c.GrowCapacity(4096, 100, 128); got != 4224 {
+		t.Fatalf("forced expansion: got %d", got)
+	}
+}
+
+func TestShrinkCapacity(t *testing.T) {
+	c := NewTree(8, UpdateOriented())
+	if got := c.ShrinkCapacity(2048, 100, 128, 256); got != 1024 {
+		t.Fatalf("halving shrink: got %d", got)
+	}
+	if got := c.ShrinkCapacity(256, 10, 128, 256); got != 256 {
+		t.Fatalf("shrink below min must be refused: got %d", got)
+	}
+	s := NewTree(8, ScanOriented())
+	// n=300: want 2*300/1.5 = 400, rounded up to the 128 granule: 512.
+	if got := s.ShrinkCapacity(2048, 300, 128, 256); got != 512 {
+		t.Fatalf("proportional shrink: got %d", got)
+	}
+	// No shrink when the target is at or above the current capacity.
+	if got := s.ShrinkCapacity(512, 300, 128, 256); got != 512 {
+		t.Fatalf("needless shrink: got %d", got)
+	}
+}
+
+// The 2*rhoH <= tauH constraint exists so that halving the capacity after
+// a shrink cannot immediately violate the upper threshold; verify the
+// arithmetic for the update-oriented preset.
+func TestDoublingConsistency(t *testing.T) {
+	th := UpdateOriented()
+	if 2*th.RhoH > th.TauH {
+		t.Fatal("update-oriented preset violates 2*rhoH <= tauH")
+	}
+	// Fill at rhoH, then double: density halves and must stay >= rho1...
+	// density after doubling = rhoH/2; the array is valid as long as the
+	// root window can later re-satisfy rhoH by shrinking, i.e. rhoH/2 >= rho1.
+	if th.RhoH/2 < th.Rho1 {
+		t.Fatal("doubling from rhoH would violate rho1")
+	}
+}

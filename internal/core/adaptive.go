@@ -1,0 +1,392 @@
+package core
+
+import (
+	"sort"
+
+	"rma/internal/detector"
+)
+
+// interval is a marked interval <s, l> of Section IV: a range of l
+// positions starting at position s in the sorted sequence of the window's
+// keys, where new updates are predicted to land. Score is +1 for insert
+// hammering (the interval should attract gaps) and -1 for delete
+// hammering (it should attract elements).
+type interval struct {
+	pos, length int
+	score       int
+}
+
+// marksToIntervals converts the Detector's per-segment marks into
+// position intervals within the window [lo, hi) (the preprocessing
+// phase's final output).
+func (a *Array) marksToIntervals(lo, hi int, marks []detector.Mark) []interval {
+	total := a.windowCard(lo, hi)
+	if total == 0 {
+		return nil
+	}
+	// Prefix cardinalities to turn (segment, rank) into window positions.
+	prefix := make([]int, hi-lo+1)
+	for s := lo; s < hi; s++ {
+		prefix[s-lo+1] = prefix[s-lo] + int(a.cards[s])
+	}
+
+	iv := make([]interval, 0, len(marks))
+	for _, m := range marks {
+		switch m.Kind {
+		case detector.MarkSegment:
+			c := int(a.cards[m.Seg])
+			if c == 0 {
+				continue
+			}
+			iv = append(iv, interval{pos: prefix[m.Seg-lo], length: c, score: m.Score})
+		case detector.MarkPairBwd:
+			// An ascending run approaches m.Key: mark (pred(Key), Key).
+			r := a.windowRank(lo, hi, prefix, m.Key, false)
+			p := r - 1
+			if p < 0 {
+				p = 0
+			}
+			l := 2
+			if p+l > total {
+				l = total - p
+			}
+			if l > 0 {
+				iv = append(iv, interval{pos: p, length: l, score: m.Score})
+			}
+		case detector.MarkPairFwd:
+			// A descending run approaches m.Key: mark (Key, succ(Key)).
+			r := a.windowRank(lo, hi, prefix, m.Key, false)
+			l := 2
+			if r+l > total {
+				l = total - r
+			}
+			if r < total && l > 0 {
+				iv = append(iv, interval{pos: r, length: l, score: m.Score})
+			}
+		}
+	}
+	if len(iv) == 0 {
+		return nil
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i].pos < iv[j].pos })
+	// Merge overlaps so the adaptive algorithm sees disjoint intervals.
+	out := iv[:1]
+	for _, cur := range iv[1:] {
+		last := &out[len(out)-1]
+		if cur.pos <= last.pos+last.length {
+			if end := cur.pos + cur.length; end > last.pos+last.length {
+				last.length = end - last.pos
+			}
+			last.score += cur.score
+		} else {
+			out = append(out, cur)
+		}
+	}
+	for i := range out {
+		if out[i].score >= 0 {
+			out[i].score = 1
+		} else {
+			out[i].score = -1
+		}
+	}
+	return out
+}
+
+// windowRank returns the number of window keys < key (strict=false gives
+// lower-bound semantics, which is what the marked-pair placement needs).
+func (a *Array) windowRank(lo, hi int, prefix []int, key int64, _ bool) int {
+	seg := a.ix.FindUB(key)
+	if seg < lo {
+		return 0
+	}
+	if seg >= hi {
+		return prefix[hi-lo]
+	}
+	kpg, off := a.segPage(a.keys, seg)
+	rl, rh := a.runBounds(seg)
+	return prefix[seg-lo] + lowerBoundRun(kpg[off+rl:off+rh], key)
+}
+
+// adaptiveTargets runs the paper's adaptive algorithm (Algorithm 2): a
+// top-down traversal of the calibrator subtree rooted at the window,
+// splitting the element run R and its marked intervals between children,
+// pushing marked intervals toward the less-loaded side, and clamping the
+// split so every level's density thresholds hold.
+func (a *Array) adaptiveTargets(lo, hi, cnt int, marks []interval) []int {
+	nseg := hi - lo
+	out := make([]int, nseg)
+	a.adaptiveRec(lo, nseg, cnt, marks, out)
+	return out
+}
+
+func (a *Array) adaptiveRec(segLo, nseg, r int, marks []interval, out []int) {
+	if nseg == 1 {
+		out[0] = r
+		return
+	}
+	// "Too big" guard (Algorithm 2 line 3): a single marked interval
+	// covering the whole run cannot be pushed anywhere; split evenly.
+	if nseg == 2 && len(marks) == 1 && marks[0].length*2 >= r {
+		out[0] = r / 2
+		out[1] = r - r/2
+		return
+	}
+
+	half := nseg / 2
+	childLevel := log2(half) + 1
+	rho, tau := a.cal.At(childLevel)
+	childCap := half * a.segSlots
+
+	childMax := int(tau * float64(childCap))
+	childMin := ceilMul(rho, childCap)
+	// Reserve one free slot per segment when feasible, so a pending
+	// insert cannot land in a full segment right after the rebalance.
+	if reserved := childCap - half; reserved < childMax && r <= 2*reserved {
+		childMax = reserved
+	}
+
+	minL := maxInt(childMin, r-childMax)
+	maxL := minInt(childMax, r-childMin)
+	if minL > maxL {
+		// Thresholds are infeasible for this run size (tiny windows);
+		// fall back to a pure capacity clamp.
+		minL = maxInt(0, r-childCap)
+		maxL = minInt(childCap, r)
+	}
+
+	left := a.objective(r, marks, minL, maxL)
+
+	// Split the marked intervals at the boundary.
+	var lm, rm []interval
+	for _, iv := range marks {
+		switch {
+		case iv.pos+iv.length <= left:
+			lm = append(lm, iv)
+		case iv.pos >= left:
+			rm = append(rm, interval{pos: iv.pos - left, length: iv.length, score: iv.score})
+		default:
+			lm = append(lm, interval{pos: iv.pos, length: left - iv.pos, score: iv.score})
+			rm = append(rm, interval{pos: 0, length: iv.pos + iv.length - left, score: iv.score})
+		}
+	}
+	a.adaptiveRec(segLo, half, left, lm, out[:half])
+	a.adaptiveRec(segLo+half, half, r-left, rm, out[half:])
+}
+
+// objective picks the boundary position (the number of elements going to
+// the left child). With no marks it is an even split. With marks, the
+// marked intervals are partitioned between the children to balance first
+// cumulative score (the deletions extension of Section IV), then interval
+// count; a remaining odd interval goes to the child that ends up with the
+// least cardinality, and elements outside the marks stay on their side of
+// the mark group — exactly the behaviour of the paper's worked example
+// (Fig 7: run of 16 with one mark at positions [4,6) splits 6/10, then
+// 4/2 in the left child).
+func (a *Array) objective(r int, marks []interval, minL, maxL int) int {
+	if len(marks) == 0 {
+		return clampInt(r/2, minL, maxL)
+	}
+	m := len(marks)
+	totalScore := 0
+	for _, iv := range marks {
+		totalScore += iv.score
+	}
+	// Intent: insert-hammered intervals (positive score) belong in the
+	// child with the fewest elements — room for gaps where the inserts
+	// will land. Delete-hammered intervals (negative total score) belong
+	// in the child with the most elements, pushing elements where the
+	// deletions will land (Section IV, "Deletions").
+	intent := 1
+	if totalScore < 0 {
+		intent = -1
+	}
+	const big = 1 << 30
+	bestScore, bestCount, bestStraddle, bestMark, bestSize := big, big, big, big, big
+	bestBoundary := clampInt(r/2, minL, maxL)
+	scoreL := 0
+	for k := 0; k <= m; k++ {
+		if k > 0 {
+			scoreL += marks[k-1].score
+		}
+		// Boundary freedom for this partition: between the end of the
+		// left mark group and the start of the right one.
+		loB := 0
+		if k > 0 {
+			loB = marks[k-1].pos + marks[k-1].length
+		}
+		hiB := r
+		if k < m {
+			hiB = marks[k].pos
+		}
+		if loB > hiB {
+			continue
+		}
+		// Candidate boundary, stretched per intent and then clamped to
+		// the feasible range (the clamp is what actually executes, so
+		// all metrics below are computed on the clamped value).
+		var b int
+		switch {
+		case k > m-k: // marks mostly left
+			if intent > 0 {
+				b = loB
+			} else {
+				b = hiB
+			}
+		case k < m-k: // marks mostly right
+			if intent > 0 {
+				b = hiB
+			} else {
+				b = loB
+			}
+		default:
+			b = clampInt(r/2, loB, hiB)
+		}
+		b = clampInt(b, minL, maxL)
+
+		// Outcome metrics at the clamped boundary: marked length per
+		// side, straddles, and the cardinality of the side holding the
+		// majority of the marked positions.
+		markedL, markedR, straddles := 0, 0, 0
+		for _, iv := range marks {
+			switch {
+			case iv.pos+iv.length <= b:
+				markedL += iv.length
+			case iv.pos >= b:
+				markedR += iv.length
+			default:
+				straddles++
+				markedL += b - iv.pos
+				markedR += iv.pos + iv.length - b
+			}
+		}
+		markChild := 0
+		if markedL > markedR {
+			markChild = b * intent
+		} else if markedR > markedL {
+			markChild = (r - b) * intent
+		}
+		sImb := absDiff(scoreL, totalScore-scoreL)
+		cImb := absDiff(k, m-k)
+		zImb := absDiff(2*b, r)
+		better := sImb < bestScore ||
+			(sImb == bestScore && cImb < bestCount) ||
+			(sImb == bestScore && cImb == bestCount && straddles < bestStraddle) ||
+			(sImb == bestScore && cImb == bestCount && straddles == bestStraddle && markChild < bestMark) ||
+			(sImb == bestScore && cImb == bestCount && straddles == bestStraddle && markChild == bestMark && zImb < bestSize)
+		if better {
+			bestScore, bestCount, bestStraddle, bestMark, bestSize = sImb, cImb, straddles, markChild, zImb
+			bestBoundary = b
+		}
+	}
+	return bestBoundary
+}
+
+// apmaTargets mimics the APMA rebalancing policy: hammered segments are
+// identified positionally and keep their array region, which receives as
+// many gaps as the thresholds allow; elements move to the other side.
+// Under sorted sequential insertion the hammered *keys* then migrate away
+// from the gap-rich region — the ping-pong effect of Section II.
+func (a *Array) apmaTargets(lo, hi, cnt int, marks []detector.Mark) []int {
+	nseg := hi - lo
+	markedSegs := make([]bool, nseg)
+	any := false
+	for _, m := range marks {
+		if m.Seg >= lo && m.Seg < hi {
+			markedSegs[m.Seg-lo] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make([]int, nseg)
+	a.apmaRec(markedSegs, cnt, out)
+	return out
+}
+
+func (a *Array) apmaRec(marked []bool, r int, out []int) {
+	nseg := len(marked)
+	if nseg == 1 {
+		out[0] = r
+		return
+	}
+	half := nseg / 2
+	childLevel := log2(half) + 1
+	rho, tau := a.cal.At(childLevel)
+	childCap := half * a.segSlots
+
+	childMax := int(tau * float64(childCap))
+	childMin := ceilMul(rho, childCap)
+	if reserved := childCap - half; reserved < childMax && r <= 2*reserved {
+		childMax = reserved
+	}
+	minL := maxInt(childMin, r-childMax)
+	maxL := minInt(childMax, r-childMin)
+	if minL > maxL {
+		minL = maxInt(0, r-childCap)
+		maxL = minInt(childCap, r)
+	}
+
+	lMarked := anyTrue(marked[:half])
+	rMarked := anyTrue(marked[half:])
+	var left int
+	switch {
+	case lMarked && !rMarked:
+		left = minL // maximize gaps where the hammering is
+	case rMarked && !lMarked:
+		left = maxL
+	default:
+		left = clampInt(r/2, minL, maxL)
+	}
+	a.apmaRec(marked[:half], left, out[:half])
+	a.apmaRec(marked[half:], r-left, out[half:])
+}
+
+func anyTrue(b []bool) bool {
+	for _, v := range b {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+func ceilMul(f float64, x int) int {
+	v := f * float64(x)
+	i := int(v)
+	if float64(i) < v {
+		i++
+	}
+	return i
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func absDiff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

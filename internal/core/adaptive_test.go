@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"rma/internal/calibrator"
+	"rma/internal/detector"
+	"rma/internal/workload"
+)
+
+// fig2aShell builds an Array shell with the geometry of the paper's
+// Fig 2a example: 4 segments, thresholds rho1=0.1, rhoH=0.3, tauH=0.75,
+// tau1=1 (which interpolate to the figure's rho2=0.2, tau2=0.875). The
+// segment size is 8 in place of the figure's 6 (the engine requires a
+// power of two); the adaptive algorithm's decisions depend on the run,
+// the marks and the thresholds, not on B, so the paper's target
+// cardinalities are preserved.
+func fig2aShell(segSlots int) *Array {
+	th := calibrator.Thresholds{Rho1: 0.1, RhoH: 0.3, TauH: 0.75, Tau1: 1.0}
+	return &Array{
+		cfg:      Config{SegmentSlots: segSlots, PageSlots: 4 * segSlots, Thresholds: th},
+		segSlots: segSlots,
+		numSegs:  4,
+		cal:      calibrator.NewTree(4, th),
+	}
+}
+
+// TestAdaptiveFig7Example reproduces the paper's worked example: 16
+// elements, one marked interval at the pair (16,19) = positions [4,6),
+// expected target cardinalities [4, 2, 5, 5] (Fig 7).
+func TestAdaptiveFig7Example(t *testing.T) {
+	a := fig2aShell(8)
+	marks := []interval{{pos: 4, length: 2, score: 1}}
+	got := a.adaptiveTargets(0, 4, 16, marks)
+	want := []int{4, 2, 5, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets = %v, want %v (paper Fig 7)", got, want)
+		}
+	}
+}
+
+// TestAdaptiveNoMarksIsEven mirrors Fig 9a: without marked intervals the
+// split is even.
+func TestAdaptiveNoMarksIsEven(t *testing.T) {
+	a := fig2aShell(8)
+	got := a.adaptiveTargets(0, 4, 16, nil)
+	want := []int{4, 4, 4, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAdaptiveTwoMarks mirrors Fig 9c: two marked intervals are split one
+// per child.
+func TestAdaptiveTwoMarks(t *testing.T) {
+	a := fig2aShell(8)
+	marks := []interval{
+		{pos: 2, length: 2, score: 1},
+		{pos: 12, length: 2, score: 1},
+	}
+	got := a.adaptiveTargets(0, 4, 16, marks)
+	sumL, sumR := got[0]+got[1], got[2]+got[3]
+	if sumL+sumR != 16 {
+		t.Fatalf("targets %v do not preserve the element count", got)
+	}
+	// One mark per side: the split must be balanced.
+	if absDiff(sumL, sumR) > 2 {
+		t.Fatalf("two symmetric marks should split near-evenly, got %v", got)
+	}
+}
+
+// TestAdaptiveTargetsConservation: for any run/marks, targets sum to the
+// run size and respect segment capacity with a reserved slot.
+func TestAdaptiveTargetsConservation(t *testing.T) {
+	rng := workload.NewRNG(11)
+	for trial := 0; trial < 500; trial++ {
+		nseg := 1 << (1 + rng.Uint64n(4)) // 2..16
+		b := 8
+		th := calibrator.UpdateOriented()
+		a := &Array{
+			cfg:      Config{SegmentSlots: b, PageSlots: 2 * b, Thresholds: th},
+			segSlots: b,
+			numSegs:  nseg,
+			cal:      calibrator.NewTree(nseg, th),
+		}
+		capW := nseg * b
+		cnt := int(rng.Uint64n(uint64(capW-nseg))) + 1 // leaves reserve room
+		var marks []interval
+		pos := 0
+		for pos < cnt && len(marks) < 4 && rng.Uint64n(2) == 0 {
+			p := pos + int(rng.Uint64n(uint64(cnt-pos)))
+			l := 1 + int(rng.Uint64n(3))
+			if p+l > cnt {
+				l = cnt - p
+			}
+			score := 1
+			if rng.Uint64n(4) == 0 {
+				score = -1
+			}
+			marks = append(marks, interval{pos: p, length: l, score: score})
+			pos = p + l
+		}
+		got := a.adaptiveTargets(0, nseg, cnt, marks)
+		sum := 0
+		for s, g := range got {
+			if g < 0 || g > b {
+				t.Fatalf("trial %d: target[%d]=%d out of [0,%d] (targets %v, cnt %d, marks %v)",
+					trial, s, g, b, got, cnt, marks)
+			}
+			sum += g
+		}
+		if sum != cnt {
+			t.Fatalf("trial %d: targets %v sum %d, want %d", trial, got, sum, cnt)
+		}
+	}
+}
+
+// TestAdaptiveReducesRebalancesUnderSequentialHammering is the behavioural
+// claim of Section IV: with adaptive rebalancing on, sequential insertion
+// triggers far less rebalance work than with even rebalancing.
+func TestAdaptiveReducesRebalancesUnderSequentialHammering(t *testing.T) {
+	run := func(policy AdaptivePolicy) uint64 {
+		cfg := testConfig()
+		cfg.SegmentSlots = 16
+		cfg.PageSlots = 64
+		cfg.Adaptive = policy
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30000; i++ {
+			if err := a.Insert(int64(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return a.Stats().RebalancedElements
+	}
+	even := run(AdaptiveOff)
+	adaptive := run(AdaptiveRMA)
+	if adaptive*2 > even {
+		t.Fatalf("adaptive rebalancing moved %d elements vs even's %d; expected at most half",
+			adaptive, even)
+	}
+}
+
+// TestAdaptiveCorrectUnderZipfMix checks correctness (not speed) of the
+// adaptive policy under the paper's skewed mixed workload.
+func TestAdaptiveCorrectUnderZipfMix(t *testing.T) {
+	cfg := testConfig()
+	a := mustNew(t, cfg)
+	ins := workload.NewZipf(1, 1.5, 1<<20, true)
+	del := workload.NewZipf(2, 1.5, 1<<20, true)
+	for i := 0; i < 4000; i++ {
+		mustInsert(t, a, ins.Next(), int64(i))
+	}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 256; i++ {
+			mustInsert(t, a, ins.Next(), int64(i))
+		}
+		for i := 0; i < 256; i++ {
+			if _, err := a.Delete(del.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestAPMATargetsPinMarksPositionally: the APMA policy keeps gaps at the
+// marked side of the window.
+func TestAPMATargetsPinMarksPositionally(t *testing.T) {
+	a := fig2aShell(8)
+	a.cfg.Adaptive = AdaptiveAPMA
+	// Hammered segment 0 (left side): the left child should receive as
+	// few elements as the thresholds allow.
+	marks := []detector.Mark{{Seg: 0, Kind: detector.MarkSegment, Score: 1}}
+	got := a.apmaTargets(0, 4, 16, marks)
+	if got == nil {
+		t.Fatal("nil targets")
+	}
+	sumL, sumR := got[0]+got[1], got[2]+got[3]
+	if sumL+sumR != 16 {
+		t.Fatalf("targets %v do not conserve elements", got)
+	}
+	if sumL >= sumR {
+		t.Fatalf("APMA should push elements away from the hammered left side, got %v", got)
+	}
+	// Mirror: hammered right side.
+	marks = []detector.Mark{{Seg: 3, Kind: detector.MarkSegment, Score: 1}}
+	got = a.apmaTargets(0, 4, 16, marks)
+	sumL, sumR = got[0]+got[1], got[2]+got[3]
+	if sumR >= sumL {
+		t.Fatalf("APMA should push elements away from the hammered right side, got %v", got)
+	}
+}
+
+// TestMarksToIntervalsSegmentMark verifies position conversion of
+// whole-segment marks against the prefix cardinalities.
+func TestMarksToIntervalsSegmentMark(t *testing.T) {
+	cfg := testConfig()
+	cfg.Adaptive = AdaptiveOff
+	a := mustNew(t, cfg)
+	for i := 0; i < 64; i++ {
+		mustInsert(t, a, int64(i), 0)
+	}
+	// Find a non-empty segment in the middle.
+	seg := -1
+	for s := 1; s < a.numSegs; s++ {
+		if a.cards[s] > 0 {
+			seg = s
+			break
+		}
+	}
+	if seg < 0 {
+		t.Skip("no populated middle segment at this scale")
+	}
+	marks := []detector.Mark{{Seg: seg, Kind: detector.MarkSegment, Score: 1}}
+	iv := a.marksToIntervals(0, a.numSegs, marks)
+	if len(iv) != 1 {
+		t.Fatalf("got %d intervals", len(iv))
+	}
+	wantPos := 0
+	for s := 0; s < seg; s++ {
+		wantPos += int(a.cards[s])
+	}
+	if iv[0].pos != wantPos || iv[0].length != int(a.cards[seg]) {
+		t.Fatalf("interval (%d,%d), want (%d,%d)", iv[0].pos, iv[0].length, wantPos, a.cards[seg])
+	}
+}
+
+// TestMarksToIntervalsMergesOverlaps: adjacent pair marks collapse into
+// one interval.
+func TestMarksToIntervalsMergesOverlaps(t *testing.T) {
+	cfg := testConfig()
+	cfg.Adaptive = AdaptiveOff
+	a := mustNew(t, cfg)
+	for i := 0; i < 32; i++ {
+		mustInsert(t, a, int64(i*2), 0)
+	}
+	marks := []detector.Mark{
+		{Seg: 0, Kind: detector.MarkPairBwd, Key: 10, Score: 1},
+		{Seg: 0, Kind: detector.MarkPairBwd, Key: 12, Score: 1},
+	}
+	iv := a.marksToIntervals(0, a.numSegs, marks)
+	if len(iv) != 1 {
+		t.Fatalf("overlapping pair marks not merged: %+v", iv)
+	}
+	if iv[0].score != 1 {
+		t.Fatalf("merged score %d, want clamped 1", iv[0].score)
+	}
+}

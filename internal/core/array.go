@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rma/internal/calibrator"
+	"rma/internal/detector"
+	"rma/internal/staticindex"
+	"rma/internal/vmem"
+)
+
+// unsetSep is the separator value of segments that have never held an
+// element: it routes every key to the left, so inserts fill the array
+// from segment 0 until rebalances spread them.
+const unsetSep = int64(math.MaxInt64)
+
+// segIndex is the routing structure from keys to segments; implemented by
+// both the static and the dynamic index.
+type segIndex interface {
+	FindUB(key int64) int
+	FindLB(key int64) int
+	Update(j int, min int64)
+	Key(j int) int64
+	FootprintBytes() int64
+}
+
+// Array is a sparse array of sorted 8-byte key/value pairs: the engine
+// behind the RMA and its TPMA/APMA baselines. Keys form a multiset
+// (duplicates allowed); values travel with their key through every
+// rebalance. Not safe for concurrent use, like the paper's sequential
+// implementation.
+type Array struct {
+	cfg Config
+
+	keys *vmem.Pages
+	vals *vmem.Pages
+
+	segSlots int // current segment capacity B
+	numSegs  int
+	n        int // stored elements
+
+	cards  []int32  // per-segment cardinality (the paper's "cards" array)
+	bitmap []uint64 // occupancy, interleaved layout only
+
+	cal calibrator.Tree
+	ix  segIndex
+	det *detector.Detector // nil unless adaptive
+
+	clock uint64 // logical timestamp for the detector
+
+	stats Stats
+
+	// Reusable scratch for two-pass rebalances and bulk loads.
+	scratchK, scratchV []int64
+	scratchC           []int32
+	pageShift          uint // log2(PageSlots)
+}
+
+// New builds an empty array with the given configuration.
+func New(cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{cfg: cfg}
+	a.pageShift = uint(log2(cfg.PageSlots))
+
+	minCap := cfg.PageSlots // one page minimum
+	b := cfg.SegmentSlots
+	if cfg.Sizing == SizingLogCap {
+		b = logSegSize(minCap)
+	}
+	a.segSlots = b
+	a.numSegs = minCap / b
+	if err := a.initStorage(minCap); err != nil {
+		return nil, err
+	}
+	a.resetDerived()
+	return a, nil
+}
+
+// initStorage dimensions the page spaces to capSlots slots.
+func (a *Array) initStorage(capSlots int) error {
+	a.keys = vmem.New(a.cfg.PageSlots)
+	a.vals = vmem.New(a.cfg.PageSlots)
+	pages := capSlots / a.cfg.PageSlots
+	if err := a.keys.Grow(pages); err != nil {
+		return err
+	}
+	if err := a.vals.Grow(pages); err != nil {
+		return err
+	}
+	return nil
+}
+
+// resetDerived rebuilds everything derived from (numSegs, segSlots):
+// cards, bitmap, calibrator, index, detector. Content is assumed empty.
+func (a *Array) resetDerived() {
+	a.cards = make([]int32, a.numSegs)
+	if a.cfg.Layout == LayoutInterleaved {
+		a.bitmap = make([]uint64, (a.Capacity()+63)/64)
+	} else {
+		a.bitmap = nil
+	}
+	a.cal = calibrator.NewTree(a.numSegs, a.cfg.Thresholds)
+	mins := make([]int64, a.numSegs)
+	for i := range mins {
+		mins[i] = unsetSep
+	}
+	a.buildIndex(mins)
+	if a.cfg.Adaptive != AdaptiveOff {
+		a.det = detector.New(a.numSegs, a.cfg.Detector)
+	}
+}
+
+func (a *Array) buildIndex(mins []int64) {
+	switch a.cfg.Index {
+	case IndexStatic:
+		a.ix = staticindex.NewStatic(mins, a.cfg.IndexFanout)
+	default:
+		a.ix = staticindex.NewDynamic(mins)
+	}
+}
+
+// Size returns the number of stored elements.
+func (a *Array) Size() int { return a.n }
+
+// Capacity returns the number of slots.
+func (a *Array) Capacity() int { return a.numSegs * a.segSlots }
+
+// NumSegments returns the current number of segments.
+func (a *Array) NumSegments() int { return a.numSegs }
+
+// SegmentSlots returns the current segment capacity B.
+func (a *Array) SegmentSlots() int { return a.segSlots }
+
+// Config returns the configuration the array was built with.
+func (a *Array) Config() Config { return a.cfg }
+
+// Stats returns a snapshot of the operation counters, merged with the
+// storage substrate's counters.
+func (a *Array) Stats() Stats {
+	s := a.stats
+	s.PageSwaps = a.keys.Stats().Swaps + a.vals.Stats().Swaps
+	return s
+}
+
+// FootprintBytes returns the physical memory held by the array: element
+// storage (including spare pages), cards, bitmap, index, detector and
+// scratch buffers. This is the quantity Fig 12c plots.
+func (a *Array) FootprintBytes() int64 {
+	f := a.keys.FootprintBytes() + a.vals.FootprintBytes()
+	f += int64(cap(a.cards)) * 4
+	f += int64(cap(a.bitmap)) * 8
+	f += a.ix.FootprintBytes()
+	if a.det != nil {
+		f += a.det.FootprintBytes()
+	}
+	f += int64(cap(a.scratchK)+cap(a.scratchV))*8 + int64(cap(a.scratchC))*4
+	return f
+}
+
+// Density returns the global fill factor n/capacity.
+func (a *Array) Density() float64 { return float64(a.n) / float64(a.Capacity()) }
+
+// SegmentDensity returns the fill factor of one segment (inspection).
+func (a *Array) SegmentDensity(seg int) float64 {
+	return float64(a.cards[seg]) / float64(a.segSlots)
+}
+
+// --- segment geometry -----------------------------------------------------
+
+// segPage returns the page holding segment seg's slots and the offset of
+// the segment's first slot within it. A segment never crosses a page
+// because PageSlots is a multiple of 2*SegmentSlots.
+func (a *Array) segPage(p *vmem.Pages, seg int) ([]int64, int) {
+	slot := seg * a.segSlots
+	return p.Page(slot >> a.pageShift), slot & (a.cfg.PageSlots - 1)
+}
+
+// runBounds returns the in-segment slot interval [lo, hi) occupied by a
+// clustered segment's elements: right-packed for even segments,
+// left-packed for odd ones (the paper's odd/even alternation, 0-based).
+func (a *Array) runBounds(seg int) (lo, hi int) {
+	c := int(a.cards[seg])
+	if seg&1 == 0 {
+		return a.segSlots - c, a.segSlots
+	}
+	return 0, c
+}
+
+// segMin returns the smallest key stored in segment seg, which must be
+// non-empty.
+func (a *Array) segMin(seg int) int64 {
+	switch a.cfg.Layout {
+	case LayoutClustered:
+		pg, off := a.segPage(a.keys, seg)
+		lo, _ := a.runBounds(seg)
+		return pg[off+lo]
+	default:
+		base := seg * a.segSlots
+		for s := base; s < base+a.segSlots; s++ {
+			if a.occupied(s) {
+				return a.keys.Get(s)
+			}
+		}
+		panic("core: segMin of empty segment")
+	}
+}
+
+// occupied reports whether interleaved slot s holds an element.
+func (a *Array) occupied(s int) bool {
+	return a.bitmap[s>>6]&(1<<(uint(s)&63)) != 0
+}
+
+func (a *Array) setOccupied(s int, on bool) {
+	if on {
+		a.bitmap[s>>6] |= 1 << (uint(s) & 63)
+	} else {
+		a.bitmap[s>>6] &^= 1 << (uint(s) & 63)
+	}
+}
+
+// --- separator maintenance -------------------------------------------------
+
+// setSegMin records that segment seg's minimum changed to min, updating
+// the separator of seg and of any empty segments immediately to its left
+// (whose separators point at the nearest non-empty segment on their
+// right — see DESIGN.md on empty-segment separators).
+func (a *Array) setSegMin(seg int, min int64) {
+	if seg > 0 {
+		a.ix.Update(seg, min)
+	}
+	for j := seg - 1; j >= 1 && a.cards[j] == 0; j-- {
+		a.ix.Update(j, min)
+	}
+}
+
+// clearSegMin records that segment seg became empty: its separator (and
+// the chain of empty segments to its left) adopts the separator of the
+// nearest non-empty segment to the right, or unsetSep if none exists.
+func (a *Array) clearSegMin(seg int) {
+	carry := unsetSep
+	for j := seg + 1; j < a.numSegs; j++ {
+		if a.cards[j] > 0 {
+			carry = a.segMin(j)
+			break
+		}
+	}
+	for j := seg; j >= 1; j-- {
+		if j < seg && a.cards[j] != 0 {
+			break
+		}
+		a.ix.Update(j, carry)
+	}
+}
+
+// --- misc -------------------------------------------------------------------
+
+func log2(x int) int {
+	l := 0
+	for x > 1 {
+		x >>= 1
+		l++
+	}
+	return l
+}
+
+// logSegSize derives the TPMA segment size Theta(log2 C) for a capacity,
+// rounded up to a power of two (min 8) so window arithmetic stays exact.
+func logSegSize(capSlots int) int {
+	l := log2(capSlots)
+	b := 8
+	for b < l {
+		b <<= 1
+	}
+	return b
+}
+
+// checkInterface guards that both index kinds satisfy segIndex.
+var (
+	_ segIndex = (*staticindex.Static)(nil)
+	_ segIndex = (*staticindex.Dynamic)(nil)
+)
+
+func (a *Array) String() string {
+	return fmt.Sprintf("core.Array{n=%d cap=%d segs=%d B=%d}", a.n, a.Capacity(), a.numSegs, a.segSlots)
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+
+	"rma/internal/workload"
+)
+
+func batchOf(keys []int64) Batch {
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = workload.ValueFor(k)
+	}
+	return Batch{Keys: keys, Vals: vals}
+}
+
+// TestBulkLoadEquivalentToInserts: bulk loading any batch must leave the
+// array with exactly the content repeated Insert calls would produce.
+func TestBulkLoadEquivalentToInserts(t *testing.T) {
+	for name, cfg := range configMatrix() {
+		t.Run(name, func(t *testing.T) {
+			g := workload.NewUniform(99, 1<<20)
+			keys := workload.Keys(g, 1200)
+
+			bulk := mustNew(t, cfg)
+			if err := bulk.BulkLoad(batchOf(keys)); err != nil {
+				t.Fatal(err)
+			}
+			single := mustNew(t, cfg)
+			for _, k := range keys {
+				mustInsert(t, single, k, workload.ValueFor(k))
+			}
+
+			if bulk.Size() != single.Size() {
+				t.Fatalf("sizes differ: bulk %d vs single %d", bulk.Size(), single.Size())
+			}
+			if err := bulk.Validate(); err != nil {
+				t.Fatalf("bulk: %v", err)
+			}
+			var bk, sk []int64
+			bulk.Scan(func(k, v int64) bool {
+				if v != workload.ValueFor(k) {
+					t.Fatalf("value did not travel with key %d", k)
+				}
+				bk = append(bk, k)
+				return true
+			})
+			single.Scan(func(k, v int64) bool { sk = append(sk, k); return true })
+			for i := range bk {
+				if bk[i] != sk[i] {
+					t.Fatalf("content mismatch at %d: %d vs %d", i, bk[i], sk[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBulkLoadIncremental loads repeated batches into a non-empty array
+// (the Fig 13b pattern) and validates after each.
+func TestBulkLoadIncremental(t *testing.T) {
+	for _, scheme := range []string{"bottomup", "topdown"} {
+		t.Run(scheme, func(t *testing.T) {
+			cfg := testConfig()
+			a := mustNew(t, cfg)
+			g := workload.NewUniform(5, 1<<20)
+			for i := 0; i < 1000; i++ {
+				mustInsert(t, a, g.Next(), 0)
+			}
+			for b := 0; b < 10; b++ {
+				keys := workload.Keys(g, 300)
+				var err error
+				if scheme == "bottomup" {
+					err = a.BulkLoad(batchOf(keys))
+				} else {
+					err = a.BulkLoadTopDown(batchOf(keys))
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := a.Validate(); err != nil {
+					t.Fatalf("batch %d: %v", b, err)
+				}
+			}
+			if a.Size() != 4000 {
+				t.Fatalf("size %d, want 4000", a.Size())
+			}
+		})
+	}
+}
+
+// TestBulkLoadSkewed exercises batch loads drawn from high-skew Zipf, the
+// regime Fig 13b sweeps.
+func TestBulkLoadSkewed(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1.5, 3.0} {
+		cfg := testConfig()
+		a := mustNew(t, cfg)
+		z := workload.NewZipf(7, alpha, 1<<20, true)
+		for b := 0; b < 8; b++ {
+			if err := a.BulkLoad(batchOf(workload.Keys(z, 500))); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("alpha=%v batch %d: %v", alpha, b, err)
+			}
+		}
+	}
+}
+
+// TestBulkLoadIntoEmpty: the degenerate case must work and the resulting
+// density must respect the root threshold.
+func TestBulkLoadIntoEmpty(t *testing.T) {
+	cfg := testConfig()
+	a := mustNew(t, cfg)
+	keys := make([]int64, 5000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	if err := a.BulkLoad(batchOf(keys)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 5000 {
+		t.Fatalf("size %d", a.Size())
+	}
+	if d := a.Density(); d > a.cfg.Thresholds.TauH+0.01 {
+		t.Fatalf("density %v exceeds tauH after bulk load", d)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadEmptyBatch(t *testing.T) {
+	a := mustNew(t, testConfig())
+	if err := a.BulkLoad(Batch{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BulkLoadTopDown(Batch{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 0 {
+		t.Fatal("empty batch changed size")
+	}
+}
+
+// TestBulkUpdate: the streaming scenario — equal numbers of deletions and
+// insertions at constant cardinality (Section III "Bulk loading").
+func TestBulkUpdate(t *testing.T) {
+	cfg := testConfig()
+	a := mustNew(t, cfg)
+	ins := workload.NewUniform(1, 1<<16)
+	live := map[int64]int{}
+	var keys []int64
+	for i := 0; i < 3000; i++ {
+		k := ins.Next()
+		mustInsert(t, a, k, workload.ValueFor(k))
+		live[k]++
+		keys = append(keys, k)
+	}
+	rng := workload.NewRNG(2)
+	for round := 0; round < 6; round++ {
+		// Delete 200 existing keys, insert 200 new ones.
+		var dels []int64
+		for i := 0; i < 200; i++ {
+			k := keys[int(rng.Uint64n(uint64(len(keys))))]
+			if live[k] > 0 {
+				dels = append(dels, k)
+				live[k]--
+			}
+		}
+		newKeys := workload.Keys(ins, 200)
+		for _, k := range newKeys {
+			live[k]++
+		}
+		keys = append(keys, newKeys...)
+		if err := a.BulkUpdate(batchOf(newKeys), dels); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := 0
+		for _, c := range live {
+			want += c
+		}
+		if a.Size() != want {
+			t.Fatalf("round %d: size %d, want %d", round, a.Size(), want)
+		}
+	}
+}
+
+// TestBulkLoadDuplicateHeavyBatch: batches full of one key must not break
+// the window assignment.
+func TestBulkLoadDuplicateHeavyBatch(t *testing.T) {
+	cfg := testConfig()
+	a := mustNew(t, cfg)
+	for i := 0; i < 500; i++ {
+		mustInsert(t, a, int64(i), 0)
+	}
+	keys := make([]int64, 600)
+	for i := range keys {
+		keys[i] = 250
+	}
+	if err := a.BulkLoad(batchOf(keys)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cnt, _ := a.Sum(250, 250)
+	if cnt != 601 {
+		t.Fatalf("duplicate count %d, want 601", cnt)
+	}
+}
+
+// TestTopDownMatchesBottomUpContent: both schemes must produce identical
+// logical content (physical layout may differ).
+func TestTopDownMatchesBottomUpContent(t *testing.T) {
+	cfg := testConfig()
+	g := workload.NewUniform(13, 1<<18)
+	base := workload.Keys(g, 800)
+	batch := workload.Keys(g, 800)
+
+	bu := mustNew(t, cfg)
+	td := mustNew(t, cfg)
+	for _, k := range base {
+		mustInsert(t, bu, k, workload.ValueFor(k))
+		mustInsert(t, td, k, workload.ValueFor(k))
+	}
+	if err := bu.BulkLoad(batchOf(batch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := td.BulkLoadTopDown(batchOf(batch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bu.Validate(); err != nil {
+		t.Fatalf("bottom-up: %v", err)
+	}
+	if err := td.Validate(); err != nil {
+		t.Fatalf("top-down: %v", err)
+	}
+	var a, b []int64
+	bu.Scan(func(k, _ int64) bool { a = append(a, k); return true })
+	td.Scan(func(k, _ int64) bool { b = append(b, k); return true })
+	if len(a) != len(b) {
+		t.Fatalf("sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("content diverges at %d", i)
+		}
+	}
+}
+
+// TestTopDownRebalancesWiderThanBottomUp is the paper's motivation for
+// the bottom-up scheme: top-down triggers wider rebalances because the
+// thresholds near the root are tighter.
+func TestTopDownRebalancesWiderThanBottomUp(t *testing.T) {
+	mkLoaded := func() *Array {
+		cfg := testConfig()
+		cfg.Adaptive = AdaptiveOff
+		a := mustNew(t, cfg)
+		g := workload.NewUniform(21, 1<<20)
+		for i := 0; i < 4000; i++ {
+			mustInsert(t, a, g.Next(), 0)
+		}
+		return a
+	}
+	g := workload.NewUniform(22, 1<<20)
+	batches := make([][]int64, 12)
+	for i := range batches {
+		batches[i] = workload.Keys(g, 128)
+	}
+
+	bu := mkLoaded()
+	buBase := bu.Stats().RebalancedSegments
+	for _, b := range batches {
+		if err := bu.BulkLoad(batchOf(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buWork := bu.Stats().RebalancedSegments - buBase
+
+	td := mkLoaded()
+	tdBase := td.Stats().RebalancedSegments
+	for _, b := range batches {
+		if err := td.BulkLoadTopDown(batchOf(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tdWork := td.Stats().RebalancedSegments - tdBase
+
+	if buWork > tdWork {
+		t.Fatalf("bottom-up rebalanced %d segments vs top-down's %d; expected bottom-up <= top-down",
+			buWork, tdWork)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+// Delete removes one occurrence of key, reporting whether it existed.
+// Underflowing segments trigger window rebalances; a too-sparse array
+// shrinks. The returned error is only non-nil on storage allocation
+// failure (shrink rebalances may allocate spare pages); the element is
+// removed regardless.
+func (a *Array) Delete(key int64) (bool, error) {
+	if a.n == 0 {
+		return false, nil
+	}
+	a.clock++
+	seg := a.ix.FindUB(key)
+	var rank int
+	switch a.cfg.Layout {
+	case LayoutClustered:
+		rank = a.deleteClustered(seg, key)
+	default:
+		rank = a.deleteInterleaved(seg, key)
+	}
+	if rank < 0 {
+		return false, nil
+	}
+	a.n--
+	a.stats.Deletes++
+
+	// Separator upkeep.
+	if a.cards[seg] == 0 {
+		a.clearSegMin(seg)
+	} else if rank == 0 {
+		a.setSegMin(seg, a.elemKey(seg, 0))
+	}
+
+	if a.det != nil && a.cfg.Adaptive == AdaptiveRMA {
+		a.det.RecordDelete(seg, a.clock)
+	}
+
+	// The scan-oriented special rule: force a resize when the fill factor
+	// drops below the configured bound (Section III).
+	if f := a.cfg.Thresholds.ForceShrinkFill; f > 0 && a.Capacity() > a.cfg.PageSlots {
+		if float64(a.n) < f*float64(a.Capacity()) {
+			return true, a.shrink()
+		}
+	}
+
+	// Density walk: if the segment underflows rho1, rebalance the
+	// smallest window that satisfies its lower threshold; if even the
+	// root window fails, shrink.
+	rho1 := a.cfg.Thresholds.Rho1
+	if float64(a.cards[seg]) >= rho1*float64(a.segSlots) {
+		return true, nil
+	}
+	for l := 2; l <= a.cal.Height(); l++ {
+		lo, hi := a.cal.Window(seg, l)
+		rho, _ := a.cal.At(l)
+		capW := (hi - lo) * a.segSlots
+		if float64(a.windowCard(lo, hi)) >= rho*float64(capW) {
+			return true, a.rebalance(lo, hi, l)
+		}
+	}
+	if a.Capacity() > a.cfg.PageSlots {
+		return true, a.shrink()
+	}
+	return true, nil
+}
+
+// deleteClustered removes one occurrence of key from a clustered segment,
+// returning its former rank or -1 when absent.
+func (a *Array) deleteClustered(seg int, key int64) int {
+	kpg, off := a.segPage(a.keys, seg)
+	vpg, voff := a.segPage(a.vals, seg)
+	lo, hi := a.runBounds(seg)
+	run := kpg[off+lo : off+hi]
+	r := searchRun(run, key)
+	if r < 0 {
+		return -1
+	}
+	if seg&1 == 0 {
+		// Right-packed: close the hole by shifting the prefix right.
+		copy(kpg[off+lo+1:off+lo+r+1], kpg[off+lo:off+lo+r])
+		copy(vpg[voff+lo+1:voff+lo+r+1], vpg[voff+lo:voff+lo+r])
+	} else {
+		// Left-packed: shift the suffix left.
+		copy(kpg[off+lo+r:off+hi-1], kpg[off+lo+r+1:off+hi])
+		copy(vpg[voff+lo+r:voff+hi-1], vpg[voff+lo+r+1:voff+hi])
+	}
+	a.cards[seg]--
+	return r
+}
+
+// deleteInterleaved removes one occurrence of key from an interleaved
+// segment, returning its former rank or -1.
+func (a *Array) deleteInterleaved(seg int, key int64) int {
+	base := seg * a.segSlots
+	end := base + a.segSlots
+	rank := 0
+	for s := base; s < end; s++ {
+		if !a.occupied(s) {
+			continue
+		}
+		k := a.keys.Get(s)
+		if k == key {
+			a.setOccupied(s, false)
+			a.cards[seg]--
+			return rank
+		}
+		if k > key {
+			return -1
+		}
+		rank++
+	}
+	return -1
+}

@@ -1,0 +1,225 @@
+package core
+
+// Insert adds the key/value pair to the array, rebalancing or resizing as
+// needed. It returns an error only when the storage substrate fails to
+// allocate (failure injection in tests); the array stays consistent.
+func (a *Array) Insert(key, val int64) error {
+	a.clock++
+	for {
+		seg := a.ix.FindUB(key)
+		if int(a.cards[seg]) < a.segRoom(seg) {
+			a.insertIntoSegment(seg, key, val)
+			a.stats.Inserts++
+			a.n++
+			a.postInsertThreshold(seg)
+			return nil
+		}
+		if err := a.makeRoom(seg); err != nil {
+			return err
+		}
+	}
+}
+
+// segRoom returns the number of elements segment seg can physically hold.
+func (a *Array) segRoom(int) int { return a.segSlots }
+
+// postInsertThreshold triggers a rebalance when the segment exceeds the
+// configured tau1 < 1 (traditional-PMA thresholds); with tau1 == 1
+// (the RMA's "fill a segment until it is full") it never fires.
+func (a *Array) postInsertThreshold(seg int) {
+	t1 := a.cfg.Thresholds.Tau1
+	if t1 >= 1 {
+		return
+	}
+	if float64(a.cards[seg]) > t1*float64(a.segSlots) {
+		// Ignore allocation errors here: the insert itself already
+		// succeeded; a failed opportunistic rebalance only defers work.
+		_ = a.makeRoom(seg)
+	}
+}
+
+// makeRoom rebalances the smallest calibrator window around seg whose
+// density thresholds admit one more element, or grows the array when
+// even the root window is too dense (Section II).
+func (a *Array) makeRoom(seg int) error {
+	for l := 2; l <= a.cal.Height(); l++ {
+		lo, hi := a.cal.Window(seg, l)
+		_, tau := a.cal.At(l)
+		capW := (hi - lo) * a.segSlots
+		cardW := a.windowCard(lo, hi)
+		// The window qualifies if, after the pending insertion, it is
+		// within tau AND an even spread leaves at least one free slot
+		// per segment, so the pending insert cannot re-trigger at once.
+		if float64(cardW+1) <= tau*float64(capW) && cardW <= capW-(hi-lo) {
+			return a.rebalance(lo, hi, l)
+		}
+	}
+	return a.grow()
+}
+
+// windowCard sums the cardinalities of segments [lo, hi).
+func (a *Array) windowCard(lo, hi int) int {
+	c := 0
+	for s := lo; s < hi; s++ {
+		c += int(a.cards[s])
+	}
+	return c
+}
+
+// insertIntoSegment places (key, val) in a segment that has room,
+// keeping the layout invariants, the separator and the detector current.
+func (a *Array) insertIntoSegment(seg int, key, val int64) {
+	var rank int
+	switch a.cfg.Layout {
+	case LayoutClustered:
+		rank = a.insertClustered(seg, key, val)
+	default:
+		rank = a.insertInterleaved(seg, key, val)
+	}
+	if rank == 0 {
+		a.setSegMin(seg, key)
+	}
+	if a.det != nil && a.cfg.Adaptive != AdaptiveOff {
+		if a.cfg.Adaptive == AdaptiveRMA {
+			pred, hasPred := a.neighborBefore(seg, rank)
+			succ, hasSucc := a.neighborAfter(seg, rank)
+			a.det.RecordInsert(seg, pred, succ, hasPred, hasSucc, a.clock)
+		} else {
+			// APMA tracks only the update times per segment.
+			a.det.RecordInsert(seg, 0, 0, false, false, a.clock)
+		}
+	}
+}
+
+// insertClustered inserts into a clustered segment, shifting the shorter
+// flank of the run toward the gap side, and returns the element's rank.
+func (a *Array) insertClustered(seg int, key, val int64) int {
+	kpg, off := a.segPage(a.keys, seg)
+	vpg, voff := a.segPage(a.vals, seg)
+	lo, hi := a.runBounds(seg)
+	run := kpg[off+lo : off+hi]
+	r := upperBoundRun(run, key)
+
+	if seg&1 == 0 {
+		// Right-packed: gap on the left; shift the prefix [lo, lo+r) one
+		// slot left and place at lo+r-1.
+		copy(kpg[off+lo-1:off+lo+r-1], kpg[off+lo:off+lo+r])
+		copy(vpg[voff+lo-1:voff+lo+r-1], vpg[voff+lo:voff+lo+r])
+		kpg[off+lo+r-1] = key
+		vpg[voff+lo+r-1] = val
+	} else {
+		// Left-packed: gap on the right; shift the suffix [lo+r, hi) one
+		// slot right and place at lo+r.
+		copy(kpg[off+lo+r+1:off+hi+1], kpg[off+lo+r:off+hi])
+		copy(vpg[voff+lo+r+1:voff+hi+1], vpg[voff+lo+r:voff+hi])
+		kpg[off+lo+r] = key
+		vpg[voff+lo+r] = val
+	}
+	a.cards[seg]++
+	return r
+}
+
+// insertInterleaved inserts into an interleaved segment by shifting the
+// run between the insertion point and the nearest gap, and returns the
+// element's rank within the segment.
+func (a *Array) insertInterleaved(seg int, key, val int64) int {
+	base := seg * a.segSlots
+	end := base + a.segSlots
+
+	// Locate the target slot: the slot of the first element > key (we
+	// insert before it), or one past the last occupied slot.
+	target := -1
+	rank := 0
+	lastOcc := -1
+	for s := base; s < end; s++ {
+		if !a.occupied(s) {
+			continue
+		}
+		if a.keys.Get(s) > key {
+			target = s
+			break
+		}
+		rank++
+		lastOcc = s
+	}
+
+	if target == -1 {
+		// Append after the last element (or anywhere when empty).
+		slot := lastOcc + 1
+		if lastOcc == -1 {
+			slot = base
+		}
+		if slot < end && !a.occupied(slot) {
+			a.placeInterleaved(slot, key, val, seg)
+			return rank
+		}
+		// No gap after the run's end: shift left into the nearest gap.
+		g := a.gapLeftOf(base, lastOcc)
+		a.shiftLeftInterleaved(g, lastOcc)
+		a.placeInterleaved(lastOcc, key, val, seg)
+		return rank
+	}
+
+	// Prefer a gap to the right of target: shift [target, gap) right.
+	if g := a.gapRightOf(target, end); g != -1 {
+		a.shiftRightInterleaved(target, g)
+		a.placeInterleaved(target, key, val, seg)
+		return rank
+	}
+	// Otherwise shift the prefix left into a gap before target, freeing
+	// slot target-1 for the new element (the first-greater element at
+	// target stays put).
+	g := a.gapLeftOf(base, target)
+	a.shiftLeftInterleaved(g, target-1)
+	a.placeInterleaved(target-1, key, val, seg)
+	return rank
+}
+
+// gapRightOf returns the first free slot in [from, end), or -1.
+func (a *Array) gapRightOf(from, end int) int {
+	for s := from; s < end; s++ {
+		if !a.occupied(s) {
+			return s
+		}
+	}
+	return -1
+}
+
+// gapLeftOf returns the last free slot in [base, before), or -1.
+func (a *Array) gapLeftOf(base, before int) int {
+	for s := before - 1; s >= base; s-- {
+		if !a.occupied(s) {
+			return s
+		}
+	}
+	return -1
+}
+
+// shiftRightInterleaved moves every element in [from, gap) one slot right;
+// gap must be free and to the right of from.
+func (a *Array) shiftRightInterleaved(from, gap int) {
+	for s := gap; s > from; s-- {
+		a.keys.Set(s, a.keys.Get(s-1))
+		a.vals.Set(s, a.vals.Get(s-1))
+		a.setOccupied(s, a.occupied(s-1))
+	}
+	a.setOccupied(from, false)
+}
+
+// shiftLeftInterleaved moves every element in (gap, to] one slot left;
+// gap must be free and to the left of to.
+func (a *Array) shiftLeftInterleaved(gap, to int) {
+	for s := gap; s < to; s++ {
+		a.keys.Set(s, a.keys.Get(s+1))
+		a.vals.Set(s, a.vals.Get(s+1))
+		a.setOccupied(s, a.occupied(s+1))
+	}
+	a.setOccupied(to, false)
+}
+
+func (a *Array) placeInterleaved(slot int, key, val int64, seg int) {
+	a.keys.Set(slot, key)
+	a.vals.Set(slot, val)
+	a.setOccupied(slot, true)
+	a.cards[seg]++
+}

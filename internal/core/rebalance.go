@@ -1,0 +1,310 @@
+package core
+
+// span is a contiguous (keys, values) chunk; rebalances move elements as
+// block copies between source and destination spans wherever the layout
+// is dense.
+type span struct{ k, v []int64 }
+
+// rebalance redistributes the elements of segments [lo, hi) (a calibrator
+// window at the given level) according to the active policy: evenly, or
+// following the adaptive algorithm when the Detector marks hammered
+// intervals (Section IV).
+func (a *Array) rebalance(lo, hi, level int) error {
+	nseg := hi - lo
+	cnt := a.windowCard(lo, hi)
+
+	a.stats.Rebalances++
+	a.stats.RebalancedSegments += uint64(nseg)
+	a.stats.RebalancedElements += uint64(cnt)
+	if nseg > a.stats.MaxWindowSegments {
+		a.stats.MaxWindowSegments = nseg
+	}
+
+	targets := a.computeTargets(lo, hi, cnt)
+	if err := a.redistribute(lo, hi, targets, cnt); err != nil {
+		return err
+	}
+	a.refreshSeparators(lo, hi)
+	return nil
+}
+
+// computeTargets returns the per-segment cardinalities the rebalance
+// should produce: an even spread, or the adaptive allocation when the
+// policy is on and the Detector produced marks.
+func (a *Array) computeTargets(lo, hi, cnt int) []int {
+	nseg := hi - lo
+	// Adaptive allocation assumes power-of-two windows (the recursive
+	// halving of Algorithm 2); clipped windows at the end of a
+	// non-power-of-two array rebalance evenly.
+	if a.cfg.Adaptive != AdaptiveOff && a.det != nil && nseg&(nseg-1) == 0 {
+		marks := a.det.Marks(lo, hi)
+		if len(marks) > 0 {
+			var t []int
+			if a.cfg.Adaptive == AdaptiveAPMA {
+				t = a.apmaTargets(lo, hi, cnt, marks)
+			} else {
+				iv := a.marksToIntervals(lo, hi, marks)
+				if len(iv) > 0 {
+					t = a.adaptiveTargets(lo, hi, cnt, iv)
+				}
+			}
+			if t != nil {
+				a.stats.AdaptiveRebalances++
+				return t
+			}
+		}
+	}
+	return evenTargets(nseg, cnt, a.targetsScratch(nseg))
+}
+
+// targetsScratch returns a reusable int slice of the given length.
+func (a *Array) targetsScratch(n int) []int {
+	t := make([]int, n)
+	return t
+}
+
+// evenTargets spreads cnt elements over nseg segments as evenly as
+// possible (Fig 2b).
+func evenTargets(nseg, cnt int, out []int) []int {
+	base := cnt / nseg
+	rem := cnt % nseg
+	for i := 0; i < nseg; i++ {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// redistribute physically rearranges the window's elements to match the
+// target cardinalities, choosing the rewired single-copy path for
+// page-sized clustered windows and the classic two-pass path otherwise
+// (Section III "Rebalancing").
+func (a *Array) redistribute(lo, hi int, targets []int, cnt int) error {
+	windowSlots := (hi - lo) * a.segSlots
+	if a.cfg.Rebalance == RebalanceRewired &&
+		a.cfg.Layout == LayoutClustered &&
+		windowSlots >= a.cfg.PageSlots {
+		return a.redistributeRewired(lo, hi, targets, cnt)
+	}
+	a.redistributeTwoPass(lo, hi, targets, cnt)
+	return nil
+}
+
+// redistributeTwoPass gathers the window into scratch storage and writes
+// it back: two copies per element.
+func (a *Array) redistributeTwoPass(lo, hi int, targets []int, cnt int) {
+	a.gatherWindow(lo, hi, cnt)
+	a.stats.ElementCopies += uint64(cnt)
+	if a.cfg.Layout == LayoutClustered {
+		dst := a.destSpans(lo, targets, nil, nil)
+		copySpans(dst, []span{{k: a.scratchK[:cnt], v: a.scratchV[:cnt]}})
+	} else {
+		a.writeInterleaved(lo, targets, cnt)
+	}
+	a.stats.ElementCopies += uint64(cnt)
+	for i, t := range targets {
+		a.cards[lo+i] = int32(t)
+	}
+}
+
+// redistributeRewired writes each element once into spare physical pages
+// and swaps them in (Fig 6). The window is page-aligned because windows
+// are power-of-two segment ranges of at least a page.
+func (a *Array) redistributeRewired(lo, hi int, targets []int, cnt int) error {
+	page0 := lo * a.segSlots >> a.pageShift
+	npages := (hi - lo) * a.segSlots / a.cfg.PageSlots
+
+	sparesK, err := a.keys.AcquireSpares(npages)
+	if err != nil {
+		return err
+	}
+	sparesV, err := a.vals.AcquireSpares(npages)
+	if err != nil {
+		for _, pg := range sparesK {
+			a.keys.ReleaseSpare(pg)
+		}
+		return err
+	}
+
+	src := a.sourceSpans(lo, hi)
+	dst := a.destSpans(lo, targets, func(page int) []int64 { return sparesK[page-page0] },
+		func(page int) []int64 { return sparesV[page-page0] })
+	copySpans(dst, src)
+	a.stats.ElementCopies += uint64(cnt)
+
+	for i := 0; i < npages; i++ {
+		a.keys.Swap(page0+i, sparesK[i])
+		a.vals.Swap(page0+i, sparesV[i])
+	}
+	a.trimPool()
+
+	for i, t := range targets {
+		a.cards[lo+i] = int32(t)
+	}
+	return nil
+}
+
+// gatherWindow copies the window's elements, in key order, into the
+// scratch buffers.
+func (a *Array) gatherWindow(lo, hi, cnt int) {
+	a.ensureScratch(cnt)
+	if a.cfg.Layout == LayoutClustered {
+		pos := 0
+		for _, s := range a.sourceSpans(lo, hi) {
+			copy(a.scratchK[pos:], s.k)
+			copy(a.scratchV[pos:], s.v)
+			pos += len(s.k)
+		}
+		return
+	}
+	pos := 0
+	for slot := lo * a.segSlots; slot < hi*a.segSlots; slot++ {
+		if a.occupied(slot) {
+			a.scratchK[pos] = a.keys.Get(slot)
+			a.scratchV[pos] = a.vals.Get(slot)
+			pos++
+		}
+	}
+}
+
+func (a *Array) ensureScratch(n int) {
+	if cap(a.scratchK) < n {
+		a.scratchK = make([]int64, n)
+		a.scratchV = make([]int64, n)
+	}
+	a.scratchK = a.scratchK[:n]
+	a.scratchV = a.scratchV[:n]
+}
+
+// sourceSpans returns the window's current element runs in key order
+// (clustered layout only): one run per segment, merging is not needed
+// because segments are already ordered.
+func (a *Array) sourceSpans(lo, hi int) []span {
+	spans := make([]span, 0, hi-lo)
+	for s := lo; s < hi; s++ {
+		c := int(a.cards[s])
+		if c == 0 {
+			continue
+		}
+		kpg, off := a.segPage(a.keys, s)
+		vpg, voff := a.segPage(a.vals, s)
+		rl, rh := a.runBounds(s)
+		spans = append(spans, span{k: kpg[off+rl : off+rh], v: vpg[voff+rl : voff+rh]})
+	}
+	return spans
+}
+
+// destSpans returns the destination runs for the given targets in the
+// clustered layout. resolveK/resolveV map a page index to its destination
+// page; nil means the live pages (two-pass write-back).
+func (a *Array) destSpans(lo int, targets []int, resolveK, resolveV func(page int) []int64) []span {
+	if resolveK == nil {
+		resolveK = func(page int) []int64 { return a.keys.Page(page) }
+		resolveV = func(page int) []int64 { return a.vals.Page(page) }
+	}
+	spans := make([]span, 0, len(targets))
+	for i, c := range targets {
+		if c == 0 {
+			continue
+		}
+		seg := lo + i
+		var rl int
+		if seg&1 == 0 {
+			rl = a.segSlots - c
+		}
+		slot := seg*a.segSlots + rl
+		page := slot >> a.pageShift
+		off := slot & (a.cfg.PageSlots - 1)
+		spans = append(spans, span{
+			k: resolveK(page)[off : off+c],
+			v: resolveV(page)[off : off+c],
+		})
+	}
+	return spans
+}
+
+// copySpans streams the source spans into the destination spans with
+// block copies; total lengths must match.
+func copySpans(dst, src []span) {
+	di, si := 0, 0
+	var d, s span
+	for {
+		if len(d.k) == 0 {
+			if di == len(dst) {
+				return
+			}
+			d = dst[di]
+			di++
+		}
+		if len(s.k) == 0 {
+			if si == len(src) {
+				return
+			}
+			s = src[si]
+			si++
+		}
+		m := len(d.k)
+		if len(s.k) < m {
+			m = len(s.k)
+		}
+		copy(d.k[:m], s.k[:m])
+		copy(d.v[:m], s.v[:m])
+		d.k, d.v = d.k[m:], d.v[m:]
+		s.k, s.v = s.k[m:], s.v[m:]
+	}
+}
+
+// writeInterleaved spreads cnt scratch elements back over segments
+// [lo, lo+len(targets)) with evenly strided gaps inside each segment
+// (the classic PMA layout after a rebalance).
+func (a *Array) writeInterleaved(lo int, targets []int, cnt int) {
+	// Clear the window's occupancy bits.
+	for slot := lo * a.segSlots; slot < (lo+len(targets))*a.segSlots; slot++ {
+		a.setOccupied(slot, false)
+	}
+	pos := 0
+	for i, c := range targets {
+		base := (lo + i) * a.segSlots
+		for j := 0; j < c; j++ {
+			slot := base + j*a.segSlots/c
+			a.keys.Set(slot, a.scratchK[pos])
+			a.vals.Set(slot, a.scratchV[pos])
+			a.setOccupied(slot, true)
+			pos++
+		}
+	}
+}
+
+// trimPool caps the spare-page pool. The paper's hard bound is the size
+// of the array itself; keeping the pool at 1/8 of the mapped pages keeps
+// the steady-state footprint near the array's own size while still
+// recycling pages across rebalances (resizes fall back to fresh, zeroed
+// allocations for the part the pool cannot cover).
+func (a *Array) trimPool() {
+	cap := a.keys.NumPages()/8 + 1
+	a.keys.TrimSpares(cap)
+	a.vals.TrimSpares(cap)
+}
+
+// refreshSeparators recomputes the separators of segments [lo, hi) after
+// a rebalance, carrying the nearest non-empty minimum right-to-left into
+// empty segments, and propagates into the empty chain left of lo.
+func (a *Array) refreshSeparators(lo, hi int) {
+	carry := unsetSep
+	if hi < a.numSegs {
+		carry = a.ix.Key(hi)
+	}
+	for j := hi - 1; j >= lo; j-- {
+		if a.cards[j] > 0 {
+			carry = a.segMin(j)
+		}
+		if j >= 1 {
+			a.ix.Update(j, carry)
+		}
+	}
+	for j := lo - 1; j >= 1 && a.cards[j] == 0; j-- {
+		a.ix.Update(j, carry)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+// ScanRange calls yield for every element with lo <= key <= hi in key
+// order, stopping early if yield returns false. On the clustered layout
+// the loop body runs over dense runs — one tight loop per pair of
+// segments, no gap checks; on the interleaved layout every slot pays the
+// occupancy test (the cost the clustering feature removes).
+func (a *Array) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	if a.n == 0 || lo > hi {
+		return
+	}
+	if a.cfg.Layout == LayoutInterleaved {
+		a.scanRangeInterleaved(lo, hi, yield)
+		return
+	}
+	startSeg := a.ix.FindLB(lo)
+	for seg := startSeg; seg < a.numSegs; seg++ {
+		c := int(a.cards[seg])
+		if c == 0 {
+			continue
+		}
+		kpg, off := a.segPage(a.keys, seg)
+		vpg, voff := a.segPage(a.vals, seg)
+		rl, rh := a.runBounds(seg)
+		runK := kpg[off+rl : off+rh]
+		runV := vpg[voff+rl : voff+rh]
+		start := 0
+		if seg == startSeg {
+			start = lowerBoundRun(runK, lo)
+		}
+		for i := start; i < len(runK); i++ {
+			k := runK[i]
+			if k > hi {
+				return
+			}
+			if !yield(k, runV[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (a *Array) scanRangeInterleaved(lo, hi int64, yield func(key, val int64) bool) {
+	startSeg := a.ix.FindLB(lo)
+	for slot := startSeg * a.segSlots; slot < a.Capacity(); slot++ {
+		if !a.occupied(slot) {
+			continue
+		}
+		k := a.keys.Get(slot)
+		if k < lo {
+			continue
+		}
+		if k > hi {
+			return
+		}
+		if !yield(k, a.vals.Get(slot)) {
+			return
+		}
+	}
+}
+
+// Scan iterates every element in key order.
+func (a *Array) Scan(yield func(key, val int64) bool) {
+	a.ScanRange(minInt64, maxInt64, yield)
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// Sum aggregates the elements with lo <= key <= hi, returning their count
+// and the sum of their values: the paper's range-scan measurement
+// (Fig 10c sums the values in a contiguous region). It is the fastest
+// scan path: no callback, dense inner loops per segment pair.
+func (a *Array) Sum(lo, hi int64) (count int, sum int64) {
+	if a.n == 0 || lo > hi {
+		return 0, 0
+	}
+	if a.cfg.Layout == LayoutInterleaved {
+		return a.sumInterleaved(lo, hi)
+	}
+	startSeg := a.ix.FindLB(lo)
+	for seg := startSeg; seg < a.numSegs; seg++ {
+		c := int(a.cards[seg])
+		if c == 0 {
+			continue
+		}
+		kpg, off := a.segPage(a.keys, seg)
+		vpg, voff := a.segPage(a.vals, seg)
+		rl, rh := a.runBounds(seg)
+		runK := kpg[off+rl : off+rh]
+		runV := vpg[voff+rl : voff+rh]
+
+		start := 0
+		if seg == startSeg {
+			start = lowerBoundRun(runK, lo)
+		}
+		end := len(runK)
+		last := runK[len(runK)-1]
+		if last > hi {
+			end = upperBoundRun(runK, hi)
+		}
+		for i := start; i < end; i++ {
+			sum += runV[i]
+		}
+		count += end - start
+		if end < len(runK) {
+			return count, sum
+		}
+	}
+	return count, sum
+}
+
+func (a *Array) sumInterleaved(lo, hi int64) (count int, sum int64) {
+	startSeg := a.ix.FindLB(lo)
+	for slot := startSeg * a.segSlots; slot < a.Capacity(); slot++ {
+		if !a.occupied(slot) {
+			continue
+		}
+		k := a.keys.Get(slot)
+		if k < lo {
+			continue
+		}
+		if k > hi {
+			return count, sum
+		}
+		sum += a.vals.Get(slot)
+		count++
+	}
+	return count, sum
+}
+
+// SumAll aggregates the whole array (full column scan).
+func (a *Array) SumAll() (count int, sum int64) {
+	return a.Sum(minInt64, maxInt64)
+}

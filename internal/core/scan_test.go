@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rma/internal/workload"
+)
+
+func loadedArray(t *testing.T, cfg Config, n int, seed uint64) (*Array, []int64) {
+	t.Helper()
+	a := mustNew(t, cfg)
+	g := workload.NewUniform(seed, 1<<24)
+	keys := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		mustInsert(t, a, k, workload.ValueFor(k))
+		keys = append(keys, k)
+	}
+	return a, keys
+}
+
+func TestScanRangeMatchesSum(t *testing.T) {
+	for name, cfg := range configMatrix() {
+		t.Run(name, func(t *testing.T) {
+			a, _ := loadedArray(t, cfg, 3000, 5)
+			rng := workload.NewRNG(6)
+			for trial := 0; trial < 50; trial++ {
+				lo := int64(rng.Uint64n(1 << 24))
+				hi := lo + int64(rng.Uint64n(1<<22))
+				wc, ws := 0, int64(0)
+				a.ScanRange(lo, hi, func(k, v int64) bool {
+					if k < lo || k > hi {
+						t.Fatalf("yielded key %d outside [%d,%d]", k, lo, hi)
+					}
+					if v != workload.ValueFor(k) {
+						t.Fatalf("value mismatch for %d", k)
+					}
+					wc++
+					ws += v
+					return true
+				})
+				gc, gs := a.Sum(lo, hi)
+				if gc != wc || gs != ws {
+					t.Fatalf("Sum(%d,%d)=(%d,%d) but scan saw (%d,%d)", lo, hi, gc, gs, wc, ws)
+				}
+			}
+		})
+	}
+}
+
+func TestScanOrderStrict(t *testing.T) {
+	for name, cfg := range configMatrix() {
+		t.Run(name, func(t *testing.T) {
+			a, _ := loadedArray(t, cfg, 2000, 9)
+			prev := int64(minInt64)
+			count := 0
+			a.Scan(func(k, _ int64) bool {
+				if k < prev {
+					t.Fatalf("scan out of order: %d after %d", k, prev)
+				}
+				prev = k
+				count++
+				return true
+			})
+			if count != a.Size() {
+				t.Fatalf("scan visited %d of %d", count, a.Size())
+			}
+		})
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	a, _ := loadedArray(t, testConfig(), 1000, 1)
+	seen := 0
+	a.Scan(func(_, _ int64) bool { seen++; return seen < 7 })
+	if seen != 7 {
+		t.Fatalf("early stop visited %d", seen)
+	}
+}
+
+func TestScanEmptyAndInverted(t *testing.T) {
+	a := mustNew(t, testConfig())
+	called := false
+	a.Scan(func(_, _ int64) bool { called = true; return true })
+	if called {
+		t.Fatal("scan of empty array yielded")
+	}
+	mustInsert(t, a, 5, 5)
+	a.ScanRange(10, 1, func(_, _ int64) bool { called = true; return true })
+	if called {
+		t.Fatal("inverted range yielded")
+	}
+	if c, _ := a.Sum(10, 1); c != 0 {
+		t.Fatal("inverted Sum")
+	}
+}
+
+func TestSumBoundaryConditions(t *testing.T) {
+	for name, cfg := range configMatrix() {
+		t.Run(name, func(t *testing.T) {
+			a := mustNew(t, cfg)
+			for i := 0; i < 500; i++ {
+				mustInsert(t, a, int64(i*10), int64(i))
+			}
+			// Exact-boundary hits, misses, single elements, full span.
+			cases := []struct {
+				lo, hi int64
+				want   int
+			}{
+				{0, 4990, 500},
+				{minInt64, maxInt64, 500},
+				{10, 10, 1},
+				{11, 19, 0},
+				{-100, -1, 0},
+				{4990, maxInt64, 1},
+				{0, 0, 1},
+			}
+			for _, c := range cases {
+				if got, _ := a.Sum(c.lo, c.hi); got != c.want {
+					t.Fatalf("Sum(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// Property: for any random op sequence, SumAll == (Size, sum of values
+// per a parallel model), across a couple of configurations.
+func TestSumAllProperty(t *testing.T) {
+	cfgs := []Config{testConfig(), func() Config {
+		c := BaselineConfig()
+		c.PageSlots = 32
+		c.SegmentSlots = 8
+		return c
+	}()}
+	f := func(ops []uint16, pick uint8) bool {
+		cfg := cfgs[int(pick)%len(cfgs)]
+		a, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		want := int64(0)
+		n := 0
+		for _, op := range ops {
+			k := int64(op % 512)
+			if op%5 == 0 && cfg.Adaptive != AdaptiveAPMA {
+				if ok, _ := a.Delete(k); ok {
+					want -= workload.ValueFor(k)
+					n--
+				}
+			} else {
+				if err := a.Insert(k, workload.ValueFor(k)); err != nil {
+					return false
+				}
+				want += workload.ValueFor(k)
+				n++
+			}
+		}
+		c, s := a.SumAll()
+		return c == n && s == want && a.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Find agrees with a map-based multiset count for membership.
+func TestFindMembershipProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a, err := New(testConfig())
+		if err != nil {
+			return false
+		}
+		counts := map[int64]int{}
+		for _, op := range ops {
+			k := int64(op % 256)
+			if op%4 == 0 && counts[k] > 0 {
+				if ok, _ := a.Delete(k); !ok {
+					return false
+				}
+				counts[k]--
+			} else {
+				if err := a.Insert(k, k); err != nil {
+					return false
+				}
+				counts[k]++
+			}
+		}
+		for k := int64(0); k < 256; k++ {
+			if _, ok := a.Find(k); ok != (counts[k] > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxAcrossConfigs(t *testing.T) {
+	for name, cfg := range configMatrix() {
+		if cfg.Adaptive == AdaptiveAPMA {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			a := mustNew(t, cfg)
+			keys := []int64{500, -3, 999, 17, 0}
+			for _, k := range keys {
+				mustInsert(t, a, k, k)
+			}
+			if mn, ok := a.Min(); !ok || mn != -3 {
+				t.Fatalf("Min = %d", mn)
+			}
+			if mx, ok := a.Max(); !ok || mx != 999 {
+				t.Fatalf("Max = %d", mx)
+			}
+			// Delete the extremes and re-check.
+			if ok, _ := a.Delete(-3); !ok {
+				t.Fatal("delete min")
+			}
+			if ok, _ := a.Delete(999); !ok {
+				t.Fatal("delete max")
+			}
+			if mn, _ := a.Min(); mn != 0 {
+				t.Fatalf("Min after delete = %d", mn)
+			}
+			if mx, _ := a.Max(); mx != 500 {
+				t.Fatalf("Max after delete = %d", mx)
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+// Find returns the value stored under key and whether it exists. With
+// duplicate keys any one match is returned. Cost: one index descent plus
+// one in-segment search, exactly the paper's point-lookup path.
+func (a *Array) Find(key int64) (int64, bool) {
+	a.stats.Lookups++
+	if a.n == 0 {
+		return 0, false
+	}
+	seg := a.ix.FindUB(key)
+	switch a.cfg.Layout {
+	case LayoutClustered:
+		kpg, off := a.segPage(a.keys, seg)
+		lo, hi := a.runBounds(seg)
+		r := searchRun(kpg[off+lo:off+hi], key)
+		if r >= 0 {
+			vpg, voff := a.segPage(a.vals, seg)
+			return vpg[voff+lo+r], true
+		}
+	default:
+		base := seg * a.segSlots
+		for s := base; s < base+a.segSlots; s++ {
+			if !a.occupied(s) {
+				continue
+			}
+			k := a.keys.Get(s)
+			if k == key {
+				return a.vals.Get(s), true
+			}
+			if k > key {
+				break
+			}
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is stored.
+func (a *Array) Contains(key int64) bool {
+	_, ok := a.Find(key)
+	return ok
+}
+
+// searchRun binary-searches a sorted dense run for key, returning the
+// index of one occurrence or -1.
+func searchRun(run []int64, key int64) int {
+	lo, hi := 0, len(run)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if run[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(run) && run[lo] == key {
+		return lo
+	}
+	return -1
+}
+
+// lowerBoundRun returns the first index in the sorted run with
+// run[i] >= key (== len(run) if none).
+func lowerBoundRun(run []int64, key int64) int {
+	lo, hi := 0, len(run)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if run[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBoundRun returns the first index in the sorted run with
+// run[i] > key.
+func upperBoundRun(run []int64, key int64) int {
+	lo, hi := 0, len(run)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if run[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (a *Array) Min() (int64, bool) {
+	if a.n == 0 {
+		return 0, false
+	}
+	for s := 0; s < a.numSegs; s++ {
+		if a.cards[s] > 0 {
+			return a.segMin(s), true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the largest key, or ok=false when empty.
+func (a *Array) Max() (int64, bool) {
+	if a.n == 0 {
+		return 0, false
+	}
+	for s := a.numSegs - 1; s >= 0; s-- {
+		if a.cards[s] == 0 {
+			continue
+		}
+		switch a.cfg.Layout {
+		case LayoutClustered:
+			pg, off := a.segPage(a.keys, s)
+			_, hi := a.runBounds(s)
+			return pg[off+hi-1], true
+		default:
+			base := s * a.segSlots
+			for i := base + a.segSlots - 1; i >= base; i-- {
+				if a.occupied(i) {
+					return a.keys.Get(i), true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// neighborBefore returns the key preceding (seg, rank) in global order,
+// with ok=false at the array start. rank counts elements within seg.
+func (a *Array) neighborBefore(seg, rank int) (int64, bool) {
+	if rank > 0 {
+		return a.elemKey(seg, rank-1), true
+	}
+	for s := seg - 1; s >= 0; s-- {
+		if c := int(a.cards[s]); c > 0 {
+			return a.elemKey(s, c-1), true
+		}
+	}
+	return 0, false
+}
+
+// neighborAfter returns the key following (seg, rank) in global order,
+// with ok=false at the array end.
+func (a *Array) neighborAfter(seg, rank int) (int64, bool) {
+	if rank < int(a.cards[seg])-1 {
+		return a.elemKey(seg, rank+1), true
+	}
+	for s := seg + 1; s < a.numSegs; s++ {
+		if a.cards[s] > 0 {
+			return a.elemKey(s, 0), true
+		}
+	}
+	return 0, false
+}
+
+// elemKey returns the rank-th smallest key of segment seg.
+func (a *Array) elemKey(seg, rank int) int64 {
+	switch a.cfg.Layout {
+	case LayoutClustered:
+		pg, off := a.segPage(a.keys, seg)
+		lo, _ := a.runBounds(seg)
+		return pg[off+lo+rank]
+	default:
+		base := seg * a.segSlots
+		seen := 0
+		for s := base; s < base+a.segSlots; s++ {
+			if a.occupied(s) {
+				if seen == rank {
+					return a.keys.Get(s)
+				}
+				seen++
+			}
+		}
+		panic("core: elemKey rank out of range")
+	}
+}

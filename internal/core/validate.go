@@ -1,0 +1,91 @@
+package core
+
+import "fmt"
+
+// Validate checks every structural invariant of the array. Tests call it
+// after operation sequences; it is deliberately exhaustive and O(n).
+//
+// Invariants:
+//  1. cards sum to n; every card in [0, B].
+//  2. Clustered: each segment's run packs to the correct end (parity).
+//     Interleaved: bitmap popcount per segment matches cards.
+//  3. Keys are globally sorted across the traversal order.
+//  4. Separators: for every segment j >= 1, all keys in segments < j are
+//     <= sep(j) and all keys in segments >= j are >= sep(j); for a
+//     non-empty segment sep(j) equals its minimum, for an empty one it
+//     equals the minimum of the nearest non-empty segment to the right
+//     (or unsetSep).
+//  5. Values travel with keys: Find on every stored key succeeds.
+//  6. Geometry: capacity = numSegs * B, both powers of two, capacity a
+//     multiple of PageSlots.
+func (a *Array) Validate() error {
+	if got := a.numSegs * a.segSlots; got != a.Capacity() {
+		return fmt.Errorf("capacity mismatch: %d", got)
+	}
+	if a.Capacity()%a.cfg.PageSlots != 0 {
+		return fmt.Errorf("capacity %d not page-aligned", a.Capacity())
+	}
+	if a.segSlots&(a.segSlots-1) != 0 {
+		return fmt.Errorf("segment size not a power of two: B=%d", a.segSlots)
+	}
+
+	total := 0
+	for s := 0; s < a.numSegs; s++ {
+		c := int(a.cards[s])
+		if c < 0 || c > a.segSlots {
+			return fmt.Errorf("segment %d: card %d out of [0,%d]", s, c, a.segSlots)
+		}
+		total += c
+	}
+	if total != a.n {
+		return fmt.Errorf("cards sum %d != n %d", total, a.n)
+	}
+
+	if a.cfg.Layout == LayoutInterleaved {
+		for s := 0; s < a.numSegs; s++ {
+			pop := 0
+			for slot := s * a.segSlots; slot < (s+1)*a.segSlots; slot++ {
+				if a.occupied(slot) {
+					pop++
+				}
+			}
+			if pop != int(a.cards[s]) {
+				return fmt.Errorf("segment %d: bitmap %d != card %d", s, pop, a.cards[s])
+			}
+		}
+	}
+
+	// Global sortedness.
+	prev := int64(minInt64)
+	for s := 0; s < a.numSegs; s++ {
+		for r := 0; r < int(a.cards[s]); r++ {
+			k := a.elemKey(s, r)
+			if k < prev {
+				return fmt.Errorf("order violation at segment %d rank %d: %d < %d", s, r, k, prev)
+			}
+			prev = k
+		}
+	}
+
+	// Separator invariants.
+	carry := unsetSep
+	for j := a.numSegs - 1; j >= 1; j-- {
+		if a.cards[j] > 0 {
+			carry = a.segMin(j)
+		}
+		if got := a.ix.Key(j); got != carry {
+			return fmt.Errorf("separator %d: index has %d, want %d", j, got, carry)
+		}
+	}
+
+	// Every stored key is findable with its value.
+	for s := 0; s < a.numSegs; s++ {
+		for r := 0; r < int(a.cards[s]); r++ {
+			k := a.elemKey(s, r)
+			if _, ok := a.Find(k); !ok {
+				return fmt.Errorf("stored key %d (seg %d rank %d) not findable", k, s, r)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Package dense implements the static sorted dense array: the paper's
+// upper bound for scan throughput ("close to dense column scans") and the
+// storage model of static columnar data. It supports no updates; it
+// exists so benchmarks can report the gap the RMA is closing.
+package dense
+
+import "fmt"
+
+// Array is an immutable sorted column of key/value pairs.
+type Array struct {
+	keys []int64
+	vals []int64
+}
+
+// FromSorted builds the array from sorted parallel slices (not copied).
+func FromSorted(keys, vals []int64) *Array {
+	if len(keys) != len(vals) {
+		panic("dense: length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			panic(fmt.Sprintf("dense: input not sorted at %d", i))
+		}
+	}
+	return &Array{keys: keys, vals: vals}
+}
+
+// Size returns the number of elements.
+func (a *Array) Size() int { return len(a.keys) }
+
+// Find returns a value stored under key.
+func (a *Array) Find(key int64) (int64, bool) {
+	i := a.lowerBound(key)
+	if i < len(a.keys) && a.keys[i] == key {
+		return a.vals[i], true
+	}
+	return 0, false
+}
+
+func (a *Array) lowerBound(key int64) int {
+	lo, hi := 0, len(a.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ScanRange calls yield for every element with lo <= key <= hi.
+func (a *Array) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	for i := a.lowerBound(lo); i < len(a.keys); i++ {
+		if a.keys[i] > hi {
+			return
+		}
+		if !yield(a.keys[i], a.vals[i]) {
+			return
+		}
+	}
+}
+
+// Sum aggregates elements in [lo, hi]: the dense column scan all sparse
+// structures are measured against.
+func (a *Array) Sum(lo, hi int64) (count int, sum int64) {
+	i := a.lowerBound(lo)
+	j := i
+	for j < len(a.keys) && a.keys[j] <= hi {
+		j++
+	}
+	for k := i; k < j; k++ {
+		sum += a.vals[k]
+	}
+	return j - i, sum
+}
+
+// SumAll aggregates the whole column.
+func (a *Array) SumAll() (count int, sum int64) {
+	var s int64
+	for _, v := range a.vals {
+		s += v
+	}
+	return len(a.keys), s
+}
+
+// FootprintBytes returns the memory held: exactly 16 bytes per element,
+// the optimum the paper compares sparse-array footprints against.
+func (a *Array) FootprintBytes() int64 {
+	return int64(cap(a.keys))*8 + int64(cap(a.vals))*8 + 48
+}

@@ -1,0 +1,72 @@
+package dense
+
+import "testing"
+
+func build(n int) *Array {
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i * 2)
+		vals[i] = int64(i)
+	}
+	return FromSorted(keys, vals)
+}
+
+func TestFind(t *testing.T) {
+	a := build(1000)
+	for i := 0; i < 1000; i++ {
+		v, ok := a.Find(int64(i * 2))
+		if !ok || v != int64(i) {
+			t.Fatalf("Find(%d) = (%d,%v)", i*2, v, ok)
+		}
+		if _, ok := a.Find(int64(i*2 + 1)); ok {
+			t.Fatalf("found absent key %d", i*2+1)
+		}
+	}
+}
+
+func TestSumMatchesScan(t *testing.T) {
+	a := build(1000)
+	for _, r := range [][2]int64{{0, 1998}, {100, 200}, {-5, 5}, {1999, 5000}, {3, 3}} {
+		cnt, sum := a.Sum(r[0], r[1])
+		wc, ws := 0, int64(0)
+		a.ScanRange(r[0], r[1], func(_, v int64) bool { wc++; ws += v; return true })
+		if cnt != wc || sum != ws {
+			t.Fatalf("Sum(%d,%d) = (%d,%d), scan says (%d,%d)", r[0], r[1], cnt, sum, wc, ws)
+		}
+	}
+	cnt, _ := a.SumAll()
+	if cnt != 1000 {
+		t.Fatalf("SumAll count %d", cnt)
+	}
+}
+
+func TestEmptyAndEdge(t *testing.T) {
+	a := FromSorted(nil, nil)
+	if a.Size() != 0 {
+		t.Fatal("size")
+	}
+	if _, ok := a.Find(1); ok {
+		t.Fatal("found in empty")
+	}
+	cnt, _ := a.Sum(-100, 100)
+	if cnt != 0 {
+		t.Fatal("sum in empty")
+	}
+}
+
+func TestUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSorted([]int64{2, 1}, []int64{0, 0})
+}
+
+func TestFootprint(t *testing.T) {
+	a := build(1024)
+	if f := a.FootprintBytes(); f < 1024*16 || f > 1024*16+64 {
+		t.Fatalf("footprint %d, want ~%d", f, 1024*16)
+	}
+}

@@ -1,0 +1,219 @@
+package detector
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{QueueLen: 0, SC: 8, ThetaSC: 3, Alpha: 0.9, Phi: 0.75},
+		{QueueLen: 8, SC: 0, ThetaSC: 3, Alpha: 0.9, Phi: 0.75},
+		{QueueLen: 8, SC: 8, ThetaSC: 9, Alpha: 0.9, Phi: 0.75}, // theta > SC
+		{QueueLen: 8, SC: 8, ThetaSC: 3, Alpha: 1.0, Phi: 0.75},
+		{QueueLen: 8, SC: 8, ThetaSC: 3, Alpha: 0.9, Phi: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// Algorithm 1 trace: an ascending run toward a fixed successor must grow
+// the k_bwd counter; a random insert must decay both counters.
+func TestAlgorithm1CounterTrace(t *testing.T) {
+	d := New(4, DefaultConfig())
+	// Fig 8's scenario: the successor of each inserted key is 19.
+	// First insert: counters are 0, so k_bwd adopts succ=19.
+	d.RecordInsert(1, 14, 19, true, true, 1)
+	if d.bwdVal[1] != 19 {
+		t.Fatalf("k_bwd.value = %d, want 19", d.bwdVal[1])
+	}
+	for i := 0; i < 3; i++ {
+		d.RecordInsert(1, 14+int64(i), 19, true, true, uint64(2+i))
+	}
+	if got := d.bwdCnt[1]; got != 3 {
+		t.Fatalf("k_bwd.counter = %d, want 3 (as in Fig 8)", got)
+	}
+	// A non-matching insert decrements both counters.
+	d.RecordInsert(1, 100, 200, true, true, 10)
+	if got := d.bwdCnt[1]; got != 2 {
+		t.Fatalf("after mismatch k_bwd.counter = %d, want 2", got)
+	}
+}
+
+func TestCounterSaturatesAtSC(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(2, cfg)
+	for i := 0; i < cfg.SC*3; i++ {
+		d.RecordInsert(0, 5, 9, true, true, uint64(i+1))
+	}
+	if got := int(d.bwdCnt[0]); got != cfg.SC {
+		t.Fatalf("counter = %d, want saturation at %d", got, cfg.SC)
+	}
+	if got := int(d.sc[0]); got != cfg.SC {
+		t.Fatalf("sc = %d, want saturation at %d", got, cfg.SC)
+	}
+}
+
+func TestCounterReplacementAtZero(t *testing.T) {
+	d := New(1, DefaultConfig())
+	d.RecordInsert(0, 1, 9, true, true, 1) // adopt k_bwd=9, k_fwd=1
+	d.RecordInsert(0, 1, 9, true, true, 2) // k_bwd -> 1
+	// Now mismatch until the counter hits zero and the value is replaced.
+	d.RecordInsert(0, 50, 60, true, true, 3)
+	if d.bwdVal[0] != 60 || d.fwdVal[0] != 50 {
+		t.Fatalf("values not replaced at zero: bwd=%d fwd=%d", d.bwdVal[0], d.fwdVal[0])
+	}
+}
+
+func TestScGoesNegativeOnDeleteHammering(t *testing.T) {
+	d := New(2, DefaultConfig())
+	for i := 0; i < 10; i++ {
+		d.RecordDelete(1, uint64(i+1))
+	}
+	if got := int(d.sc[1]); got != -DefaultConfig().SC {
+		t.Fatalf("sc = %d, want %d", got, -DefaultConfig().SC)
+	}
+}
+
+// A hammered segment among cold ones must be the only marked segment, and
+// sequential hammering must produce a pair-granular mark with the
+// predicted frontier key.
+func TestMarksIdentifySequentialHammering(t *testing.T) {
+	d := New(8, DefaultConfig())
+	now := uint64(0)
+	tick := func() uint64 { now++; return now }
+	// Cold history everywhere.
+	for s := 0; s < 8; s++ {
+		for i := 0; i < 8; i++ {
+			d.RecordInsert(s, int64(s*100+i), int64(s*100+i+2), true, true, tick())
+		}
+	}
+	// Hammer segment 3 with an ascending run approaching key 399.
+	for i := 0; i < 8; i++ {
+		d.RecordInsert(3, int64(340+i), 399, true, true, tick())
+	}
+	marks := d.Marks(0, 8)
+	if len(marks) != 1 {
+		t.Fatalf("got %d marks, want 1: %+v", len(marks), marks)
+	}
+	m := marks[0]
+	if m.Seg != 3 || m.Kind != MarkPairBwd || m.Key != 399 || m.Score != 1 {
+		t.Fatalf("unexpected mark %+v", m)
+	}
+}
+
+func TestMarksWholeSegmentWhenNoSequentialPattern(t *testing.T) {
+	d := New(4, DefaultConfig())
+	now := uint64(0)
+	tick := func() uint64 { now++; return now }
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 8; i++ {
+			// Scatter keys so no pair counter accumulates.
+			d.RecordInsert(s, int64(i*17+s), int64(i*31+s+1), true, true, tick())
+		}
+	}
+	// Hammer segment 2 with random (non-sequential) keys.
+	for i := 0; i < 8; i++ {
+		d.RecordInsert(2, int64(i*997), int64(i*1003+1), true, true, tick())
+	}
+	marks := d.Marks(0, 4)
+	if len(marks) != 1 || marks[0].Seg != 2 || marks[0].Kind != MarkSegment {
+		t.Fatalf("want whole-segment mark on seg 2, got %+v", marks)
+	}
+}
+
+func TestMarksDeleteHammeringScoresNegative(t *testing.T) {
+	d := New(4, DefaultConfig())
+	now := uint64(0)
+	tick := func() uint64 { now++; return now }
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 8; i++ {
+			d.RecordInsert(s, int64(i), int64(i+2), true, true, tick())
+		}
+	}
+	for i := 0; i < 12; i++ {
+		d.RecordDelete(1, tick())
+	}
+	marks := d.Marks(0, 4)
+	if len(marks) != 1 || marks[0].Seg != 1 || marks[0].Score != -1 {
+		t.Fatalf("want negative-score mark on seg 1, got %+v", marks)
+	}
+}
+
+func TestMarksUniformHistoryProducesNone(t *testing.T) {
+	d := New(8, DefaultConfig())
+	now := uint64(0)
+	// Perfectly interleaved updates: no segment owns the recent past.
+	for round := 0; round < 16; round++ {
+		for s := 0; s < 8; s++ {
+			now++
+			d.RecordInsert(s, int64(round*31+s), int64(round*37+s+1), true, true, now)
+		}
+	}
+	if marks := d.Marks(0, 8); len(marks) != 0 {
+		t.Fatalf("uniform history produced marks: %+v", marks)
+	}
+}
+
+func TestMarksEmptyWindow(t *testing.T) {
+	d := New(8, DefaultConfig())
+	if marks := d.Marks(2, 6); marks != nil {
+		t.Fatalf("empty window produced marks: %+v", marks)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	d := New(4, DefaultConfig())
+	for i := 0; i < 20; i++ {
+		d.RecordInsert(1, 5, 9, true, true, uint64(i+1))
+	}
+	d.Reset(16)
+	if d.NumSegments() != 16 {
+		t.Fatalf("NumSegments = %d", d.NumSegments())
+	}
+	if marks := d.Marks(0, 16); len(marks) != 0 {
+		t.Fatalf("reset detector still marks: %+v", marks)
+	}
+}
+
+// Property: counters never escape their documented bounds under any
+// operation sequence.
+func TestCounterBoundsProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(ops []uint16) bool {
+		d := New(4, cfg)
+		now := uint64(0)
+		for _, op := range ops {
+			now++
+			seg := int(op % 4)
+			if op%3 == 0 {
+				d.RecordDelete(seg, now)
+			} else {
+				d.RecordInsert(seg, int64(op%50), int64(op%50+2), op%5 > 0, op%7 > 0, now)
+			}
+			for s := 0; s < 4; s++ {
+				if d.bwdCnt[s] < 0 || int(d.bwdCnt[s]) > cfg.SC ||
+					d.fwdCnt[s] < 0 || int(d.fwdCnt[s]) > cfg.SC ||
+					int(d.sc[s]) > cfg.SC || int(d.sc[s]) < -cfg.SC {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprintPositive(t *testing.T) {
+	if New(64, DefaultConfig()).FootprintBytes() <= 0 {
+		t.Fatal("footprint must be positive")
+	}
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"sort"
+
+	"rma/internal/abtree"
+	"rma/internal/core"
+	"rma/internal/workload"
+)
+
+// fig01Patterns are the insertion patterns of Fig 1.
+var fig01Patterns = []workload.Pattern{
+	workload.PatternUniform, workload.PatternZipf1,
+	workload.PatternZipf15, workload.PatternSequential,
+}
+
+// fig01Row measures one structure across the Fig 1 columns: insertion
+// throughput per pattern plus 1%-range scan throughput after a uniform
+// load. Returned values are million elements/sec.
+func fig01Row(p Params, mk func() updMap) (ins [4]float64, scan float64) {
+	for i, pat := range fig01Patterns {
+		m := mk()
+		ins[i] = insertPattern(m, pat, p.Seed, p.N)
+	}
+	// Scans over a uniform-loaded structure, as in the introduction.
+	m := mk()
+	keys := workload.Keys(workload.NewPattern(workload.PatternUniform, p.Seed), p.N)
+	for _, k := range keys {
+		m.InsertKV(k, workload.ValueFor(k))
+	}
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	scan = scanThroughput(m, sorted, p.Seed^1, 0.01)
+	return ins, scan
+}
+
+func fig01Print(p Params, name string, ins [4]float64, scan float64, base *[5]float64) {
+	if base[0] == 0 {
+		*base = [5]float64{ins[0], ins[1], ins[2], ins[3], scan}
+	}
+	p.printf("%-14s", name)
+	for i, v := range ins {
+		p.printf("\t%8.3f (%4.2fx)", v, v/base[i])
+	}
+	p.printf("\t%8.3f (%4.2fx)\n", scan, scan/base[4])
+}
+
+func fig01Header(p Params) {
+	p.printf("%-14s\t%-17s\t%-17s\t%-17s\t%-17s\t%-17s\n",
+		"structure", "ins-uniform", "ins-zipf1.0", "ins-zipf1.5", "ins-sequential", "scan-1%")
+	p.printf("# Mops/sec (speedup vs the TPMA baseline row)\n")
+}
+
+// Fig01a compares the TPMA baseline against configuration stand-ins for
+// the prior PMA implementations (PM14, KLS17, DRF12, SLH17).
+func Fig01a(p Params) {
+	p.printf("## Fig 1a — baseline TPMA vs prior PMA implementations (stand-ins)\n")
+	fig01Header(p)
+	var base [5]float64
+	for _, rw := range RelatedWorkConfigs() {
+		cfg := rw.Cfg
+		ins, scan := fig01Row(p, func() updMap { return mustCore(cfg) })
+		fig01Print(p, rw.Name, ins, scan, &base)
+	}
+}
+
+// Fig01b compares (a,b)-trees at leaf capacities 64..512 against the
+// TPMA baseline.
+func Fig01b(p Params) {
+	p.printf("## Fig 1b — (a,b)-trees vs the TPMA baseline\n")
+	fig01Header(p)
+	var base [5]float64
+	cfg := core.BaselineConfig()
+	ins, scan := fig01Row(p, func() updMap { return mustCore(cfg) })
+	fig01Print(p, "baseline", ins, scan, &base)
+	for _, b := range []int{64, 128, 256, 512} {
+		b := b
+		ins, scan := fig01Row(p, func() updMap { return abSUT{abtree.New(b)} })
+		fig01Print(p, sprintf("abtree-B%d", b), ins, scan, &base)
+	}
+}
+
+// Fig01c compares the final RMA (B=128, 256) against (a,b)-trees at the
+// same capacities, the TPMA baseline and a static dense array (scans
+// only).
+func Fig01c(p Params) {
+	p.printf("## Fig 1c — RMA vs (a,b)-trees vs static array\n")
+	fig01Header(p)
+	var base [5]float64
+	cfg := core.BaselineConfig()
+	ins, scan := fig01Row(p, func() updMap { return mustCore(cfg) })
+	fig01Print(p, "baseline", ins, scan, &base)
+	for _, b := range []int{128, 256} {
+		b := b
+		ins, scan := fig01Row(p, func() updMap { return abSUT{abtree.New(b)} })
+		fig01Print(p, sprintf("abtree-B%d", b), ins, scan, &base)
+		rcfg := RMAConfig(b)
+		ins, scan = fig01Row(p, func() updMap { return mustCore(rcfg) })
+		fig01Print(p, sprintf("rma-B%d", b), ins, scan, &base)
+	}
+	// Static array: scans only (no updates possible).
+	keys, vals := sortedPairs(workload.NewUniform(p.Seed, 0), p.N)
+	d := denseSUT{keys: keys, vals: vals}
+	scanD := scanThroughput(d, keys, p.Seed^1, 0.01)
+	p.printf("%-14s\t%-17s\t%-17s\t%-17s\t%-17s\t%8.3f (%4.2fx)\n",
+		"static-array", "-", "-", "-", "-", scanD, scanD/base[4])
+}
+
+// denseSUT adapts the dense array to the experiment surface (updates
+// panic; the harness never calls them on it).
+type denseSUT struct {
+	keys, vals []int64
+}
+
+func (d denseSUT) InsertKV(k, v int64)    { panic("dense: immutable") }
+func (d denseSUT) DeleteKey(k int64) bool { panic("dense: immutable") }
+func (d denseSUT) FindKV(k int64) (int64, bool) {
+	i := sort.Search(len(d.keys), func(i int) bool { return d.keys[i] >= k })
+	if i < len(d.keys) && d.keys[i] == k {
+		return d.vals[i], true
+	}
+	return 0, false
+}
+func (d denseSUT) SumRange(lo, hi int64) (int, int64) {
+	i := sort.Search(len(d.keys), func(i int) bool { return d.keys[i] >= lo })
+	j := sort.Search(len(d.keys), func(j int) bool { return d.keys[j] > hi })
+	var s int64
+	for k := i; k < j; k++ {
+		s += d.vals[k]
+	}
+	return j - i, s
+}
+func (d denseSUT) SumEverything() (int, int64) {
+	var s int64
+	for _, v := range d.vals {
+		s += v
+	}
+	return len(d.keys), s
+}
+func (d denseSUT) Bytes() int64 { return int64(len(d.keys)) * 16 }
+func (d denseSUT) Count() int   { return len(d.keys) }

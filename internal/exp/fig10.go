@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"sort"
+
+	"rma/internal/art"
+	"rma/internal/workload"
+)
+
+// fig10Sizes returns the cardinality checkpoints: powers of two from
+// N/64 up to N (the paper plots 1M..1G on a 1G load).
+func fig10Sizes(n int) []int {
+	var out []int
+	for s := n / 64; s <= n; s *= 2 {
+		if s >= 1024 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// fig10Bs is the node/segment size sweep of Fig 10.
+var fig10Bs = []int{32, 128, 512, 2048}
+
+// Fig10 measures insertion, lookup and scan throughput for ART-indexed
+// trees and RMAs at matching node/segment sizes, plus the dense-array
+// scan bound (Fig 10 a, b, c).
+func Fig10(p Params) {
+	sizes := fig10Sizes(p.N)
+
+	type series struct {
+		name string
+		mk   func() updMap
+	}
+	var all []series
+	for _, b := range fig10Bs {
+		b := b
+		all = append(all,
+			series{sprintf("art-B%d", b), func() updMap { return artSUT{art.New(b)} }},
+			series{sprintf("rma-B%d", b), func() updMap { return mustCore(RMAConfig(b)) }},
+		)
+	}
+
+	// --- Fig 10a: insertion throughput as the structure grows ---
+	p.printf("## Fig 10a — insertion throughput [Mops/s] vs size\n")
+	p.printf("%-12s", "structure")
+	for _, s := range sizes {
+		p.printf("\t%9d", s)
+	}
+	p.printf("\n")
+
+	keys := workload.Keys(workload.NewUniform(p.Seed, 0), p.N)
+	built := map[string]updMap{}
+	for _, sr := range all {
+		m := sr.mk()
+		p.printf("%-12s", sr.name)
+		prev := 0
+		for _, s := range sizes {
+			cnt := s - prev
+			lo, hi := prev, s
+			d := timeIt(func() {
+				for _, k := range keys[lo:hi] {
+					m.InsertKV(k, workload.ValueFor(k))
+				}
+			})
+			prev = s
+			p.printf("\t%9.3f", mops(cnt, d))
+		}
+		p.printf("\n")
+		built[sr.name] = m
+	}
+
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	// --- Fig 10b: point lookups at the final size ---
+	p.printf("## Fig 10b — point-lookup throughput [Mops/s] at size %d\n", p.N)
+	lookups := p.N / 4
+	if lookups > 1<<20 {
+		lookups = 1 << 20 // the paper uses 1M lookups
+	}
+	for _, sr := range all {
+		v := lookupThroughput(built[sr.name], keys, lookups, p.Seed^2)
+		p.printf("%-12s\t%9.3f\n", sr.name, v)
+	}
+
+	// --- Fig 10c: scans at varying interval size ---
+	fracs := []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0}
+	p.printf("## Fig 10c — scan throughput [Melts/s] vs interval fraction at size %d\n", p.N)
+	p.printf("%-12s", "structure")
+	for _, f := range fracs {
+		p.printf("\t%8.4f", f)
+	}
+	p.printf("\n")
+	for _, sr := range all {
+		p.printf("%-12s", sr.name)
+		for _, f := range fracs {
+			p.printf("\t%8.2f", scanThroughput(built[sr.name], sorted, p.Seed^3, f))
+		}
+		p.printf("\n")
+	}
+	// Dense array bound.
+	vals := make([]int64, len(sorted))
+	for i, k := range sorted {
+		vals[i] = workload.ValueFor(k)
+	}
+	d := denseSUT{keys: sorted, vals: vals}
+	p.printf("%-12s", "dense")
+	for _, f := range fracs {
+		p.printf("\t%8.2f", scanThroughput(d, sorted, p.Seed^3, f))
+	}
+	p.printf("\n")
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"rma/internal/art"
+	"rma/internal/core"
+	"rma/internal/workload"
+)
+
+// fig11Systems returns the four series of Fig 11: ART, even rebalancing,
+// the paper's adaptive rebalancing, and the APMA policy.
+func fig11Systems(withAPMA bool) []struct {
+	Name string
+	Mk   func() updMap
+} {
+	even := RMAConfig(128)
+	even.Adaptive = core.AdaptiveOff
+
+	adaptive := RMAConfig(128)
+
+	apma := core.BaselineConfig()
+	apma.Adaptive = core.AdaptiveAPMA
+
+	out := []struct {
+		Name string
+		Mk   func() updMap
+	}{
+		{"art", func() updMap { return artSUT{art.New(128)} }},
+		{"even-rebal", func() updMap { return mustCore(even) }},
+		{"adaptive-rebal", func() updMap { return mustCore(adaptive) }},
+	}
+	if withAPMA {
+		out = append(out, struct {
+			Name string
+			Mk   func() updMap
+		}{"apma", func() updMap { return mustCore(apma) }})
+	}
+	return out
+}
+
+// Fig11a measures insert-only throughput across the Zipf skew sweep
+// (Fig 11a: adaptive rebalancing turns the TPMA worst case around).
+func Fig11a(p Params) {
+	p.printf("## Fig 11a — insert-only throughput [Mops/s] vs Zipf alpha\n")
+	p.printf("%-14s", "structure")
+	for _, a := range alphaSweep {
+		p.printf("\t%9s", alphaLabel(a))
+	}
+	p.printf("\n")
+	for _, sys := range fig11Systems(true) {
+		p.printf("%-14s", sys.Name)
+		for _, a := range alphaSweep {
+			m := sys.Mk()
+			g := alphaGen(a, p.Seed)
+			keys := workload.Keys(g, p.N)
+			d := timeIt(func() {
+				for _, k := range keys {
+					m.InsertKV(k, workload.ValueFor(k))
+				}
+			})
+			p.printf("\t%9.3f", mops(p.N, d))
+		}
+		p.printf("\n")
+	}
+}
+
+// Fig11b measures the mixed workload: from cardinality N, repeated runs
+// of gamma=1024 insertions then gamma deletions, insert and delete
+// streams seeded differently so they hammer different regions (Fig 11b).
+// APMA is excluded: it does not support deletions.
+func Fig11b(p Params) {
+	const gamma = 1024
+	rounds := p.N / (4 * gamma)
+	if rounds < 4 {
+		rounds = 4
+	}
+	p.printf("## Fig 11b — mixed workload throughput [Mops/s] vs Zipf alpha (gamma=%d, %d rounds)\n", gamma, rounds)
+	p.printf("%-14s", "structure")
+	for _, a := range alphaSweep {
+		p.printf("\t%9s", alphaLabel(a))
+	}
+	p.printf("\n")
+	for _, sys := range fig11Systems(false) {
+		p.printf("%-14s", sys.Name)
+		for _, a := range alphaSweep {
+			m := sys.Mk()
+			// Preload to cardinality N with the same distribution.
+			pre := alphaGen(a, p.Seed)
+			for i := 0; i < p.N; i++ {
+				m.InsertKV(pre.Next(), 0)
+			}
+			ins := alphaGen(a, p.Seed^0x1111)
+			del := alphaGen(a, p.Seed^0x2222)
+			total := 0
+			d := timeIt(func() {
+				for r := 0; r < rounds; r++ {
+					for i := 0; i < gamma; i++ {
+						m.InsertKV(ins.Next(), 0)
+					}
+					for i := 0; i < gamma; i++ {
+						m.DeleteKey(del.Next())
+					}
+					total += 2 * gamma
+				}
+			})
+			p.printf("\t%9.3f", mops(total, d))
+		}
+		p.printf("\n")
+	}
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"rma/internal/abtree"
+	"rma/internal/calibrator"
+	"rma/internal/workload"
+)
+
+// Fig12 compares the update-oriented (UT) and scan-oriented (ST)
+// threshold presets against an (a,b)-tree, under uniform and sequential
+// insertion: per-stage insert throughput (12a), full-scan throughput
+// (12b) and memory footprint (12c), sampled as the structures grow.
+func Fig12(p Params) {
+	sizes := fig10Sizes(p.N)
+
+	ut := RMAConfig(128)
+	ut.Thresholds = calibrator.UpdateOriented()
+	st := RMAConfig(128)
+	st.Thresholds = calibrator.ScanOriented()
+
+	systems := []struct {
+		Name string
+		Mk   func() updMap
+	}{
+		{"abtree", func() updMap { return abSUT{abtree.New(128)} }},
+		{"rma-ut", func() updMap { return mustCore(ut) }},
+		{"rma-st", func() updMap { return mustCore(st) }},
+	}
+
+	for _, patName := range []string{"uniform", "sequential"} {
+		insRate := map[string][]float64{}
+		scanRate := map[string][]float64{}
+		footprint := map[string][]int64{}
+
+		for _, sys := range systems {
+			m := sys.Mk()
+			var keys []int64
+			if patName == "uniform" {
+				keys = workload.Keys(workload.NewUniform(p.Seed, 0), p.N)
+			} else {
+				keys = workload.Keys(workload.NewSequential(0, 1), p.N)
+			}
+			prev := 0
+			for _, s := range sizes {
+				lo, hi := prev, s
+				d := timeIt(func() {
+					for _, k := range keys[lo:hi] {
+						m.InsertKV(k, workload.ValueFor(k))
+					}
+				})
+				prev = s
+				insRate[sys.Name] = append(insRate[sys.Name], mops(s-lo, d))
+				scanRate[sys.Name] = append(scanRate[sys.Name], fullScanThroughput(m, 2))
+				footprint[sys.Name] = append(footprint[sys.Name], m.Bytes())
+			}
+		}
+		// Dense footprint bound: 16 bytes/element.
+		p.printf("## Fig 12a — insertion throughput [Mops/s] vs size (%s)\n", patName)
+		printSeries(p, sizes, systems, insRate)
+		p.printf("## Fig 12b — full-scan throughput [Melts/s] vs size (%s)\n", patName)
+		printSeries(p, sizes, systems, scanRate)
+		p.printf("## Fig 12c — memory footprint [MB] vs size (%s; dense = 16 B/elt)\n", patName)
+		p.printf("%-12s", "structure")
+		for _, s := range sizes {
+			p.printf("\t%9d", s)
+		}
+		p.printf("\n")
+		for _, sys := range systems {
+			p.printf("%-12s", sys.Name)
+			for _, f := range footprint[sys.Name] {
+				p.printf("\t%9.1f", float64(f)/(1<<20))
+			}
+			p.printf("\n")
+		}
+		p.printf("%-12s", "dense-bound")
+		for _, s := range sizes {
+			p.printf("\t%9.1f", float64(s)*16/(1<<20))
+		}
+		p.printf("\n")
+	}
+}
+
+func printSeries(p Params, sizes []int, systems []struct {
+	Name string
+	Mk   func() updMap
+}, data map[string][]float64) {
+	p.printf("%-12s", "structure")
+	for _, s := range sizes {
+		p.printf("\t%9d", s)
+	}
+	p.printf("\n")
+	for _, sys := range systems {
+		p.printf("%-12s", sys.Name)
+		for _, v := range data[sys.Name] {
+			p.printf("\t%9.3f", v)
+		}
+		p.printf("\n")
+	}
+}

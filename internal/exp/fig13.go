@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"rma/internal/abtree"
+	"rma/internal/core"
+	"rma/internal/workload"
+)
+
+// Fig13a measures (a,b)-tree "aging": a bulk-loaded tree's full-scan
+// throughput decays as random updates disperse its leaves across memory
+// (the paper sees -25% after changing 5% of the elements).
+func Fig13a(p Params) {
+	t := abtree.New(128)
+	keys, vals := sortedPairs(workload.NewUniform(p.Seed, 0), p.N)
+	t.BulkLoad(keys, vals)
+	m := abSUT{t}
+
+	step := p.N / 100 // 1% of elements per round
+	rng := workload.NewUniform(p.Seed^5, 0)
+	p.printf("## Fig 13a — (a,b)-tree scan throughput [Melts/s] vs %% changed elements\n")
+	p.printf("%-10s\t%9s\n", "changed%", "scan")
+	p.printf("%-10d\t%9.2f\n", 0, fullScanThroughput(m, 3))
+	for round := 1; round <= 50; round++ {
+		for i := 0; i < step; i++ {
+			k := rng.Next()
+			t.Insert(k, workload.ValueFor(k))
+		}
+		for i := 0; i < step; i++ {
+			t.Delete(keys[int(rng.Next())%len(keys)])
+		}
+		if round <= 10 || round%5 == 0 {
+			p.printf("%-10d\t%9.2f\n", round, fullScanThroughput(m, 3))
+		}
+	}
+}
+
+// Fig13b measures bulk-loading throughput: starting from N/2 elements,
+// another N/2 arrive in batches (the paper: 512M base, 1M batches). The
+// series compare single inserts, the bottom-up scheme with and without
+// memory rewiring, and DRF12's top-down scheme, across the Zipf sweep.
+func Fig13b(p Params) {
+	base := p.N / 2
+	batch := p.N / 512
+	if batch < 1024 {
+		batch = 1024
+	}
+	nBatches := (p.N - base) / batch
+
+	type scheme struct {
+		name string
+		cfg  core.Config
+		load func(a *core.Array, b core.Batch) error
+	}
+	withRWR := RMAConfig(128)
+	noRWR := RMAConfig(128)
+	noRWR.Rebalance = core.RebalanceTwoPass
+
+	schemes := []scheme{
+		{"rma-single-inserts", withRWR, func(a *core.Array, b core.Batch) error {
+			for i := range b.Keys {
+				if err := a.Insert(b.Keys[i], b.Vals[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"bottomup-noRWR", noRWR, (*core.Array).BulkLoad},
+		{"bottomup-RWR", withRWR, (*core.Array).BulkLoad},
+		{"topdown", noRWR, (*core.Array).BulkLoadTopDown},
+	}
+
+	p.printf("## Fig 13b — bulk load throughput [Mops/s] vs Zipf alpha (base %d, %d batches of %d)\n",
+		base, nBatches, batch)
+	p.printf("%-20s", "scheme")
+	for _, a := range alphaSweep {
+		p.printf("\t%9s", alphaLabel(a))
+	}
+	p.printf("\n")
+
+	for _, s := range schemes {
+		p.printf("%-20s", s.name)
+		for _, alpha := range alphaSweep {
+			a, err := core.New(s.cfg)
+			if err != nil {
+				panic(err)
+			}
+			pre := alphaGen(alpha, p.Seed)
+			for i := 0; i < base; i++ {
+				if err := a.Insert(pre.Next(), 0); err != nil {
+					panic(err)
+				}
+			}
+			g := alphaGen(alpha, p.Seed^7)
+			total := 0
+			d := timeIt(func() {
+				for bi := 0; bi < nBatches; bi++ {
+					keys := workload.Keys(g, batch)
+					vals := make([]int64, batch)
+					if err := s.load(a, core.Batch{Keys: keys, Vals: vals}); err != nil {
+						panic(err)
+					}
+					total += batch
+				}
+			})
+			p.printf("\t%9.3f", mops(total, d))
+		}
+		p.printf("\n")
+	}
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"sort"
+
+	"rma/internal/core"
+	"rma/internal/workload"
+)
+
+// FeatureChain returns the cumulative configuration chain of Fig 14: the
+// TPMA baseline plus one feature per step, ending at the full RMA.
+func FeatureChain() []struct {
+	Name string
+	Cfg  core.Config
+} {
+	baseline := core.BaselineConfig()
+
+	clustering := baseline
+	clustering.Layout = core.LayoutClustered
+
+	fixedSeg := clustering
+	fixedSeg.Sizing = core.SizingFixed
+	fixedSeg.SegmentSlots = 128
+
+	staticIx := fixedSeg
+	staticIx.Index = core.IndexStatic
+
+	rewiring := staticIx
+	rewiring.Rebalance = core.RebalanceRewired
+
+	adaptive := rewiring
+	adaptive.Adaptive = core.AdaptiveRMA
+
+	return []struct {
+		Name string
+		Cfg  core.Config
+	}{
+		{"baseline", baseline},
+		{"+clustering", clustering},
+		{"+fixed-segments", fixedSeg},
+		{"+static-index", staticIx},
+		{"+rewiring", rewiring},
+		{"+adaptive", adaptive},
+	}
+}
+
+// Fig14 measures the cumulative contribution of each RMA feature on the
+// Fig 1 workloads, reporting speedups relative to the TPMA baseline.
+func Fig14(p Params) {
+	p.printf("## Fig 14 — cumulative feature contributions (speedup vs TPMA baseline)\n")
+	p.printf("%-16s\t%12s\t%12s\t%12s\t%12s\t%12s\n",
+		"configuration", "ins-uniform", "ins-zipf1.0", "ins-zipf1.5", "ins-seq", "scan-1%")
+
+	var base [5]float64
+	for _, step := range FeatureChain() {
+		cfg := step.Cfg
+		var vals [5]float64
+		for i, pat := range fig01Patterns {
+			m := mustCore(cfg)
+			vals[i] = insertPattern(m, pat, p.Seed, p.N)
+		}
+		m := mustCore(cfg)
+		keys := workload.Keys(workload.NewPattern(workload.PatternUniform, p.Seed), p.N)
+		for _, k := range keys {
+			m.InsertKV(k, workload.ValueFor(k))
+		}
+		sorted := append([]int64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		vals[4] = scanThroughput(m, sorted, p.Seed^1, 0.01)
+
+		if base[0] == 0 {
+			base = vals
+		}
+		p.printf("%-16s", step.Name)
+		for i, v := range vals {
+			p.printf("\t%6.2f (%4.1fx)", v, v/base[i])
+		}
+		p.printf("\n")
+	}
+}

@@ -1,0 +1,201 @@
+// Package staticindex implements the RMA's static, pointer-free index
+// over segments (Section III "Index", Fig 5), plus the dynamic side index
+// of separator keys that traditional PMA implementations keep.
+//
+// The static index stores only separator keys, packed in one contiguous
+// array; traversal computes child offsets arithmetically from the subtree
+// shape (r full subtrees of height h-1 followed by one partial subtree),
+// so there are no pointers to chase and the footprint is minimal. It is
+// "static" because the number of entries is fixed between resizes; single
+// entries still change in O(1) during rebalances via a position map.
+package staticindex
+
+import "fmt"
+
+// Static is the pointer-elimination index of Fig 5. It indexes n segments
+// through the n-1 separator keys sep[1..n-1], where sep[j] is the minimum
+// key of segment j; all keys of segments < j are <= sep[j].
+type Static struct {
+	fanout int     // maximum children per node; keys per node <= fanout-1
+	n      int     // number of indexed segments
+	keys   []int64 // packed separator keys, preorder node layout
+	pos    []int32 // separator ordinal j (1..n-1) -> offset in keys
+}
+
+// NewStatic builds the index for the given segment minima (mins[s] is the
+// minimum key of segment s; mins[0] is ignored, as in a B+-tree the
+// leftmost child needs no separator). fanout must be at least 2; the
+// paper uses 65 (64 separator keys per node).
+func NewStatic(mins []int64, fanout int) *Static {
+	if fanout < 2 {
+		panic(fmt.Sprintf("staticindex: fanout %d < 2", fanout))
+	}
+	n := len(mins)
+	if n == 0 {
+		panic("staticindex: no segments")
+	}
+	ix := &Static{
+		fanout: fanout,
+		n:      n,
+		keys:   make([]int64, 0, n-1),
+		pos:    make([]int32, n),
+	}
+	ix.build(mins, 0, n)
+	return ix
+}
+
+// build lays out the subtree covering segments [lo, hi) and records key
+// positions. Node keys come first, then each child subtree in order; a
+// subtree covering m segments occupies exactly m-1 key slots.
+func (ix *Static) build(mins []int64, lo, hi int) {
+	m := hi - lo
+	if m <= 1 {
+		return
+	}
+	full, nkeys, _ := ix.shape(m)
+	// Emit this node's keys: separators at the full-child boundaries.
+	for c := 1; c <= nkeys; c++ {
+		j := lo + c*full
+		ix.pos[j] = int32(len(ix.keys))
+		ix.keys = append(ix.keys, mins[j])
+	}
+	// Emit children left to right.
+	for base := lo; base < hi; base += full {
+		end := base + full
+		if end > hi {
+			end = hi
+		}
+		ix.build(mins, base, end)
+	}
+}
+
+// shape computes, for a node covering m > 1 segments, the number of
+// segments under each full child (full = fanout^(height-1)), the number
+// of separator keys in the node, and whether a partial child exists.
+func (ix *Static) shape(m int) (full, nkeys int, hasPartial bool) {
+	full = 1
+	for full*ix.fanout < m {
+		full *= ix.fanout
+	}
+	// full < m <= full*fanout
+	fullChildren := m / full
+	rem := m % full
+	if rem > 0 {
+		return full, fullChildren, true
+	}
+	return full, fullChildren - 1, false
+}
+
+// NumSegments returns the number of indexed segments.
+func (ix *Static) NumSegments() int { return ix.n }
+
+// FindUB returns the rightmost segment whose separator is <= key: the
+// segment where key must reside (for lookups) or be inserted.
+func (ix *Static) FindUB(key int64) int { return ix.find(key, false) }
+
+// FindLB returns the rightmost segment whose separator is < key. Range
+// scans start here so that duplicates of the range's lower bound sitting
+// in an earlier segment are not skipped.
+func (ix *Static) FindLB(key int64) int { return ix.find(key, true) }
+
+func (ix *Static) find(key int64, strict bool) int {
+	lo, m, off := 0, ix.n, 0
+	for m > 1 {
+		full, nkeys, _ := ix.shape(m)
+		// Binary search for the number of node keys <= key (or < key when
+		// strict): that count is the child to descend into.
+		a, b := 0, nkeys
+		for a < b {
+			mid := (a + b) / 2
+			k := ix.keys[off+mid]
+			if k < key || (!strict && k == key) {
+				a = mid + 1
+			} else {
+				b = mid
+			}
+		}
+		c := a
+		// Child c covers segments [lo + c*full, ...); its packed keys
+		// start after this node's keys plus the preceding full subtrees
+		// (each full subtree of `full` segments holds full-1 keys).
+		off += nkeys + c*(full-1)
+		lo += c * full
+		if c*full+full <= m {
+			m = full
+		} else {
+			m -= c * full
+		}
+	}
+	return lo
+}
+
+// Update replaces the separator of segment j (1 <= j < n) in O(1).
+func (ix *Static) Update(j int, newMin int64) {
+	if j <= 0 || j >= ix.n {
+		panic(fmt.Sprintf("staticindex: Update(%d) out of (0,%d)", j, ix.n))
+	}
+	ix.keys[ix.pos[j]] = newMin
+}
+
+// Key returns the current separator of segment j (1 <= j < n).
+func (ix *Static) Key(j int) int64 { return ix.keys[ix.pos[j]] }
+
+// FootprintBytes returns the memory held by the index.
+func (ix *Static) FootprintBytes() int64 {
+	return int64(cap(ix.keys))*8 + int64(cap(ix.pos))*4 + 32
+}
+
+// Dynamic is the plain side index of traditional PMAs: one separator per
+// segment in a flat sorted array, binary searched. Unlike Static it is
+// cheap to build but every rebalance that moves minima must rewrite a
+// span of entries, and its footprint is a full-width array.
+type Dynamic struct {
+	mins []int64 // mins[s] = separator of segment s (mins[0] unused sentinel)
+}
+
+// NewDynamic builds the side index from segment minima.
+func NewDynamic(mins []int64) *Dynamic {
+	d := &Dynamic{mins: make([]int64, len(mins))}
+	copy(d.mins, mins)
+	return d
+}
+
+// NumSegments returns the number of indexed segments.
+func (d *Dynamic) NumSegments() int { return len(d.mins) }
+
+// FindUB returns the rightmost segment whose separator is <= key.
+func (d *Dynamic) FindUB(key int64) int {
+	lo, hi := 1, len(d.mins) // search in mins[1..n)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.mins[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// FindLB returns the rightmost segment whose separator is < key.
+func (d *Dynamic) FindLB(key int64) int {
+	lo, hi := 1, len(d.mins)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.mins[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// Update replaces the separator of segment j.
+func (d *Dynamic) Update(j int, newMin int64) { d.mins[j] = newMin }
+
+// Key returns the separator of segment j.
+func (d *Dynamic) Key(j int) int64 { return d.mins[j] }
+
+// FootprintBytes returns the memory held by the index.
+func (d *Dynamic) FootprintBytes() int64 { return int64(cap(d.mins))*8 + 24 }

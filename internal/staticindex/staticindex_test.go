@@ -1,0 +1,188 @@
+package staticindex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rma/internal/workload"
+)
+
+// refUB/refLB are the oracle implementations over the raw minima array.
+func refUB(mins []int64, key int64) int {
+	s := 0
+	for j := 1; j < len(mins); j++ {
+		if mins[j] <= key {
+			s = j
+		} else {
+			break
+		}
+	}
+	return s
+}
+
+func refLB(mins []int64, key int64) int {
+	s := 0
+	for j := 1; j < len(mins); j++ {
+		if mins[j] < key {
+			s = j
+		} else {
+			break
+		}
+	}
+	return s
+}
+
+func sortedMins(n int, seed uint64) []int64 {
+	g := workload.NewUniform(seed, 1000)
+	mins := make([]int64, n)
+	var acc int64
+	for i := range mins {
+		acc += g.Next() + 1 // strictly increasing
+		mins[i] = acc
+	}
+	return mins
+}
+
+func TestStaticMatchesOracleAcrossShapes(t *testing.T) {
+	// Cover: single segment, n < fanout, n == fanout^k exactly, partial
+	// subtrees of every flavor, and the paper's fanout-4/518-segments
+	// example shape (Fig 5).
+	for _, n := range []int{1, 2, 3, 4, 5, 15, 16, 17, 63, 64, 65, 255, 256, 257, 518, 1024} {
+		for _, fanout := range []int{2, 3, 4, 65} {
+			mins := sortedMins(n, uint64(n*fanout))
+			ix := NewStatic(mins, fanout)
+			probes := []int64{mins[0] - 10, mins[0], mins[n-1], mins[n-1] + 10}
+			for j := 0; j < n; j++ {
+				probes = append(probes, mins[j], mins[j]-1, mins[j]+1)
+			}
+			for _, key := range probes {
+				if got, want := ix.FindUB(key), refUB(mins, key); got != want {
+					t.Fatalf("n=%d f=%d FindUB(%d): got %d want %d", n, fanout, key, got, want)
+				}
+				if got, want := ix.FindLB(key), refLB(mins, key); got != want {
+					t.Fatalf("n=%d f=%d FindLB(%d): got %d want %d", n, fanout, key, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStaticStoresEachSeparatorOnce(t *testing.T) {
+	for _, n := range []int{2, 7, 64, 518} {
+		mins := sortedMins(n, 42)
+		ix := NewStatic(mins, 4)
+		if len(ix.keys) != n-1 {
+			t.Fatalf("n=%d: packed %d keys, want %d", n, len(ix.keys), n-1)
+		}
+		for j := 1; j < n; j++ {
+			if ix.Key(j) != mins[j] {
+				t.Fatalf("n=%d: Key(%d) = %d, want %d", n, j, ix.Key(j), mins[j])
+			}
+		}
+	}
+}
+
+func TestStaticUpdate(t *testing.T) {
+	mins := sortedMins(100, 7)
+	ix := NewStatic(mins, 65)
+	// Shift separator 50 up and verify searches respect the new value.
+	newMin := mins[50] + 1
+	ix.Update(50, newMin)
+	if ix.Key(50) != newMin {
+		t.Fatal("update not visible")
+	}
+	mins[50] = newMin
+	for _, key := range []int64{newMin - 1, newMin, newMin + 1} {
+		if got, want := ix.FindUB(key), refUB(mins, key); got != want {
+			t.Fatalf("after update FindUB(%d): got %d want %d", key, got, want)
+		}
+	}
+}
+
+func TestStaticDuplicateSeparators(t *testing.T) {
+	// Duplicate keys spanning segments: UB lands on the last duplicate
+	// segment, LB on the segment before the first duplicate.
+	mins := []int64{5, 10, 10, 10, 20}
+	ix := NewStatic(mins, 3)
+	if got := ix.FindUB(10); got != 3 {
+		t.Fatalf("FindUB(10) = %d, want 3", got)
+	}
+	if got := ix.FindLB(10); got != 0 {
+		t.Fatalf("FindLB(10) = %d, want 0", got)
+	}
+	if got := ix.FindLB(11); got != 3 {
+		t.Fatalf("FindLB(11) = %d, want 3", got)
+	}
+}
+
+func TestDynamicMatchesOracle(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%300) + 1
+		mins := sortedMins(n, seed)
+		d := NewDynamic(mins)
+		g := workload.NewUniform(seed^1, uint64(mins[n-1]+10))
+		for i := 0; i < 50; i++ {
+			key := g.Next()
+			if d.FindUB(key) != refUB(mins, key) || d.FindLB(key) != refLB(mins, key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticAgainstDynamicProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, fRaw uint8) bool {
+		n := int(nRaw%1000) + 1
+		fanout := int(fRaw%63) + 2
+		mins := sortedMins(n, seed)
+		s := NewStatic(mins, fanout)
+		d := NewDynamic(mins)
+		g := workload.NewUniform(seed^2, uint64(mins[n-1]+10))
+		for i := 0; i < 30; i++ {
+			key := g.Next()
+			if s.FindUB(key) != d.FindUB(key) || s.FindLB(key) != d.FindLB(key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	mins := sortedMins(1024, 3)
+	s := NewStatic(mins, 65)
+	d := NewDynamic(mins)
+	if s.FootprintBytes() <= 0 || d.FootprintBytes() <= 0 {
+		t.Fatal("footprints must be positive")
+	}
+	// The static index stores n-1 keys vs the dynamic one's n, both ~8B/key.
+	if s.FootprintBytes() > 2*d.FootprintBytes() {
+		t.Fatalf("static index unexpectedly large: %d vs %d", s.FootprintBytes(), d.FootprintBytes())
+	}
+}
+
+func TestStaticPanicsOnBadArgs(t *testing.T) {
+	mins := sortedMins(4, 1)
+	for name, fn := range map[string]func(){
+		"fanout<2":   func() { NewStatic(mins, 1) },
+		"empty":      func() { NewStatic(nil, 4) },
+		"update0":    func() { NewStatic(mins, 4).Update(0, 1) },
+		"updateHigh": func() { NewStatic(mins, 4).Update(4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

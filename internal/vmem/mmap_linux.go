@@ -1,0 +1,146 @@
+//go:build linux
+
+package vmem
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// MmapRegion is the real memory-rewiring substrate: a reserved virtual
+// address range whose pages are backed by a memfd, so the
+// virtual-to-physical mapping can be changed with mmap(MAP_FIXED) —
+// exactly the RUMA technique the paper builds on (Schuhknecht et al.,
+// PVLDB 2016).
+//
+// The engine does not use it by default: Go's garbage collector and
+// runtime know nothing about manually remapped memory, so every object
+// referencing it must be kept off the Go heap (the region is accessed
+// through unsafe slices over non-Go memory). The portable page-table
+// substrate (Pages) preserves the same cost structure GC-safely; this
+// type exists to demonstrate the real mechanism and to benchmark the
+// kernel-level swap cost against the simulated one.
+//
+// Not safe for concurrent use.
+type MmapRegion struct {
+	region    []byte // reserved virtual range (PROT_NONE until mapped)
+	fd        int    // memfd backing the physical pages
+	pageBytes int
+	mapped    int   // virtual pages currently mapped
+	filePages int   // physical pages allocated in the memfd
+	table     []int // virtual page -> memfd page (for bookkeeping)
+}
+
+const sysMemfdCreate = 319 // x86-64
+
+// NewMmapRegion reserves maxPages*pageBytes of virtual address space and
+// creates the backing memfd. pageBytes must be a multiple of the OS page
+// size. Returns an error on kernels without memfd_create.
+func NewMmapRegion(pageBytes, maxPages int) (*MmapRegion, error) {
+	if pageBytes%syscall.Getpagesize() != 0 {
+		return nil, fmt.Errorf("vmem: pageBytes %d not a multiple of the OS page size %d",
+			pageBytes, syscall.Getpagesize())
+	}
+	name := append([]byte("rma-rewire"), 0)
+	fd, _, errno := syscall.Syscall(sysMemfdCreate, uintptr(unsafe.Pointer(&name[0])), 0, 0)
+	if errno != 0 {
+		return nil, fmt.Errorf("vmem: memfd_create: %v", errno)
+	}
+	size := pageBytes * maxPages
+	// Reserve address space without physical backing.
+	region, err := syscall.Mmap(-1, 0, size, syscall.PROT_NONE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS)
+	if err != nil {
+		syscall.Close(int(fd))
+		return nil, fmt.Errorf("vmem: reserve mmap: %v", err)
+	}
+	return &MmapRegion{
+		region:    region,
+		fd:        int(fd),
+		pageBytes: pageBytes,
+	}, nil
+}
+
+// Grow maps n additional virtual pages, each backed by a fresh memfd
+// page.
+func (r *MmapRegion) Grow(n int) error {
+	need := (r.mapped + n) * r.pageBytes
+	if need > len(r.region) {
+		return fmt.Errorf("vmem: grow beyond reservation (%d > %d)", need, len(r.region))
+	}
+	if err := syscall.Ftruncate(r.fd, int64((r.filePages+n)*r.pageBytes)); err != nil {
+		return fmt.Errorf("vmem: ftruncate: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		v := r.mapped + i
+		phys := r.filePages + i
+		if err := r.mapAt(v, phys); err != nil {
+			return err
+		}
+		r.table = append(r.table, phys)
+	}
+	r.mapped += n
+	r.filePages += n
+	return nil
+}
+
+// mapAt maps memfd page phys at virtual page v with MAP_FIXED.
+func (r *MmapRegion) mapAt(v, phys int) error {
+	_, _, errno := syscall.Syscall6(syscall.SYS_MMAP,
+		uintptr(unsafe.Pointer(&r.region[v*r.pageBytes])), uintptr(r.pageBytes),
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_SHARED|syscall.MAP_FIXED, uintptr(r.fd), uintptr(phys*r.pageBytes))
+	if errno != 0 {
+		return fmt.Errorf("vmem: fixed mmap: %v", errno)
+	}
+	return nil
+}
+
+// Swap rewires two virtual pages: after it returns, the contents visible
+// at va and vb have exchanged places without copying a single element —
+// two mmap calls change only the page tables.
+func (r *MmapRegion) Swap(va, vb int) error {
+	pa, pb := r.table[va], r.table[vb]
+	if err := r.mapAt(va, pb); err != nil {
+		return err
+	}
+	if err := r.mapAt(vb, pa); err != nil {
+		return err
+	}
+	r.table[va], r.table[vb] = pb, pa
+	return nil
+}
+
+// NumPages returns the number of mapped virtual pages.
+func (r *MmapRegion) NumPages() int { return r.mapped }
+
+// PageSlots returns the number of int64 slots per page.
+func (r *MmapRegion) PageSlots() int { return r.pageBytes / 8 }
+
+// Slots returns a view over all mapped slots. The memory is outside the
+// Go heap: the view stays valid until Close, and remapping pages under
+// it is safe because the addresses do not change.
+func (r *MmapRegion) Slots() []int64 {
+	return unsafe.Slice((*int64)(unsafe.Pointer(&r.region[0])), r.mapped*r.pageBytes/8)
+}
+
+// Page returns the slots of virtual page v.
+func (r *MmapRegion) Page(v int) []int64 {
+	s := r.Slots()
+	ps := r.PageSlots()
+	return s[v*ps : (v+1)*ps]
+}
+
+// Close unmaps the region and closes the memfd.
+func (r *MmapRegion) Close() error {
+	if r.region != nil {
+		syscall.Munmap(r.region)
+		r.region = nil
+	}
+	if r.fd > 0 {
+		syscall.Close(r.fd)
+		r.fd = -1
+	}
+	return nil
+}

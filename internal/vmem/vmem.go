@@ -1,0 +1,218 @@
+// Package vmem provides the memory-rewiring substrate of the RMA.
+//
+// The paper implements rebalances and resizes with "memory rewiring"
+// (RUMA, Schuhknecht et al., PVLDB 2016): the array occupies a range of
+// virtual pages, spare physical pages are kept on the side, elements are
+// redistributed by writing them once into the spare pages, and then the
+// virtual addresses of the old and new pages are swapped — an O(1)
+// page-table operation instead of a second copy per element.
+//
+// This package reproduces that cost structure in a GC-safe way: a virtual
+// address space is a table of physical pages (Go slices), and "rewiring"
+// swaps table entries. The properties the algorithms rely on are
+// preserved exactly:
+//
+//   - one copy per element during a rebalance (writes go straight to the
+//     spare page; installation is a pointer swap);
+//   - spare pages are recycled without zeroing, so resizes avoid the cost
+//     of acquiring zeroed memory (the analog of the paper's observation
+//     that rewiring "alleviates the overhead in acquiring new zeroed
+//     physical pages from the operating system" — in Go, a fresh
+//     make([]int64, n) is always zeroed by the runtime, and the pool
+//     skips it);
+//   - growing the address space absorbs the existing spare buffers first,
+//     as the paper does when expanding the RMA.
+//
+// The package counts copies, swaps, fresh allocations and zeroed slots so
+// benchmarks can expose the one-copy-vs-two-copy asymmetry that the
+// paper's Figure 14 ("Memory rewiring") measures.
+package vmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAllocFailed reports that a physical page allocation failed. It is
+// returned only under failure injection (production Go surfaces memory
+// exhaustion as a runtime panic); the data structure must remain intact
+// and consistent when it is returned.
+var ErrAllocFailed = errors.New("vmem: physical page allocation failed")
+
+// Pages is a virtual address space of int64 slots organized in fixed-size
+// pages with an explicit virtual-to-physical mapping.
+//
+// Virtual page v of a Pages p is the slice p.Page(v); slot i of the space
+// lives at p.Page(i/p.PageSlots())[i%p.PageSlots()]. The zero value is not
+// usable; call New.
+type Pages struct {
+	pageSlots int
+	table     [][]int64 // virtual page id -> physical page
+	spares    [][]int64 // pool of detached physical pages
+
+	stats Stats
+
+	failAfter int // fail the n-th next physical allocation; -1 = disabled
+}
+
+// Stats aggregates the substrate's operation counters.
+type Stats struct {
+	Swaps       uint64 // virtual page-table entry swaps (rewiring operations)
+	FreshAllocs uint64 // physical pages allocated from the Go runtime
+	PoolReuses  uint64 // physical pages taken from the spare pool (no zeroing)
+	ZeroedSlots uint64 // slots zeroed by fresh allocations
+}
+
+// New returns an empty address space with the given page size in slots.
+func New(pageSlots int) *Pages {
+	if pageSlots <= 0 {
+		panic(fmt.Sprintf("vmem: invalid pageSlots %d", pageSlots))
+	}
+	return &Pages{pageSlots: pageSlots, failAfter: -1}
+}
+
+// PageSlots returns the number of int64 slots per page.
+func (p *Pages) PageSlots() int { return p.pageSlots }
+
+// NumPages returns the number of virtual pages currently mapped.
+func (p *Pages) NumPages() int { return len(p.table) }
+
+// Slots returns the total number of addressable slots.
+func (p *Pages) Slots() int { return len(p.table) * p.pageSlots }
+
+// SparePages returns the current size of the spare pool.
+func (p *Pages) SparePages() int { return len(p.spares) }
+
+// Page returns the physical page currently mapped at virtual page v.
+func (p *Pages) Page(v int) []int64 { return p.table[v] }
+
+// Get returns the value at slot i. Convenience accessor for tests and
+// cold paths; hot paths should hold a Page slice.
+func (p *Pages) Get(i int) int64 {
+	return p.table[i/p.pageSlots][i%p.pageSlots]
+}
+
+// Set stores x at slot i. Convenience accessor for tests and cold paths.
+func (p *Pages) Set(i int, x int64) {
+	p.table[i/p.pageSlots][i%p.pageSlots] = x
+}
+
+// alloc produces one physical page, preferring the spare pool (recycled
+// without zeroing) over a fresh, runtime-zeroed allocation.
+func (p *Pages) alloc() ([]int64, error) {
+	if p.failAfter == 0 {
+		return nil, ErrAllocFailed
+	}
+	if p.failAfter > 0 {
+		p.failAfter--
+	}
+	if n := len(p.spares); n > 0 {
+		pg := p.spares[n-1]
+		p.spares = p.spares[:n-1]
+		p.stats.PoolReuses++
+		return pg, nil
+	}
+	p.stats.FreshAllocs++
+	p.stats.ZeroedSlots += uint64(p.pageSlots)
+	return make([]int64, p.pageSlots), nil
+}
+
+// Grow extends the address space by n virtual pages, absorbing spare
+// buffers first as the paper does when expanding the RMA. On failure the
+// address space is unchanged.
+func (p *Pages) Grow(n int) error {
+	fresh := make([][]int64, 0, n)
+	for i := 0; i < n; i++ {
+		pg, err := p.alloc()
+		if err != nil {
+			// Undo: return already-taken pages to the pool.
+			p.spares = append(p.spares, fresh...)
+			return err
+		}
+		fresh = append(fresh, pg)
+	}
+	p.table = append(p.table, fresh...)
+	return nil
+}
+
+// Truncate shrinks the address space to n virtual pages; the unmapped
+// physical pages return to the spare pool.
+func (p *Pages) Truncate(n int) {
+	if n > len(p.table) {
+		panic(fmt.Sprintf("vmem: Truncate(%d) beyond %d pages", n, len(p.table)))
+	}
+	p.spares = append(p.spares, p.table[n:]...)
+	for i := n; i < len(p.table); i++ {
+		p.table[i] = nil
+	}
+	p.table = p.table[:n]
+}
+
+// AcquireSpare detaches one spare physical page for the caller to fill.
+// Pair with Swap or ReleaseSpare.
+func (p *Pages) AcquireSpare() ([]int64, error) { return p.alloc() }
+
+// AcquireSpares detaches n spare pages at once, or none on failure —
+// callers pre-acquire everything a rebalance needs so that a failure
+// cannot leave the structure half-rewired.
+func (p *Pages) AcquireSpares(n int) ([][]int64, error) {
+	out := make([][]int64, 0, n)
+	for i := 0; i < n; i++ {
+		pg, err := p.alloc()
+		if err != nil {
+			p.spares = append(p.spares, out...)
+			return nil, err
+		}
+		out = append(out, pg)
+	}
+	return out, nil
+}
+
+// ReleaseSpare returns a detached page to the pool unused.
+func (p *Pages) ReleaseSpare(pg []int64) {
+	if len(pg) != p.pageSlots {
+		panic("vmem: ReleaseSpare of foreign page")
+	}
+	p.spares = append(p.spares, pg)
+}
+
+// Swap installs pg as the physical page of virtual page v and returns the
+// previously mapped physical page to the spare pool. This is the rewiring
+// operation: O(1), no element copies.
+func (p *Pages) Swap(v int, pg []int64) {
+	if len(pg) != p.pageSlots {
+		panic("vmem: Swap with foreign page")
+	}
+	old := p.table[v]
+	p.table[v] = pg
+	p.spares = append(p.spares, old)
+	p.stats.Swaps++
+}
+
+// TrimSpares caps the spare pool at max pages, dropping the excess for
+// the garbage collector to reclaim. The paper applies the same cap: the
+// buffer space may not exceed the memory used by the array itself.
+func (p *Pages) TrimSpares(max int) {
+	if len(p.spares) <= max {
+		return
+	}
+	for i := max; i < len(p.spares); i++ {
+		p.spares[i] = nil
+	}
+	p.spares = p.spares[:max]
+}
+
+// Stats returns the operation counters accumulated so far.
+func (p *Pages) Stats() Stats { return p.stats }
+
+// FootprintBytes returns the physical memory held: mapped pages, spare
+// pages, and the page table itself.
+func (p *Pages) FootprintBytes() int64 {
+	pages := int64(len(p.table) + len(p.spares))
+	return pages*int64(p.pageSlots)*8 + int64(cap(p.table)+cap(p.spares))*24
+}
+
+// InjectAllocFailure makes the n-th next physical allocation fail
+// (n == 0 fails the very next one). Pass a negative n to disable.
+// Testing hook only.
+func (p *Pages) InjectAllocFailure(n int) { p.failAfter = n }

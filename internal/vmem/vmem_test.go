@@ -1,0 +1,219 @@
+package vmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrowAndAccess(t *testing.T) {
+	p := New(16)
+	if err := p.Grow(4); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPages() != 4 || p.Slots() != 64 {
+		t.Fatalf("got %d pages / %d slots", p.NumPages(), p.Slots())
+	}
+	for i := 0; i < p.Slots(); i++ {
+		p.Set(i, int64(i*3))
+	}
+	for i := 0; i < p.Slots(); i++ {
+		if got := p.Get(i); got != int64(i*3) {
+			t.Fatalf("slot %d: got %d", i, got)
+		}
+	}
+	// Fresh pages must be zeroed.
+	if err := p.Grow(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 64; i < 80; i++ {
+		if p.Get(i) != 0 {
+			t.Fatalf("fresh page not zeroed at %d", i)
+		}
+	}
+}
+
+func TestSwapIsRewiringNotCopying(t *testing.T) {
+	p := New(8)
+	if err := p.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		p.Set(i, 100+int64(i))
+	}
+	spare, err := p.AcquireSpare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spare {
+		spare[i] = 200 + int64(i)
+	}
+	before := p.Stats()
+	p.Swap(0, spare)
+	after := p.Stats()
+	if after.Swaps != before.Swaps+1 {
+		t.Fatalf("swap not counted")
+	}
+	for i := 0; i < 8; i++ {
+		if got := p.Get(i); got != 200+int64(i) {
+			t.Fatalf("virtual page 0 slot %d: got %d", i, got)
+		}
+	}
+	// The old physical page went back to the pool and is handed out next,
+	// with its old contents intact (no zeroing on reuse).
+	reused, err := p.AcquireSpare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused[0] != 100 {
+		t.Fatalf("expected pooled page with stale contents, got %d", reused[0])
+	}
+	if s := p.Stats(); s.PoolReuses == 0 {
+		t.Fatal("pool reuse not counted")
+	}
+}
+
+func TestGrowAbsorbsSpares(t *testing.T) {
+	p := New(8)
+	if err := p.Grow(4); err != nil {
+		t.Fatal(err)
+	}
+	p.Truncate(2) // two pages to the pool
+	if p.SparePages() != 2 {
+		t.Fatalf("expected 2 spares, got %d", p.SparePages())
+	}
+	before := p.Stats().FreshAllocs
+	if err := p.Grow(3); err != nil { // should take 2 from pool + 1 fresh
+		t.Fatal(err)
+	}
+	if got := p.Stats().FreshAllocs - before; got != 1 {
+		t.Fatalf("expected 1 fresh alloc, got %d", got)
+	}
+	if p.SparePages() != 0 {
+		t.Fatalf("spares not absorbed: %d left", p.SparePages())
+	}
+}
+
+func TestTruncatePanicsBeyondSize(t *testing.T) {
+	p := New(8)
+	_ = p.Grow(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Truncate(2)
+}
+
+func TestTrimSpares(t *testing.T) {
+	p := New(8)
+	_ = p.Grow(10)
+	p.Truncate(2)
+	if p.SparePages() != 8 {
+		t.Fatalf("want 8 spares, got %d", p.SparePages())
+	}
+	p.TrimSpares(3)
+	if p.SparePages() != 3 {
+		t.Fatalf("want 3 spares after trim, got %d", p.SparePages())
+	}
+	p.TrimSpares(5) // no-op when already below cap
+	if p.SparePages() != 3 {
+		t.Fatalf("trim below cap should be a no-op")
+	}
+}
+
+func TestAllocFailureLeavesSpaceIntact(t *testing.T) {
+	p := New(8)
+	if err := p.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		p.Set(i, int64(i))
+	}
+	p.InjectAllocFailure(0)
+	if err := p.Grow(3); err != ErrAllocFailed {
+		t.Fatalf("want ErrAllocFailed, got %v", err)
+	}
+	if p.NumPages() != 2 {
+		t.Fatalf("failed Grow changed page count to %d", p.NumPages())
+	}
+	for i := 0; i < 16; i++ {
+		if p.Get(i) != int64(i) {
+			t.Fatalf("data corrupted at %d after failed grow", i)
+		}
+	}
+	p.InjectAllocFailure(-1)
+	if err := p.Grow(3); err != nil {
+		t.Fatalf("recovery grow failed: %v", err)
+	}
+}
+
+func TestAllocFailureMidBatchReturnsPartialToPool(t *testing.T) {
+	p := New(8)
+	_ = p.Grow(4)
+	p.Truncate(0) // 4 spares
+	p.InjectAllocFailure(2)
+	if _, err := p.AcquireSpares(4); err != ErrAllocFailed {
+		t.Fatalf("want ErrAllocFailed, got %v", err)
+	}
+	// The two pages taken before the failure must be back in the pool.
+	if p.SparePages() != 4 {
+		t.Fatalf("pool leaked: %d spares", p.SparePages())
+	}
+}
+
+func TestFootprintAccountsSpares(t *testing.T) {
+	p := New(128)
+	_ = p.Grow(8)
+	full := p.FootprintBytes()
+	p.Truncate(4)
+	if p.FootprintBytes() < full {
+		t.Fatal("truncate must not shrink physical footprint (pages pooled)")
+	}
+	p.TrimSpares(0)
+	if p.FootprintBytes() >= full {
+		t.Fatal("trimming spares must shrink the footprint")
+	}
+}
+
+// Property: any sequence of grow/truncate/swap operations preserves the
+// invariant that every virtual page is a distinct physical page of the
+// right size.
+func TestPageTableInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := New(4)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				_ = p.Grow(int(op%3) + 1)
+			case 1:
+				n := p.NumPages() / 2
+				p.Truncate(n)
+			case 2:
+				if p.NumPages() > 0 {
+					sp, err := p.AcquireSpare()
+					if err != nil {
+						return false
+					}
+					p.Swap(int(op)%p.NumPages(), sp)
+				}
+			case 3:
+				p.TrimSpares(int(op % 8))
+			}
+		}
+		seen := map[*int64]bool{}
+		for v := 0; v < p.NumPages(); v++ {
+			pg := p.Page(v)
+			if len(pg) != 4 {
+				return false
+			}
+			if seen[&pg[0]] {
+				return false // two virtual pages share a physical page
+			}
+			seen[&pg[0]] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

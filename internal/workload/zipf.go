@@ -1,0 +1,125 @@
+package workload
+
+import "math"
+
+// Zipf draws ranks from a Zipf distribution with exponent alpha over
+// {1, ..., n} using rejection-inversion sampling (Hörmann & Derflinger,
+// "Rejection-inversion to generate variates from monotone discrete
+// distributions", 1996). Unlike math/rand's Zipf, it supports any
+// alpha > 0, including the alpha <= 1 range the paper sweeps (Fig 11,
+// Fig 13b evaluate alpha in {0.5, 1.0, ..., 3.0}).
+//
+// Ranks are mapped to keys through a seed-dependent bijective scramble of
+// [0, n), so that two Zipf generators with different seeds hammer
+// *different* keys — exactly how the paper's mixed workload uses
+// "different seeds for insertions and deletions" (Section V).
+type Zipf struct {
+	rng   *RNG
+	n     uint64
+	alpha float64
+
+	// Precomputed constants of the rejection-inversion sampler.
+	hIntegralX1  float64
+	hIntegralNum float64
+	s            float64
+
+	// Rank -> key scramble: key = (rank-1)*mult + add (mod n), with mult
+	// odd so the map is bijective when n is a power of two; for general n
+	// a Feistel-style mix over the next power of two with cycle walking.
+	mask     uint64 // next power of two - 1
+	mult     uint64
+	add      uint64
+	scramble bool
+}
+
+// NewZipf returns a Zipf key generator over [0, n) with exponent alpha > 0.
+// If scramble is false, rank r maps to key r-1 directly (rank 1 is the most
+// frequent and keys cluster by rank, maximizing spatial hammering).
+func NewZipf(seed uint64, alpha float64, n uint64, scramble bool) *Zipf {
+	if n == 0 {
+		panic("workload: Zipf with n == 0")
+	}
+	if alpha <= 0 {
+		panic("workload: Zipf requires alpha > 0")
+	}
+	z := &Zipf{rng: NewRNG(seed), n: n, alpha: alpha, scramble: scramble}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1.0
+	z.hIntegralNum = z.hIntegral(float64(n) + 0.5)
+	z.s = 2.0 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2.0))
+
+	pow2 := uint64(1)
+	for pow2 < n {
+		pow2 <<= 1
+	}
+	z.mask = pow2 - 1
+	z.mult = NewRNG(seed^0xa5a5a5a5).Uint64() | 1 // odd
+	z.add = NewRNG(seed ^ 0x5a5a5a5a).Uint64()
+	return z
+}
+
+// NextRank draws the next rank in [1, n].
+func (z *Zipf) NextRank() uint64 {
+	for {
+		u := z.hIntegralNum + z.rng.Float64()*(z.hIntegralX1-z.hIntegralNum)
+		x := z.hIntegralInverse(u)
+		k := math.Round(x)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.s || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k)
+		}
+	}
+}
+
+// Next draws the next key in [0, n).
+func (z *Zipf) Next() int64 {
+	rank := z.NextRank() - 1
+	if !z.scramble {
+		return int64(rank)
+	}
+	// Cycle-walk the scramble over the next power of two until the image
+	// lands inside [0, n). Expected < 2 iterations.
+	v := rank
+	for {
+		v = (v*z.mult + z.add) & z.mask
+		if v < z.n {
+			return int64(v)
+		}
+	}
+}
+
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1.0-z.alpha)*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.alpha * math.Log(x))
+}
+
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * (1.0 - z.alpha)
+	if t < -1.0 {
+		t = -1.0 // numerical guard, as in the reference implementation
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x, continuous at 0.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1.0 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x, continuous at 0.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1.0 + x*0.5*(1.0+x*(1.0/3.0)*(1.0+0.25*x))
+}

@@ -1,0 +1,216 @@
+// Package rma implements the Rewired Memory Array (RMA) of De Leo and
+// Boncz, "Packed Memory Arrays – Rewired" (ICDE 2019): a sorted sparse
+// array of 8-byte key/value pairs that keeps its elements physically
+// sequential under updates.
+//
+// A packed memory array stores sorted elements interleaved with gaps so
+// that inserts and deletes happen in place, at amortized O(log² N) moved
+// elements per update — while range scans remain truly sequential,
+// approaching dense column-scan speed. The RMA makes that practical with
+// five features the paper contributes or adopts:
+//
+//   - fixed-size segments tuned like (a,b)-tree leaves (capacity B);
+//   - clustering: segment contents pack toward alternating segment ends,
+//     so each segment pair exposes one contiguous run and scans pay no
+//     per-slot gap checks;
+//   - a static, pointer-free index routing keys to segments;
+//   - memory rewiring: rebalances write each element once into spare
+//     pages and swap virtual page-table entries instead of copying twice;
+//   - adaptive rebalancing: a Detector recognizes skewed ("hammered")
+//     update patterns and concentrates gaps where the next inserts will
+//     land.
+//
+// Keys form a multiset: duplicates are allowed, Delete removes one
+// occurrence. The structure is not safe for concurrent use.
+//
+// # Quick start
+//
+//	a, err := rma.New()
+//	if err != nil { ... }
+//	a.Insert(42, 420)
+//	v, ok := a.Find(42)
+//	count, sum := a.Sum(0, 100)      // sequential range aggregation
+//	a.Scan(func(k, v int64) bool { fmt.Println(k, v); return true })
+//
+// The companion packages under internal/ implement every system the
+// paper evaluates against — a traditional PMA, the APMA rebalancing
+// policy, tuned (a,b)-trees, an ART-indexed tree and static dense arrays
+// — and cmd/rmabench regenerates each figure of the paper's evaluation.
+package rma
+
+import (
+	"rma/internal/calibrator"
+	"rma/internal/core"
+)
+
+// Array is a Rewired Memory Array. Create one with New.
+type Array struct {
+	a *core.Array
+}
+
+// Option configures New.
+type Option func(*core.Config)
+
+// WithSegmentCapacity sets the segment size B in elements (power of two,
+// >= 4; default 128, the paper's default). Larger segments favour scans,
+// smaller ones favour updates, exactly like (a,b)-tree leaves.
+func WithSegmentCapacity(b int) Option {
+	return func(c *core.Config) { c.SegmentSlots = b }
+}
+
+// WithUpdateOrientedThresholds selects the update-oriented density
+// thresholds (rho1=0.08, rhoH=0.3, tauH=0.75, tau1=1, doubling resizes) —
+// the default, favouring update throughput.
+func WithUpdateOrientedThresholds() Option {
+	return func(c *core.Config) { c.Thresholds = calibrator.UpdateOriented() }
+}
+
+// WithScanOrientedThresholds selects the scan-oriented thresholds
+// (rho1=0, rhoH=tauH=0.75, tau1=1, proportional resizes, forced shrink
+// below 50% fill): ~20% slower updates, denser array, faster scans and a
+// smaller footprint (Section III of the paper).
+func WithScanOrientedThresholds() Option {
+	return func(c *core.Config) { c.Thresholds = calibrator.ScanOriented() }
+}
+
+// WithAdaptiveRebalancing enables (default) or disables the adaptive
+// rebalancing of Section IV. Disabled, every rebalance spreads elements
+// evenly (the traditional policy).
+func WithAdaptiveRebalancing(on bool) Option {
+	return func(c *core.Config) {
+		if on {
+			c.Adaptive = core.AdaptiveRMA
+		} else {
+			c.Adaptive = core.AdaptiveOff
+		}
+	}
+}
+
+// WithMemoryRewiring enables (default) or disables rewired rebalances.
+// Disabled, rebalances use the classic two-pass copy and resizes allocate
+// fresh zeroed memory.
+func WithMemoryRewiring(on bool) Option {
+	return func(c *core.Config) {
+		if on {
+			c.Rebalance = core.RebalanceRewired
+		} else {
+			c.Rebalance = core.RebalanceTwoPass
+		}
+	}
+}
+
+// WithPageCapacity sets the rewiring page size in slots (power of two,
+// >= 2*B; default 2048 slots = 16 KB per page and array). Smaller pages
+// rewire more often; larger pages amortize swaps over more data.
+func WithPageCapacity(slots int) Option {
+	return func(c *core.Config) { c.PageSlots = slots }
+}
+
+// New builds an empty Rewired Memory Array.
+func New(opts ...Option) (*Array, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	a, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{a: a}, nil
+}
+
+// Insert adds a key/value pair. The error is non-nil only when the
+// storage substrate fails to allocate; the array remains consistent.
+func (r *Array) Insert(key, val int64) error { return r.a.Insert(key, val) }
+
+// Delete removes one occurrence of key, reporting whether it existed.
+func (r *Array) Delete(key int64) (bool, error) { return r.a.Delete(key) }
+
+// Find returns a value stored under key.
+func (r *Array) Find(key int64) (int64, bool) { return r.a.Find(key) }
+
+// Contains reports whether key is stored.
+func (r *Array) Contains(key int64) bool { return r.a.Contains(key) }
+
+// Min returns the smallest stored key.
+func (r *Array) Min() (int64, bool) { return r.a.Min() }
+
+// Max returns the largest stored key.
+func (r *Array) Max() (int64, bool) { return r.a.Max() }
+
+// ScanRange visits every element with lo <= key <= hi in key order; the
+// scan runs one tight loop per segment pair over dense runs.
+func (r *Array) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	r.a.ScanRange(lo, hi, yield)
+}
+
+// Scan visits every element in key order.
+func (r *Array) Scan(yield func(key, val int64) bool) { r.a.Scan(yield) }
+
+// Sum aggregates elements with lo <= key <= hi, returning their count
+// and the sum of their values — the paper's range-scan measurement.
+func (r *Array) Sum(lo, hi int64) (count int, sum int64) { return r.a.Sum(lo, hi) }
+
+// SumAll aggregates every element (full column scan).
+func (r *Array) SumAll() (count int, sum int64) { return r.a.SumAll() }
+
+// BulkLoad inserts a batch with the paper's bottom-up bulk-loading
+// algorithm, rebalancing each touched window at most once.
+func (r *Array) BulkLoad(keys, vals []int64) error {
+	return r.a.BulkLoad(core.Batch{Keys: keys, Vals: vals})
+}
+
+// BulkUpdate applies deletions then insertions as one batch: the
+// streaming pattern where the cardinality stays constant.
+func (r *Array) BulkUpdate(insertKeys, insertVals []int64, deleteKeys []int64) error {
+	return r.a.BulkUpdate(core.Batch{Keys: insertKeys, Vals: insertVals}, deleteKeys)
+}
+
+// Size returns the number of stored elements.
+func (r *Array) Size() int { return r.a.Size() }
+
+// Capacity returns the number of slots (stored elements + gaps).
+func (r *Array) Capacity() int { return r.a.Capacity() }
+
+// SegmentCapacity returns the segment size B.
+func (r *Array) SegmentCapacity() int { return r.a.SegmentSlots() }
+
+// Density returns the fill factor Size/Capacity.
+func (r *Array) Density() float64 { return r.a.Density() }
+
+// FootprintBytes returns the physical memory held by the array,
+// including spare rewiring pages, the index and the detector.
+func (r *Array) FootprintBytes() int64 { return r.a.FootprintBytes() }
+
+// Stats is a snapshot of the array's operation counters.
+type Stats struct {
+	Inserts, Deletes, Lookups uint64
+	// Rebalances counts window rebalances; AdaptiveRebalances those that
+	// used the Detector's marked intervals.
+	Rebalances, AdaptiveRebalances uint64
+	// RebalancedElements counts elements moved by rebalances;
+	// ElementCopies counts copy operations (two-pass copies twice).
+	RebalancedElements, ElementCopies uint64
+	// PageSwaps counts O(1) virtual page rewirings.
+	PageSwaps uint64
+	// Resizes, Grows, Shrinks count capacity changes.
+	Resizes, Grows, Shrinks uint64
+	BulkLoads               uint64
+}
+
+// Stats returns the operation counters accumulated so far.
+func (r *Array) Stats() Stats {
+	s := r.a.Stats()
+	return Stats{
+		Inserts: s.Inserts, Deletes: s.Deletes, Lookups: s.Lookups,
+		Rebalances: s.Rebalances, AdaptiveRebalances: s.AdaptiveRebalances,
+		RebalancedElements: s.RebalancedElements, ElementCopies: s.ElementCopies,
+		PageSwaps: s.PageSwaps,
+		Resizes:   s.Resizes, Grows: s.Grows, Shrinks: s.Shrinks,
+		BulkLoads: s.BulkLoads,
+	}
+}
+
+// Validate checks every structural invariant; it is O(n) and meant for
+// tests and debugging.
+func (r *Array) Validate() error { return r.a.Validate() }
