@@ -1,0 +1,128 @@
+package rma
+
+import (
+	"sync"
+	"testing"
+)
+
+// Allocation regression tests: cursors and iterators must hold O(1)
+// state — the old Cursor materialized the whole range into a slice, so
+// a 1M-element traversal allocated megabytes. These tests pin the new
+// walker-based implementations to a small constant, independent of
+// range size.
+
+const allocN = 1 << 20
+
+var allocFixture = sync.OnceValue(func() *Array {
+	a, err := New()
+	if err != nil {
+		panic(err)
+	}
+	keys := make([]int64, allocN)
+	vals := make([]int64, allocN)
+	for i := range keys {
+		keys[i] = int64(i) * 2
+		vals[i] = int64(i)
+	}
+	if err := a.BulkLoad(keys, vals); err != nil {
+		panic(err)
+	}
+	return a
+})
+
+// maxIterAllocs is the allowance per traversal: the cursor or iterator
+// closure itself plus walker escape — nothing proportional to the range.
+const maxIterAllocs = 8
+
+func TestCursorAllocationsFullRange(t *testing.T) {
+	a := allocFixture()
+	visited := 0
+	allocs := testing.AllocsPerRun(3, func() {
+		c := a.NewCursor(minInt64, maxInt64)
+		visited = 0
+		for c.Next() {
+			visited++
+		}
+	})
+	if visited != allocN {
+		t.Fatalf("cursor visited %d of %d", visited, allocN)
+	}
+	if allocs > maxIterAllocs {
+		t.Errorf("cursor over %d elements: %.1f allocs/run, want <= %d (O(1) state)",
+			allocN, allocs, maxIterAllocs)
+	}
+}
+
+func TestCursorAllocationsIndependentOfRange(t *testing.T) {
+	a := allocFixture()
+	measure := func(lo, hi int64) float64 {
+		return testing.AllocsPerRun(5, func() {
+			c := a.NewCursor(lo, hi)
+			for c.Next() {
+			}
+		})
+	}
+	small := measure(0, 200)             // ~100 elements
+	large := measure(minInt64, maxInt64) // 1M elements
+	if large > small+2 {
+		t.Errorf("cursor allocations grow with range size: %.1f (100 elts) vs %.1f (1M elts)",
+			small, large)
+	}
+}
+
+func TestIteratorAllocations(t *testing.T) {
+	a := allocFixture()
+	visited := 0
+	forms := map[string]func(){
+		"All": func() {
+			visited = 0
+			for range a.All() {
+				visited++
+			}
+		},
+		"Range": func() {
+			visited = 0
+			for range a.Range(minInt64, maxInt64) {
+				visited++
+			}
+		},
+		"Ascend": func() {
+			visited = 0
+			for range a.Ascend(minInt64) {
+				visited++
+			}
+		},
+		"Descend": func() {
+			visited = 0
+			for range a.Descend(maxInt64) {
+				visited++
+			}
+		},
+	}
+	for name, iterate := range forms {
+		t.Run(name, func(t *testing.T) {
+			allocs := testing.AllocsPerRun(3, iterate)
+			if visited != allocN {
+				t.Fatalf("%s visited %d of %d", name, visited, allocN)
+			}
+			if allocs > maxIterAllocs {
+				t.Errorf("%s over %d elements: %.1f allocs/run, want <= %d",
+					name, allocN, allocs, maxIterAllocs)
+			}
+		})
+	}
+}
+
+func TestNavigationAllocations(t *testing.T) {
+	a := allocFixture()
+	allocs := testing.AllocsPerRun(10, func() {
+		a.Rank(allocN)
+		a.Select(allocN / 2)
+		a.Floor(allocN)
+		a.Ceiling(allocN)
+		a.CountRange(allocN/4, allocN/2)
+	})
+	if allocs > 0 {
+		t.Errorf("navigation queries allocate %.1f per run, want 0", allocs)
+	}
+}

@@ -1,19 +1,50 @@
 package rma
 
 import (
+	"iter"
+
 	"rma/internal/abtree"
 	"rma/internal/art"
 	"rma/internal/dense"
+	"rma/internal/staticindex"
 )
 
-// OrderedMap is the operation surface shared by the RMA and the
-// comparison structures of the paper's evaluation, so applications (and
-// the benchmark harness) can swap implementations.
+// OrderedMap is the full ordered-dictionary surface shared by the RMA
+// and the comparison structures of the paper's evaluation: point
+// lookups, min/max, floor/ceiling navigation, rank/select order
+// statistics, the four lazy iterator forms, callback scans and range
+// aggregation. Applications, examples and the benchmark harness drive
+// every backend through this interface.
+//
+// Complexity varies by backend: the RMA and the static structures
+// answer Rank/Select/CountRange in O(log n) (the RMA via incrementally
+// maintained per-segment cardinality prefix sums), while the unaugmented
+// tree baselines hop their leaf chains in O(n/B).
 type OrderedMap interface {
 	Find(key int64) (int64, bool)
+	Min() (int64, bool)
+	Max() (int64, bool)
+
+	// Navigation.
+	Floor(x int64) (key, val int64, ok bool)
+	Ceiling(x int64) (key, val int64, ok bool)
+
+	// Order statistics.
+	Rank(x int64) int
+	Select(i int) (key, val int64, ok bool)
+	CountRange(lo, hi int64) int
+
+	// Lazy iteration (Go range-over-func).
+	All() iter.Seq2[int64, int64]
+	Ascend(lo int64) iter.Seq2[int64, int64]
+	Descend(hi int64) iter.Seq2[int64, int64]
+	Range(lo, hi int64) iter.Seq2[int64, int64]
+
+	// Callback scans and aggregation.
 	ScanRange(lo, hi int64, yield func(key, val int64) bool)
 	Sum(lo, hi int64) (count int, sum int64)
 	SumAll() (count int, sum int64)
+
 	Size() int
 	FootprintBytes() int64
 }
@@ -50,6 +81,39 @@ func (b *ABTree) Delete(key int64) bool { return b.t.Delete(key) }
 
 // Find returns a value stored under key.
 func (b *ABTree) Find(key int64) (int64, bool) { return b.t.Find(key) }
+
+// Min returns the smallest stored key.
+func (b *ABTree) Min() (int64, bool) { return b.t.Min() }
+
+// Max returns the largest stored key.
+func (b *ABTree) Max() (int64, bool) { return b.t.Max() }
+
+// Floor returns the greatest element with key <= x.
+func (b *ABTree) Floor(x int64) (key, val int64, ok bool) { return b.t.Floor(x) }
+
+// Ceiling returns the smallest element with key >= x.
+func (b *ABTree) Ceiling(x int64) (key, val int64, ok bool) { return b.t.Ceiling(x) }
+
+// Rank returns the number of elements with key < x (O(n/B) chain hop).
+func (b *ABTree) Rank(x int64) int { return b.t.Rank(x) }
+
+// Select returns the i-th smallest element (0-based).
+func (b *ABTree) Select(i int) (key, val int64, ok bool) { return b.t.Select(i) }
+
+// CountRange returns the number of elements in [lo, hi].
+func (b *ABTree) CountRange(lo, hi int64) int { return b.t.CountRange(lo, hi) }
+
+// All returns a lazy ascending iterator over every element.
+func (b *ABTree) All() iter.Seq2[int64, int64] { return b.t.IterAscend(minInt64, maxInt64) }
+
+// Ascend returns a lazy ascending iterator over elements with key >= lo.
+func (b *ABTree) Ascend(lo int64) iter.Seq2[int64, int64] { return b.t.IterAscend(lo, maxInt64) }
+
+// Descend returns a lazy descending iterator over elements with key <= hi.
+func (b *ABTree) Descend(hi int64) iter.Seq2[int64, int64] { return b.t.IterDescend(minInt64, hi) }
+
+// Range returns a lazy ascending iterator over [lo, hi].
+func (b *ABTree) Range(lo, hi int64) iter.Seq2[int64, int64] { return b.t.IterAscend(lo, hi) }
 
 // ScanRange visits elements in [lo, hi] through the leaf chain.
 func (b *ABTree) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
@@ -96,6 +160,39 @@ func (b *ARTTree) Delete(key int64) bool { return b.t.Delete(key) }
 // Find returns a value stored under key.
 func (b *ARTTree) Find(key int64) (int64, bool) { return b.t.Find(key) }
 
+// Min returns the smallest stored key.
+func (b *ARTTree) Min() (int64, bool) { return b.t.Min() }
+
+// Max returns the largest stored key.
+func (b *ARTTree) Max() (int64, bool) { return b.t.Max() }
+
+// Floor returns the greatest element with key <= x.
+func (b *ARTTree) Floor(x int64) (key, val int64, ok bool) { return b.t.Floor(x) }
+
+// Ceiling returns the smallest element with key >= x.
+func (b *ARTTree) Ceiling(x int64) (key, val int64, ok bool) { return b.t.Ceiling(x) }
+
+// Rank returns the number of elements with key < x (O(n/B) chain hop).
+func (b *ARTTree) Rank(x int64) int { return b.t.Rank(x) }
+
+// Select returns the i-th smallest element (0-based).
+func (b *ARTTree) Select(i int) (key, val int64, ok bool) { return b.t.Select(i) }
+
+// CountRange returns the number of elements in [lo, hi].
+func (b *ARTTree) CountRange(lo, hi int64) int { return b.t.CountRange(lo, hi) }
+
+// All returns a lazy ascending iterator over every element.
+func (b *ARTTree) All() iter.Seq2[int64, int64] { return b.t.IterAscend(minInt64, maxInt64) }
+
+// Ascend returns a lazy ascending iterator over elements with key >= lo.
+func (b *ARTTree) Ascend(lo int64) iter.Seq2[int64, int64] { return b.t.IterAscend(lo, maxInt64) }
+
+// Descend returns a lazy descending iterator over elements with key <= hi.
+func (b *ARTTree) Descend(hi int64) iter.Seq2[int64, int64] { return b.t.IterDescend(minInt64, hi) }
+
+// Range returns a lazy ascending iterator over [lo, hi].
+func (b *ARTTree) Range(lo, hi int64) iter.Seq2[int64, int64] { return b.t.IterAscend(lo, hi) }
+
 // ScanRange visits elements in [lo, hi] through the leaf chain.
 func (b *ARTTree) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
 	b.t.ScanRange(lo, hi, yield)
@@ -134,6 +231,39 @@ func NewDense(keys, vals []int64) *Dense { return &Dense{a: dense.FromSorted(key
 // Find returns a value stored under key.
 func (d *Dense) Find(key int64) (int64, bool) { return d.a.Find(key) }
 
+// Min returns the smallest key.
+func (d *Dense) Min() (int64, bool) { return d.a.Min() }
+
+// Max returns the largest key.
+func (d *Dense) Max() (int64, bool) { return d.a.Max() }
+
+// Floor returns the greatest element with key <= x.
+func (d *Dense) Floor(x int64) (key, val int64, ok bool) { return d.a.Floor(x) }
+
+// Ceiling returns the smallest element with key >= x.
+func (d *Dense) Ceiling(x int64) (key, val int64, ok bool) { return d.a.Ceiling(x) }
+
+// Rank returns the number of elements with key < x.
+func (d *Dense) Rank(x int64) int { return d.a.Rank(x) }
+
+// Select returns the i-th smallest element (0-based).
+func (d *Dense) Select(i int) (key, val int64, ok bool) { return d.a.Select(i) }
+
+// CountRange returns the number of elements in [lo, hi].
+func (d *Dense) CountRange(lo, hi int64) int { return d.a.CountRange(lo, hi) }
+
+// All returns a lazy ascending iterator over every element.
+func (d *Dense) All() iter.Seq2[int64, int64] { return d.a.IterAscend(minInt64, maxInt64) }
+
+// Ascend returns a lazy ascending iterator over elements with key >= lo.
+func (d *Dense) Ascend(lo int64) iter.Seq2[int64, int64] { return d.a.IterAscend(lo, maxInt64) }
+
+// Descend returns a lazy descending iterator over elements with key <= hi.
+func (d *Dense) Descend(hi int64) iter.Seq2[int64, int64] { return d.a.IterDescend(minInt64, hi) }
+
+// Range returns a lazy ascending iterator over [lo, hi].
+func (d *Dense) Range(lo, hi int64) iter.Seq2[int64, int64] { return d.a.IterAscend(lo, hi) }
+
 // ScanRange visits elements in [lo, hi].
 func (d *Dense) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
 	d.a.ScanRange(lo, hi, yield)
@@ -151,10 +281,83 @@ func (d *Dense) Size() int { return d.a.Size() }
 // FootprintBytes returns the column's memory (16 bytes per element).
 func (d *Dense) FootprintBytes() int64 { return d.a.FootprintBytes() }
 
+// --- static-index column ------------------------------------------------------
+
+// StaticIndexed is a sorted dense column cut into fixed-size blocks
+// routed by the RMA's pointer-free static index (Fig 5): the baseline
+// isolating what the packed index contributes over whole-column binary
+// search. Like Dense it is immutable.
+type StaticIndexed struct{ c *staticindex.Column }
+
+// NewStaticIndexed builds the baseline from sorted parallel slices with
+// the given block size (the analogue of the RMA's segment capacity B;
+// the paper's default is 128) and the paper's fanout-65 index.
+func NewStaticIndexed(keys, vals []int64, block int) *StaticIndexed {
+	return &StaticIndexed{c: staticindex.NewColumn(keys, vals, block, 65)}
+}
+
+// Find returns a value stored under key.
+func (s *StaticIndexed) Find(key int64) (int64, bool) { return s.c.Find(key) }
+
+// Min returns the smallest key.
+func (s *StaticIndexed) Min() (int64, bool) { return s.c.Min() }
+
+// Max returns the largest key.
+func (s *StaticIndexed) Max() (int64, bool) { return s.c.Max() }
+
+// Floor returns the greatest element with key <= x.
+func (s *StaticIndexed) Floor(x int64) (key, val int64, ok bool) { return s.c.Floor(x) }
+
+// Ceiling returns the smallest element with key >= x.
+func (s *StaticIndexed) Ceiling(x int64) (key, val int64, ok bool) { return s.c.Ceiling(x) }
+
+// Rank returns the number of elements with key < x.
+func (s *StaticIndexed) Rank(x int64) int { return s.c.Rank(x) }
+
+// Select returns the i-th smallest element (0-based).
+func (s *StaticIndexed) Select(i int) (key, val int64, ok bool) { return s.c.Select(i) }
+
+// CountRange returns the number of elements in [lo, hi].
+func (s *StaticIndexed) CountRange(lo, hi int64) int { return s.c.CountRange(lo, hi) }
+
+// All returns a lazy ascending iterator over every element.
+func (s *StaticIndexed) All() iter.Seq2[int64, int64] { return s.c.IterAscend(minInt64, maxInt64) }
+
+// Ascend returns a lazy ascending iterator over elements with key >= lo.
+func (s *StaticIndexed) Ascend(lo int64) iter.Seq2[int64, int64] {
+	return s.c.IterAscend(lo, maxInt64)
+}
+
+// Descend returns a lazy descending iterator over elements with key <= hi.
+func (s *StaticIndexed) Descend(hi int64) iter.Seq2[int64, int64] {
+	return s.c.IterDescend(minInt64, hi)
+}
+
+// Range returns a lazy ascending iterator over [lo, hi].
+func (s *StaticIndexed) Range(lo, hi int64) iter.Seq2[int64, int64] { return s.c.IterAscend(lo, hi) }
+
+// ScanRange visits elements in [lo, hi].
+func (s *StaticIndexed) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	s.c.ScanRange(lo, hi, yield)
+}
+
+// Sum aggregates elements in [lo, hi].
+func (s *StaticIndexed) Sum(lo, hi int64) (count int, sum int64) { return s.c.Sum(lo, hi) }
+
+// SumAll aggregates the whole column.
+func (s *StaticIndexed) SumAll() (count int, sum int64) { return s.c.SumAll() }
+
+// Size returns the number of elements.
+func (s *StaticIndexed) Size() int { return s.c.Size() }
+
+// FootprintBytes returns the column's memory including the index.
+func (s *StaticIndexed) FootprintBytes() int64 { return s.c.FootprintBytes() }
+
 // Interface conformance.
 var (
 	_ UpdatableMap = (*Array)(nil)
 	_ UpdatableMap = (*ABTree)(nil)
 	_ UpdatableMap = (*ARTTree)(nil)
 	_ OrderedMap   = (*Dense)(nil)
+	_ OrderedMap   = (*StaticIndexed)(nil)
 )

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rma"
+	"rma/internal/exp"
+	"rma/internal/workload"
+)
+
+// backends drives every structure purely through the public OrderedMap /
+// UpdatableMap interface: uniform inserts (updatable backends), point
+// lookups, one full lazy iteration, 1% lazy range iterations, and the
+// navigation + order-statistic queries. It is the multi-backend
+// comparison the widened API exists for: the same loop runs against the
+// RMA, the TPMA baseline, both trees and both static columns.
+func backends(p exp.Params) {
+	fmt.Fprintf(p.Out, "## backends: the OrderedMap surface, N=%d\n", p.N)
+	fmt.Fprintf(p.Out, "# backend\tinsert.Mops\tlookup.Mops\tfullscan.Melts\trange1pct.Melts\tfloorceil.Mops\trankselect.Mops\tbytes/elt\n")
+
+	keys := workload.Keys(workload.NewUniform(p.Seed, 0), p.N)
+
+	mk := map[string]func() rma.OrderedMap{
+		"rma-B128": func() rma.OrderedMap { return mustArr(rma.New()) },
+		"tpma":     func() rma.OrderedMap { return mustArr(rma.NewTPMA()) },
+		"abtree":   func() rma.OrderedMap { return rma.NewABTree(256) },
+		"art":      func() rma.OrderedMap { return rma.NewARTTree(256) },
+		"dense":    nil, // built from a sorted snapshot below
+		"staticix": nil,
+	}
+
+	// Sorted snapshot for the static backends.
+	sorted := append([]int64(nil), keys...)
+	sortInt64(sorted)
+	vals := append([]int64(nil), sorted...)
+
+	var sink int64
+	for _, name := range []string{"tpma", "abtree", "art", "rma-B128", "staticix", "dense"} {
+		var m rma.OrderedMap
+		var insElapsed time.Duration
+		if ctor := mk[name]; ctor != nil {
+			m = ctor()
+			u := m.(rma.UpdatableMap)
+			insElapsed = timeIt(func() {
+				for _, k := range keys {
+					if err := u.InsertKV(k, k); err != nil {
+						panic(err)
+					}
+				}
+			})
+		} else if name == "dense" {
+			m = rma.NewDense(sorted, vals)
+		} else {
+			m = rma.NewStaticIndexed(sorted, vals, 128)
+		}
+
+		rng := workload.NewRNG(p.Seed + 7)
+		nLookups := p.N / 4
+		lkElapsed := timeIt(func() {
+			for i := 0; i < nLookups; i++ {
+				v, _ := m.Find(keys[rng.Uint64n(uint64(len(keys)))])
+				sink += v
+			}
+		})
+
+		scElapsed := timeIt(func() {
+			var s int64
+			for _, v := range m.All() {
+				s += v
+			}
+			sink += s
+		})
+
+		cnt := p.N / 100
+		if cnt == 0 {
+			cnt = 1
+		}
+		nRanges := 50
+		var scanned int
+		rgElapsed := timeIt(func() {
+			for i := 0; i < nRanges; i++ {
+				pos := int(rng.Uint64n(uint64(p.N - cnt)))
+				for _, v := range m.Range(sorted[pos], sorted[pos+cnt-1]) {
+					sink += v
+					scanned++
+				}
+			}
+		})
+
+		nNav := p.N / 8
+		nvElapsed := timeIt(func() {
+			for i := 0; i < nNav; i++ {
+				x := keys[rng.Uint64n(uint64(len(keys)))]
+				k1, _, _ := m.Floor(x)
+				k2, _, _ := m.Ceiling(x)
+				sink += k1 + k2
+			}
+		})
+
+		// Order statistics: O(n/B) on the unaugmented trees, so probe
+		// proportionally fewer times there to keep runtimes bounded.
+		nOrd := p.N / 8
+		if name == "abtree" || name == "art" {
+			nOrd = 2000
+		}
+		osElapsed := timeIt(func() {
+			for i := 0; i < nOrd; i++ {
+				sink += int64(m.Rank(keys[rng.Uint64n(uint64(len(keys)))]))
+				k, _, _ := m.Select(int(rng.Uint64n(uint64(m.Size()))))
+				sink += k
+			}
+		})
+
+		insM := 0.0
+		if insElapsed > 0 {
+			insM = mops(p.N, insElapsed)
+		}
+		// Each navigation iteration issues two queries (Floor+Ceiling,
+		// Rank+Select): report per-operation rates comparable to the
+		// lookup column.
+		fmt.Fprintf(p.Out, "%s\t%.2f\t%.2f\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\n",
+			name, insM, mops(nLookups, lkElapsed), mops(m.Size(), scElapsed),
+			mops(scanned, rgElapsed), mops(2*nNav, nvElapsed), mops(2*nOrd, osElapsed),
+			float64(m.FootprintBytes())/float64(m.Size()))
+	}
+	_ = sink
+}
+
+func mustArr(a *rma.Array, err error) *rma.Array {
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func timeIt(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+func mops(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds() / 1e6
+}
+
+func sortInt64(a []int64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

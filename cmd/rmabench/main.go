@@ -7,9 +7,13 @@
 //	rmabench -exp all -n 262144 -out results.txt
 //
 // Experiments: fig01a fig01b fig01c fig10 fig11a fig11b fig12 fig13a
-// fig13b fig14, or "all". Output is TSV with one block per figure; the
-// series names match the paper's legends. EXPERIMENTS.md interprets the
-// shapes against the paper's reported results.
+// fig13b fig14 backends, or "all". Output is TSV with one block per
+// figure; the series names match the paper's legends. EXPERIMENTS.md
+// interprets the shapes against the paper's reported results. The
+// "backends" experiment is not a paper figure: it drives every
+// structure purely through the public OrderedMap interface — inserts,
+// lookups, lazy iteration, navigation and order statistics — to compare
+// the full ordered-map surface across backends.
 package main
 
 import (
@@ -24,16 +28,17 @@ import (
 )
 
 var experiments = map[string]func(exp.Params){
-	"fig01a": exp.Fig01a,
-	"fig01b": exp.Fig01b,
-	"fig01c": exp.Fig01c,
-	"fig10":  exp.Fig10,
-	"fig11a": exp.Fig11a,
-	"fig11b": exp.Fig11b,
-	"fig12":  exp.Fig12,
-	"fig13a": exp.Fig13a,
-	"fig13b": exp.Fig13b,
-	"fig14":  exp.Fig14,
+	"fig01a":   exp.Fig01a,
+	"fig01b":   exp.Fig01b,
+	"fig01c":   exp.Fig01c,
+	"fig10":    exp.Fig10,
+	"fig11a":   exp.Fig11a,
+	"fig11b":   exp.Fig11b,
+	"fig12":    exp.Fig12,
+	"fig13a":   exp.Fig13a,
+	"fig13b":   exp.Fig13b,
+	"fig14":    exp.Fig14,
+	"backends": backends,
 }
 
 func main() {

@@ -1,49 +1,48 @@
 package rma
 
+import "rma/internal/core"
+
 // Cursor iterates the array in key order without callbacks, for callers
 // that need pull-style traversal (merge joins, pagination). It is a
-// snapshot-free iterator: mutating the array invalidates it (like the
-// paper's sequential design, there is no concurrency control).
+// lazy segment-hopping walker holding O(1) state — the current segment
+// and an offset into its run — regardless of the range size. It is
+// snapshot-free: mutating the array invalidates it (like the paper's
+// sequential design, there is no concurrency control).
 type Cursor struct {
-	pairs []cursorPair
-	pos   int
+	w     core.Walker
+	k, v  int64
+	valid bool
 }
 
-type cursorPair struct{ k, v int64 }
-
 // NewCursor returns a cursor positioned before the first element with
-// key >= lo, bounded by hi (inclusive).
-//
-// The cursor materializes the range up front through the array's
-// tight-loop scan: for range sizes up to millions of elements this is
-// both simpler and faster than incremental segment hopping, and it makes
-// the cursor robust to subsequent mutations.
+// key >= lo, bounded by hi (inclusive). Construction costs one index
+// descent; no part of the range is materialized.
 func (r *Array) NewCursor(lo, hi int64) *Cursor {
-	c := &Cursor{}
-	n, _ := r.Sum(lo, hi)
-	c.pairs = make([]cursorPair, 0, n)
-	r.ScanRange(lo, hi, func(k, v int64) bool {
-		c.pairs = append(c.pairs, cursorPair{k, v})
-		return true
-	})
-	return c
+	return &Cursor{w: r.a.NewWalker(lo, hi)}
 }
 
 // Next advances the cursor and reports whether an element is available.
 func (c *Cursor) Next() bool {
-	if c.pos >= len(c.pairs) {
-		return false
-	}
-	c.pos++
-	return true
+	c.k, c.v, c.valid = c.w.Next()
+	return c.valid
 }
 
 // Key returns the current element's key. Valid only after a true Next.
-func (c *Cursor) Key() int64 { return c.pairs[c.pos-1].k }
+func (c *Cursor) Key() int64 { return c.k }
 
 // Value returns the current element's value. Valid only after a true
 // Next.
-func (c *Cursor) Value() int64 { return c.pairs[c.pos-1].v }
+func (c *Cursor) Value() int64 { return c.v }
 
-// Remaining returns the number of elements not yet visited.
-func (c *Cursor) Remaining() int { return len(c.pairs) - c.pos }
+// SeekGE repositions the cursor before the first element with key >= key
+// via one static-index descent, keeping the upper bound. The next Next
+// returns that element. (Named SeekGE rather than Seek to avoid the
+// io.Seeker signature.)
+func (c *Cursor) SeekGE(key int64) {
+	c.w.SeekGE(key)
+	c.valid = false
+}
+
+// Remaining returns the number of elements not yet visited, computed
+// from the per-segment cardinality prefix sums in O(log n).
+func (c *Cursor) Remaining() int { return c.w.Remaining() }

@@ -22,15 +22,140 @@ func Example() {
 	count, sum := a.Sum(15, 45)
 	fmt.Println(count, sum)
 
-	a.Scan(func(k, v int64) bool {
+	for k := range a.All() {
 		fmt.Print(k, " ")
-		return true
-	})
+	}
 	fmt.Println()
 	// Output:
 	// 2000 true
 	// 3 9000
 	// 10 20 30 40 50
+}
+
+// The four lazy iterator forms: range-over-func sequences that hop
+// segments without materializing the range.
+func ExampleArray_Range() {
+	a, err := rma.New()
+	if err != nil {
+		panic(err)
+	}
+	for i := int64(1); i <= 9; i++ {
+		if err := a.Insert(i*10, i); err != nil {
+			panic(err)
+		}
+	}
+	for k, v := range a.Range(25, 55) { // ascending, bounded both sides
+		fmt.Println(k, v)
+	}
+	for k := range a.Descend(25) { // descending from 25
+		fmt.Println("desc", k)
+	}
+	// Early termination is just a break.
+	for k := range a.Ascend(60) {
+		fmt.Println(k)
+		break
+	}
+	// Output:
+	// 30 3
+	// 40 4
+	// 50 5
+	// desc 20
+	// desc 10
+	// 60
+}
+
+// Navigation and order statistics: Floor/Ceiling locate neighbours of a
+// probe key, Rank/Select/CountRange answer positional queries in
+// O(log n) via the maintained per-segment cardinality prefix sums.
+func ExampleArray_Rank() {
+	a, err := rma.New()
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range []int64{10, 20, 20, 30, 50} {
+		if err := a.Insert(k, k); err != nil {
+			panic(err)
+		}
+	}
+	fk, _, _ := a.Floor(45) // greatest key <= 45
+	ck, _, _ := a.Ceiling(45)
+	fmt.Println(fk, ck)
+
+	fmt.Println(a.Rank(20), a.Rank(21)) // elements strictly below
+	k, _, _ := a.Select(3)              // 0-based i-th smallest
+	fmt.Println(k)
+	fmt.Println(a.CountRange(15, 30))
+	// Output:
+	// 30 50
+	// 1 3
+	// 30
+	// 3
+}
+
+// Merge join between two arrays through lazy cursors: each side holds
+// O(1) state, so joining ranges of any size allocates nothing
+// proportional to their length.
+func ExampleCursor() {
+	load := func(keys []int64) *rma.Array {
+		a, err := rma.New()
+		if err != nil {
+			panic(err)
+		}
+		for _, k := range keys {
+			if err := a.Insert(k, k*10); err != nil {
+				panic(err)
+			}
+		}
+		return a
+	}
+	orders := load([]int64{1, 3, 5, 7, 9})
+	invoices := load([]int64{2, 3, 5, 8, 9})
+
+	lc := orders.NewCursor(0, 100)
+	rc := invoices.NewCursor(0, 100)
+	lOK, rOK := lc.Next(), rc.Next()
+	for lOK && rOK {
+		switch {
+		case lc.Key() < rc.Key():
+			lOK = lc.Next()
+		case lc.Key() > rc.Key():
+			rOK = rc.Next()
+		default:
+			fmt.Println(lc.Key(), lc.Value(), rc.Value())
+			lOK, rOK = lc.Next(), rc.Next()
+		}
+	}
+	// Output:
+	// 3 30 30
+	// 5 50 50
+	// 9 90 90
+}
+
+// Backends are interchangeable through the OrderedMap interface.
+func ExampleOrderedMap() {
+	keys := []int64{10, 20, 30, 40}
+	vals := []int64{1, 2, 3, 4}
+
+	rmaArr, err := rma.New()
+	if err != nil {
+		panic(err)
+	}
+	for i, k := range keys {
+		if err := rmaArr.Insert(k, vals[i]); err != nil {
+			panic(err)
+		}
+	}
+	ab := rma.NewABTree(64)
+	ab.BulkLoad(keys, vals)
+
+	for _, m := range []rma.OrderedMap{rmaArr, ab, rma.NewStaticIndexed(keys, vals, 128)} {
+		k, v, _ := m.Floor(35)
+		fmt.Println(m.Size(), k, v, m.Rank(25))
+	}
+	// Output:
+	// 4 30 3 2
+	// 4 30 3 2
+	// 4 30 3 2
 }
 
 func ExampleArray_BulkLoad() {

@@ -3,10 +3,14 @@
 // transactional side) while analytic queries continuously run range
 // aggregations over recent windows (the analytical side).
 //
-// The example runs the identical workload over an RMA and over a tuned
-// (a,b)-tree at the same segment/leaf capacity and reports both sides'
-// throughput: the tree is somewhat faster to update, the RMA is much
-// faster to scan — the trade the paper quantifies.
+// The example runs the identical workload over every updatable backend
+// — the RMA, the TPMA baseline, a tuned (a,b)-tree and the ART-indexed
+// tree — purely through the rma.UpdatableMap interface, and reports both
+// sides' throughput: the trees are somewhat faster to update, the RMA is
+// much faster to scan — the trade the paper quantifies. Each analytic
+// burst also demonstrates the navigation surface: CountRange sizes the
+// window before scanning it, Floor finds the latest order at or before a
+// cutoff.
 package main
 
 import (
@@ -25,14 +29,7 @@ const (
 	queries    = 200     // analytic range queries per burst
 )
 
-type store interface {
-	InsertKV(k, v int64) error
-	DeleteKey(k int64) (bool, error)
-	Sum(lo, hi int64) (int, int64)
-	Size() int
-}
-
-func run(name string, s store) {
+func run(name string, s rma.UpdatableMap) {
 	// Preload history: timestamps with some jitter, amount as value.
 	ts := workload.NewSequential(1_000_000, 3)
 	rng := workload.NewRNG(7)
@@ -71,13 +68,27 @@ func run(name string, s store) {
 		}
 		txTime += time.Since(t0)
 
-		// Analytical burst: revenue over random recent windows.
+		// Analytical burst: revenue over random recent windows. The
+		// window is sized with CountRange (no scan) before the Sum
+		// aggregation; every tenth query walks the window lazily instead,
+		// the iterator form of the same scan.
 		t0 = time.Now()
 		span := (maxKey - minKey) / 20 // 5% windows
 		for q := 0; q < queries; q++ {
 			lo := minKey + int64(rng.Uint64n(uint64(maxKey-minKey-span)))
+			if q%10 == 9 {
+				for _, v := range s.Range(lo, lo+span) {
+					scanned++
+					_ = v
+				}
+				continue
+			}
 			c, _ := s.Sum(lo, lo+span)
 			scanned += int64(c)
+		}
+		// The freshest order at or before the current watermark.
+		if k, _, ok := s.Floor(maxKey); ok && k > maxKey {
+			log.Fatalf("Floor returned %d > watermark %d", k, maxKey)
 		}
 		scanTime += time.Since(t0)
 	}
@@ -88,20 +99,26 @@ func run(name string, s store) {
 		name, totalTx, totalScan, s.Size())
 }
 
-// treeStore adapts the (a,b)-tree to the store interface.
-type treeStore struct{ t *rma.ABTree }
-
-func (s treeStore) InsertKV(k, v int64) error       { s.t.Insert(k, v); return nil }
-func (s treeStore) DeleteKey(k int64) (bool, error) { return s.t.Delete(k), nil }
-func (s treeStore) Sum(lo, hi int64) (int, int64)   { return s.t.Sum(lo, hi) }
-func (s treeStore) Size() int                       { return s.t.Size() }
-
 func main() {
 	fmt.Println("HTAP mix: 50 bursts of 2k inserts + 2k deletes, 200 range queries each")
 	a, err := rma.New(rma.WithSegmentCapacity(128))
 	if err != nil {
 		log.Fatal(err)
 	}
-	run("rma", a)
-	run("abtree", treeStore{rma.NewABTree(128)})
+	tpma, err := rma.NewTPMA()
+	if err != nil {
+		log.Fatal(err)
+	}
+	backends := []struct {
+		name string
+		s    rma.UpdatableMap
+	}{
+		{"rma", a},
+		{"tpma", tpma},
+		{"abtree", rma.NewABTree(128)},
+		{"art", rma.NewARTTree(128)},
+	}
+	for _, b := range backends {
+		run(b.name, b.s)
+	}
 }

@@ -43,6 +43,32 @@ func main() {
 	})
 	fmt.Printf("visited %d elements of [0,50]\n", printed)
 
+	// Lazy iterators: range-over-func traversal with O(1) state — no
+	// part of the range is materialized, breaking out is free.
+	visited := 0
+	for range a.Range(1000, 1999) {
+		visited++
+	}
+	var newest []int64
+	for k := range a.Descend(99_999) { // descending from the top
+		newest = append(newest, k)
+		if len(newest) == 3 {
+			break
+		}
+	}
+	fmt.Printf("iterated %d elements of [1000,1999]; newest three: %v\n", visited, newest)
+
+	// Navigation: nearest stored neighbours of a probe key.
+	fl, _, _ := a.Floor(54_321)
+	ce, _, _ := a.Ceiling(54_321)
+	fmt.Printf("floor/ceiling of 54321: %d / %d\n", fl, ce)
+
+	// Order statistics in O(log n): the array maintains per-segment
+	// cardinality prefix sums through every rebalance and resize.
+	median, _, _ := a.Select(a.Size() / 2)
+	fmt.Printf("rank(50000)=%d  median=%d  |[25000,75000]|=%d\n",
+		a.Rank(50_000), median, a.CountRange(25_000, 75_000))
+
 	// Deletes shrink the array when it gets too sparse.
 	for i := int64(0); i < 50_000; i++ {
 		if _, err := a.Delete(i); err != nil {

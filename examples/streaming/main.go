@@ -72,6 +72,12 @@ func main() {
 		c, _ := a.Sum(lo, hi)
 		totalScanned += int64(c)
 		queryTime += time.Since(t0)
+
+		// The pure count needs no scan at all: CountRange answers from
+		// the maintained per-segment cardinality prefix sums in O(log n).
+		if cr := a.CountRange(lo, hi); cr != c {
+			log.Fatalf("CountRange(%d,%d) = %d, scan counted %d", lo, hi, cr, c)
+		}
 	}
 
 	fmt.Printf("ticks: %d x (%d in + %d out)\n", ticks, batchSize, batchSize)

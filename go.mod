@@ -1,0 +1,3 @@
+module rma
+
+go 1.24

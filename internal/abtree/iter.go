@@ -1,0 +1,200 @@
+package abtree
+
+import "iter"
+
+// Lazy iterators and navigation queries. Forward traversal rides the
+// leaf chain; descending traversal keeps an explicit root-to-leaf path
+// (the leaves are only forward-linked) and steps to the previous leaf by
+// rewinding the deepest branch point. Order statistics hop the leaf
+// chain whole-leaf at a time — O(n/B) without per-node subtree counts,
+// the honest cost of an unaugmented (a,b)-tree.
+
+// headLeaf returns the first leaf of the chain.
+func (t *Tree) headLeaf() *leaf {
+	if t.rootInner == nil {
+		return t.rootLeaf
+	}
+	nd := t.rootInner
+	for nd.kids != nil {
+		nd = nd.kids[0]
+	}
+	return nd.leaves[0]
+}
+
+// rankOf counts elements with key < x (inclusive=false) or <= x.
+func (t *Tree) rankOf(x int64, inclusive bool) int {
+	cnt := 0
+	for l := t.headLeaf(); l != nil; l = l.next {
+		if len(l.keys) == 0 {
+			continue
+		}
+		last := l.keys[len(l.keys)-1]
+		if last < x || (inclusive && last == x) {
+			cnt += len(l.keys)
+			continue
+		}
+		if inclusive {
+			cnt += upperBound(l.keys, x)
+		} else {
+			cnt += lowerBound(l.keys, x)
+		}
+		break
+	}
+	return cnt
+}
+
+// Rank returns the number of elements with key strictly less than x.
+func (t *Tree) Rank(x int64) int { return t.rankOf(x, false) }
+
+// CountRange returns the number of elements with lo <= key <= hi.
+func (t *Tree) CountRange(lo, hi int64) int {
+	if t.n == 0 || lo > hi {
+		return 0
+	}
+	return t.rankOf(hi, true) - t.rankOf(lo, false)
+}
+
+// Select returns the i-th smallest element (0-based).
+func (t *Tree) Select(i int) (key, val int64, ok bool) {
+	if i < 0 || i >= t.n {
+		return 0, 0, false
+	}
+	for l := t.headLeaf(); l != nil; l = l.next {
+		if i < len(l.keys) {
+			return l.keys[i], l.vals[i], true
+		}
+		i -= len(l.keys)
+	}
+	return 0, 0, false
+}
+
+// Floor returns the greatest element with key <= x: the first element of
+// the descending iterator. A single downward descent is not enough —
+// deletions leave separators stale below their right child's minimum, so
+// the routed leaf may hold no element <= x while its left neighbour
+// does; the iterator's path rewind covers that case.
+func (t *Tree) Floor(x int64) (key, val int64, ok bool) {
+	for k, v := range t.IterDescend(minInt64, x) {
+		return k, v, true
+	}
+	return 0, 0, false
+}
+
+// Ceiling returns the smallest element with key >= x.
+func (t *Tree) Ceiling(x int64) (key, val int64, ok bool) {
+	if t.n == 0 {
+		return 0, 0, false
+	}
+	l := t.findLeafLB(x)
+	if i := lowerBound(l.keys, x); i < len(l.keys) {
+		return l.keys[i], l.vals[i], true
+	}
+	// Every element of this leaf is < x; the next leaf's minimum is the
+	// separator that routed us here, hence >= x.
+	if l.next != nil && len(l.next.keys) > 0 {
+		return l.next.keys[0], l.next.vals[0], true
+	}
+	return 0, 0, false
+}
+
+// IterAscend returns a lazy ascending iterator over elements with
+// lo <= key <= hi, walking the leaf chain.
+func (t *Tree) IterAscend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if t.n == 0 || lo > hi {
+			return
+		}
+		l := t.findLeafLB(lo)
+		i := lowerBound(l.keys, lo)
+		for l != nil {
+			for ; i < len(l.keys); i++ {
+				k := l.keys[i]
+				if k > hi {
+					return
+				}
+				if !yield(k, l.vals[i]) {
+					return
+				}
+			}
+			l = l.next
+			i = 0
+		}
+	}
+}
+
+// pathFrame is one level of the explicit descent path the descending
+// iterator maintains in place of backward leaf links.
+type pathFrame struct {
+	nd *inner
+	ci int
+}
+
+// IterDescend returns a lazy descending iterator over elements with
+// lo <= key <= hi. State is the O(height) descent path plus one leaf.
+func (t *Tree) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if t.n == 0 || lo > hi {
+			return
+		}
+		if t.rootInner == nil {
+			l := t.rootLeaf
+			for i := upperBound(l.keys, hi) - 1; i >= 0; i-- {
+				if l.keys[i] < lo {
+					return
+				}
+				if !yield(l.keys[i], l.vals[i]) {
+					return
+				}
+			}
+			return
+		}
+		// Descend to the leaf covering hi, recording the path.
+		var path []pathFrame
+		nd := t.rootInner
+		var l *leaf
+		for {
+			ci := childIndex(nd.keys, hi)
+			path = append(path, pathFrame{nd, ci})
+			if nd.leaves != nil {
+				l = nd.leaves[ci]
+				break
+			}
+			nd = nd.kids[ci]
+		}
+		start := upperBound(l.keys, hi) - 1
+		for {
+			for i := start; i >= 0; i-- {
+				if l.keys[i] < lo {
+					return
+				}
+				if !yield(l.keys[i], l.vals[i]) {
+					return
+				}
+			}
+			// Step to the previous leaf: rewind to the deepest branch
+			// point with a left sibling, then descend its rightmost spine.
+			d := len(path) - 1
+			for d >= 0 && path[d].ci == 0 {
+				d--
+			}
+			if d < 0 {
+				return
+			}
+			path = path[:d+1]
+			path[d].ci--
+			if path[d].nd.leaves != nil {
+				l = path[d].nd.leaves[path[d].ci]
+			} else {
+				child := path[d].nd.kids[path[d].ci]
+				for child.kids != nil {
+					path = append(path, pathFrame{child, len(child.kids) - 1})
+					child = child.kids[len(child.kids)-1]
+				}
+				path = append(path, pathFrame{child, len(child.leaves) - 1})
+				l = child.leaves[len(child.leaves)-1]
+			}
+			// Earlier leaves hold keys <= the first leaf's minimum <= hi.
+			start = len(l.keys) - 1
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package art
+
+import "iter"
+
+// Lazy iterators and navigation queries. The leaf chain is doubly
+// linked, so both directions ride it directly; the radix index supplies
+// the O(key-length) entry point. Order statistics hop the chain
+// whole-leaf at a time — O(n/B), the cost of an unaugmented tree.
+
+// floorLeaf returns the last chain leaf whose minimum is <= x, walking
+// past duplicate-overflow leaves (which share their predecessor's
+// minimum and are not indexed), or nil when every element exceeds x.
+func (t *Tree) floorLeaf(x int64) *leaf {
+	l := t.ix.floor(x)
+	if l == nil {
+		if t.head != nil && len(t.head.keys) > 0 && t.head.keys[0] <= x {
+			l = t.head
+		} else {
+			return nil
+		}
+	}
+	for l.next != nil && len(l.next.keys) > 0 && l.next.keys[0] <= x {
+		l = l.next
+	}
+	return l
+}
+
+// Floor returns the greatest element with key <= x.
+func (t *Tree) Floor(x int64) (key, val int64, ok bool) {
+	if t.head == nil {
+		return 0, 0, false
+	}
+	l := t.floorLeaf(x)
+	if l == nil {
+		return 0, 0, false
+	}
+	if i := upperBound(l.keys, x) - 1; i >= 0 {
+		return l.keys[i], l.vals[i], true
+	}
+	return 0, 0, false
+}
+
+// Ceiling returns the smallest element with key >= x.
+func (t *Tree) Ceiling(x int64) (key, val int64, ok bool) {
+	if t.head == nil {
+		return 0, 0, false
+	}
+	l := t.scanStart(x)
+	for l != nil {
+		if i := lowerBound(l.keys, x); i < len(l.keys) {
+			return l.keys[i], l.vals[i], true
+		}
+		l = l.next
+	}
+	return 0, 0, false
+}
+
+// rankOf counts elements with key < x (inclusive=false) or <= x.
+func (t *Tree) rankOf(x int64, inclusive bool) int {
+	cnt := 0
+	for l := t.head; l != nil; l = l.next {
+		if len(l.keys) == 0 {
+			continue
+		}
+		last := l.keys[len(l.keys)-1]
+		if last < x || (inclusive && last == x) {
+			cnt += len(l.keys)
+			continue
+		}
+		if inclusive {
+			cnt += upperBound(l.keys, x)
+		} else {
+			cnt += lowerBound(l.keys, x)
+		}
+		break
+	}
+	return cnt
+}
+
+// Rank returns the number of elements with key strictly less than x.
+func (t *Tree) Rank(x int64) int { return t.rankOf(x, false) }
+
+// CountRange returns the number of elements with lo <= key <= hi.
+func (t *Tree) CountRange(lo, hi int64) int {
+	if t.n == 0 || lo > hi {
+		return 0
+	}
+	return t.rankOf(hi, true) - t.rankOf(lo, false)
+}
+
+// Select returns the i-th smallest element (0-based).
+func (t *Tree) Select(i int) (key, val int64, ok bool) {
+	if i < 0 || i >= t.n {
+		return 0, 0, false
+	}
+	for l := t.head; l != nil; l = l.next {
+		if i < len(l.keys) {
+			return l.keys[i], l.vals[i], true
+		}
+		i -= len(l.keys)
+	}
+	return 0, 0, false
+}
+
+// IterAscend returns a lazy ascending iterator over elements with
+// lo <= key <= hi.
+func (t *Tree) IterAscend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if t.head == nil || lo > hi {
+			return
+		}
+		l := t.scanStart(lo)
+		i := lowerBound(l.keys, lo)
+		for l != nil {
+			for ; i < len(l.keys); i++ {
+				k := l.keys[i]
+				if k > hi {
+					return
+				}
+				if !yield(k, l.vals[i]) {
+					return
+				}
+			}
+			l = l.next
+			i = 0
+			// Duplicate-overflow leaves may still trail keys below lo.
+			if l != nil && len(l.keys) > 0 && l.keys[0] < lo {
+				i = lowerBound(l.keys, lo)
+			}
+		}
+	}
+}
+
+// IterDescend returns a lazy descending iterator over elements with
+// lo <= key <= hi, walking the prev-linked chain.
+func (t *Tree) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if t.head == nil || lo > hi {
+			return
+		}
+		l := t.floorLeaf(hi)
+		if l == nil {
+			return
+		}
+		start := upperBound(l.keys, hi) - 1
+		for l != nil {
+			for i := start; i >= 0; i-- {
+				if l.keys[i] < lo {
+					return
+				}
+				if !yield(l.keys[i], l.vals[i]) {
+					return
+				}
+			}
+			l = l.prev
+			if l != nil {
+				start = len(l.keys) - 1
+			}
+		}
+	}
+}

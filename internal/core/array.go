@@ -41,6 +41,7 @@ type Array struct {
 	n        int // stored elements
 
 	cards  []int32  // per-segment cardinality (the paper's "cards" array)
+	fen    fenwick  // prefix sums over cards, for order statistics
 	bitmap []uint64 // occupancy, interleaved layout only
 
 	cal calibrator.Tree
@@ -97,6 +98,7 @@ func (a *Array) initStorage(capSlots int) error {
 // cards, bitmap, calibrator, index, detector. Content is assumed empty.
 func (a *Array) resetDerived() {
 	a.cards = make([]int32, a.numSegs)
+	a.fen.reset(a.cards)
 	if a.cfg.Layout == LayoutInterleaved {
 		a.bitmap = make([]uint64, (a.Capacity()+63)/64)
 	} else {
@@ -151,6 +153,7 @@ func (a *Array) Stats() Stats {
 func (a *Array) FootprintBytes() int64 {
 	f := a.keys.FootprintBytes() + a.vals.FootprintBytes()
 	f += int64(cap(a.cards)) * 4
+	f += a.fen.footprintBytes()
 	f += int64(cap(a.bitmap)) * 8
 	f += a.ix.FootprintBytes()
 	if a.det != nil {
@@ -218,6 +221,28 @@ func (a *Array) setOccupied(s int, on bool) {
 		a.bitmap[s>>6] |= 1 << (uint(s) & 63)
 	} else {
 		a.bitmap[s>>6] &^= 1 << (uint(s) & 63)
+	}
+}
+
+// --- cardinality maintenance -------------------------------------------------
+
+// cardAdd adjusts segment seg's cardinality by d, keeping the Fenwick
+// prefix sums current. Every point insert/delete goes through here.
+func (a *Array) cardAdd(seg int, d int32) {
+	a.cards[seg] += d
+	a.fen.add(seg, int64(d))
+}
+
+// applyCards installs new per-segment cardinalities for the window
+// starting at segment lo, folding the per-segment deltas into the
+// Fenwick tree. Rebalances and bulk merges go through here; calling it
+// twice with the same targets is a no-op the second time.
+func (a *Array) applyCards(lo int, targets []int) {
+	for i, t := range targets {
+		if d := int64(t) - int64(a.cards[lo+i]); d != 0 {
+			a.fen.add(lo+i, d)
+			a.cards[lo+i] = int32(t)
+		}
 	}
 }
 

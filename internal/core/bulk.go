@@ -169,7 +169,7 @@ func (a *Array) mergeIntoSegment(seg int, run []pair) {
 			a.scratchK[o], a.scratchV[o] = run[j].k, run[j].v
 		}
 		// Write back with the segment's packing parity.
-		a.cards[seg] = int32(newC)
+		a.cardAdd(seg, int32(newC-oldC))
 		nl, nh := a.runBounds(seg)
 		copy(kpg[off+nl:off+nh], a.scratchK[:newC])
 		copy(vpg[voff+nl:voff+nh], a.scratchV[:newC])
@@ -199,7 +199,7 @@ func (a *Array) mergeIntoSegment(seg int, run []pair) {
 		for slot := base; slot < base+a.segSlots; slot++ {
 			a.setOccupied(slot, false)
 		}
-		a.cards[seg] = int32(newC)
+		a.cardAdd(seg, int32(newC-oldC))
 		for x := 0; x < newC; x++ {
 			slot := base + x*a.segSlots/newC
 			a.keys.Set(slot, a.scratchK[x])
@@ -283,9 +283,7 @@ func (a *Array) rebalanceMerge(lo, hi int, run []pair) error {
 		}
 		if a.cfg.Layout == LayoutClustered {
 			sk, sv := a.scratchK[:cnt], a.scratchV[:cnt]
-			for i, t := range targets {
-				a.cards[lo+i] = int32(t)
-			}
+			a.applyCards(lo, targets)
 			dst := a.destSpans(lo, targets, nil, nil)
 			copySpans(dst, []span{{k: sk, v: sv}})
 		} else {
@@ -293,9 +291,7 @@ func (a *Array) rebalanceMerge(lo, hi int, run []pair) error {
 		}
 		a.stats.ElementCopies += uint64(2 * cnt)
 	}
-	for i, t := range targets {
-		a.cards[lo+i] = int32(t)
-	}
+	a.applyCards(lo, targets)
 	a.n += len(run)
 	a.refreshSeparators(lo, hi)
 	return nil

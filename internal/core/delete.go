@@ -84,7 +84,7 @@ func (a *Array) deleteClustered(seg int, key int64) int {
 		copy(kpg[off+lo+r:off+hi-1], kpg[off+lo+r+1:off+hi])
 		copy(vpg[voff+lo+r:voff+hi-1], vpg[voff+lo+r+1:voff+hi])
 	}
-	a.cards[seg]--
+	a.cardAdd(seg, -1)
 	return r
 }
 
@@ -101,7 +101,7 @@ func (a *Array) deleteInterleaved(seg int, key int64) int {
 		k := a.keys.Get(s)
 		if k == key {
 			a.setOccupied(s, false)
-			a.cards[seg]--
+			a.cardAdd(seg, -1)
 			return rank
 		}
 		if k > key {

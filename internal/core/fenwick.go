@@ -1,0 +1,71 @@
+package core
+
+// fenwick is a binary indexed tree over the per-segment cardinalities,
+// giving O(log S) prefix counts and rank descents over the S segments.
+// It powers the order-statistic queries (Rank, Select, CountRange) and
+// Cursor.Remaining: the clustered layout makes per-segment counts exact,
+// so a prefix sum plus one in-segment binary search answers any rank
+// query without touching element storage.
+//
+// Point updates (insert/delete) cost O(log S); window rebalances apply
+// one delta per changed segment; resizes rebuild in O(S).
+type fenwick struct {
+	t []int64 // 1-based: t[i] covers cards[i-(i&-i) .. i-1]
+}
+
+// reset rebuilds the tree from the cardinality array in O(S).
+func (f *fenwick) reset(cards []int32) {
+	n := len(cards)
+	if cap(f.t) < n+1 {
+		f.t = make([]int64, n+1)
+	} else {
+		f.t = f.t[:n+1]
+		clear(f.t)
+	}
+	for i, c := range cards {
+		f.t[i+1] = int64(c)
+	}
+	for i := 1; i <= n; i++ {
+		if j := i + (i & -i); j <= n {
+			f.t[j] += f.t[i]
+		}
+	}
+}
+
+// add adjusts segment seg's count by d.
+func (f *fenwick) add(seg int, d int64) {
+	for i := seg + 1; i < len(f.t); i += i & -i {
+		f.t[i] += d
+	}
+}
+
+// prefix returns the total count of segments [0, seg).
+func (f *fenwick) prefix(seg int) int64 {
+	var s int64
+	for i := seg; i > 0; i -= i & -i {
+		s += f.t[i]
+	}
+	return s
+}
+
+// find locates the segment containing the element of global rank r
+// (0-based): the unique seg with prefix(seg) <= r < prefix(seg+1).
+// It returns that segment and prefix(seg). r must be < the total count.
+func (f *fenwick) find(r int64) (seg int, before int64) {
+	pos := 0
+	bit := 1
+	for bit<<1 < len(f.t) {
+		bit <<= 1
+	}
+	var acc int64
+	for ; bit > 0; bit >>= 1 {
+		if next := pos + bit; next < len(f.t) && acc+f.t[next] <= r {
+			pos = next
+			acc += f.t[next]
+		}
+	}
+	return pos, acc
+}
+
+// footprintBytes returns the memory held by the tree.
+func (f *fenwick) footprintBytes() int64 { return int64(cap(f.t)) * 8 }

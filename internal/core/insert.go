@@ -115,7 +115,7 @@ func (a *Array) insertClustered(seg int, key, val int64) int {
 		kpg[off+lo+r] = key
 		vpg[voff+lo+r] = val
 	}
-	a.cards[seg]++
+	a.cardAdd(seg, 1)
 	return r
 }
 
@@ -221,5 +221,5 @@ func (a *Array) placeInterleaved(slot int, key, val int64, seg int) {
 	a.keys.Set(slot, key)
 	a.vals.Set(slot, val)
 	a.setOccupied(slot, true)
-	a.cards[seg]++
+	a.cardAdd(seg, 1)
 }

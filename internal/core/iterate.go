@@ -1,0 +1,195 @@
+package core
+
+import "iter"
+
+// This file implements lazy, pull-style traversal over the array: a
+// Walker holding O(1) state (current segment + offset into its run) and
+// the range-over-func iterators built on it. On the clustered layout the
+// walker borrows each segment's dense run directly from the page space —
+// no per-slot gap checks, no copies; on the interleaved layout it
+// compacts one segment at a time into a reusable O(B) scratch buffer.
+//
+// Walkers are snapshot-free, like the rest of the structure: mutating
+// the array invalidates every walker and iterator derived from it.
+
+// Walker is a lazy cursor over the elements with key in [lo, hi]. Its
+// state is one segment index, one offset and two borrowed run slices —
+// independent of the range size. Obtain one with NewWalker; reposition
+// with SeekGE.
+type Walker struct {
+	a    *Array
+	hi   int64 // inclusive upper bound
+	seg  int
+	idx  int // next element's rank within the current run
+	runK []int64
+	runV []int64
+	// Interleaved layout only: per-segment compaction buffers.
+	bufK, bufV []int64
+}
+
+// NewWalker returns a walker positioned before the first element with
+// key >= lo, bounded above by hi (inclusive).
+func (a *Array) NewWalker(lo, hi int64) Walker {
+	w := Walker{a: a, hi: hi}
+	w.SeekGE(lo)
+	return w
+}
+
+// SeekGE repositions the walker before the first element with key >= lo,
+// using one static-index descent — the same O(log S) routing as a point
+// lookup. The upper bound is unchanged.
+func (w *Walker) SeekGE(lo int64) {
+	a := w.a
+	if a.n == 0 {
+		w.exhaust()
+		return
+	}
+	w.seg = a.ix.FindLB(lo)
+	w.loadSeg()
+	w.idx = lowerBoundRun(w.runK, lo)
+}
+
+// exhaust parks the walker past the last segment.
+func (w *Walker) exhaust() {
+	w.seg = w.a.numSegs
+	w.runK, w.runV = nil, nil
+	w.idx = 0
+}
+
+// loadSeg points runK/runV at the current segment's elements in key
+// order: a borrowed page slice on the clustered layout, a compacted copy
+// on the interleaved one.
+func (w *Walker) loadSeg() {
+	a := w.a
+	if w.seg >= a.numSegs || a.cards[w.seg] == 0 {
+		w.runK, w.runV = nil, nil
+		return
+	}
+	if a.cfg.Layout == LayoutClustered {
+		w.runK, w.runV = a.segRun(w.seg)
+		return
+	}
+	w.bufK, w.bufV = a.compactSeg(w.seg, w.bufK, w.bufV)
+	w.runK, w.runV = w.bufK, w.bufV
+}
+
+// compactSeg gathers interleaved segment seg's occupied elements in key
+// order into the given buffers (reused across calls, allocated lazily
+// at O(B)).
+func (a *Array) compactSeg(seg int, bufK, bufV []int64) ([]int64, []int64) {
+	if bufK == nil {
+		bufK = make([]int64, 0, a.segSlots)
+		bufV = make([]int64, 0, a.segSlots)
+	}
+	bufK, bufV = bufK[:0], bufV[:0]
+	base := seg * a.segSlots
+	for s := base; s < base+a.segSlots; s++ {
+		if a.occupied(s) {
+			bufK = append(bufK, a.keys.Get(s))
+			bufV = append(bufV, a.vals.Get(s))
+		}
+	}
+	return bufK, bufV
+}
+
+// Next returns the next element and advances, or ok=false when the
+// range is exhausted.
+func (w *Walker) Next() (key, val int64, ok bool) {
+	for {
+		if w.idx < len(w.runK) {
+			key = w.runK[w.idx]
+			if key > w.hi {
+				w.exhaust()
+				return 0, 0, false
+			}
+			val = w.runV[w.idx]
+			w.idx++
+			return key, val, true
+		}
+		w.seg++
+		if w.seg >= w.a.numSegs {
+			w.exhaust()
+			return 0, 0, false
+		}
+		w.loadSeg()
+		w.idx = 0
+	}
+}
+
+// Remaining returns the number of elements not yet returned that lie
+// within the walker's bound: one Fenwick prefix sum plus one in-segment
+// search, O(log S + log B).
+func (w *Walker) Remaining() int {
+	a := w.a
+	if w.seg >= a.numSegs || a.n == 0 {
+		return 0
+	}
+	consumed := int(a.fen.prefix(w.seg)) + w.idx
+	// The position can sit past the bound (SeekGE beyond hi, or an
+	// inverted range): nothing remains then.
+	if rem := a.rankOf(w.hi, true) - consumed; rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+// segRun returns segment seg's dense key and value runs (clustered
+// layout only).
+func (a *Array) segRun(seg int) (runK, runV []int64) {
+	kpg, off := a.segPage(a.keys, seg)
+	vpg, voff := a.segPage(a.vals, seg)
+	rl, rh := a.runBounds(seg)
+	return kpg[off+rl : off+rh], vpg[voff+rl : voff+rh]
+}
+
+// IterAscend returns a lazy key-ascending iterator over the elements
+// with lo <= key <= hi.
+func (a *Array) IterAscend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if lo > hi {
+			return
+		}
+		w := a.NewWalker(lo, hi)
+		for {
+			k, v, ok := w.Next()
+			if !ok {
+				return
+			}
+			if !yield(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// IterDescend returns a lazy key-descending iterator over the elements
+// with lo <= key <= hi, hopping segments right to left.
+func (a *Array) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if a.n == 0 || lo > hi {
+			return
+		}
+		var bufK, bufV []int64
+		for seg := a.ix.FindUB(hi); seg >= 0; seg-- {
+			if a.cards[seg] == 0 {
+				continue
+			}
+			var runK, runV []int64
+			if a.cfg.Layout == LayoutClustered {
+				runK, runV = a.segRun(seg)
+			} else {
+				bufK, bufV = a.compactSeg(seg, bufK, bufV)
+				runK, runV = bufK, bufV
+			}
+			for i := upperBoundRun(runK, hi) - 1; i >= 0; i-- {
+				k := runK[i]
+				if k < lo {
+					return
+				}
+				if !yield(k, runV[i]) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+// Navigation and order-statistic queries. All of them combine one index
+// descent (O(log S)) with one in-segment binary search (O(log B)); the
+// rank-based ones additionally use the Fenwick tree over segment
+// cardinalities, so Rank, Select and CountRange run in O(log S + log B)
+// without touching more than one segment.
+
+// segLowerBound returns the number of elements of segment seg with key
+// strictly below x.
+func (a *Array) segLowerBound(seg int, x int64) int {
+	if a.cfg.Layout == LayoutClustered {
+		runK, _ := a.segRun(seg)
+		return lowerBoundRun(runK, x)
+	}
+	base := seg * a.segSlots
+	n := 0
+	for s := base; s < base+a.segSlots; s++ {
+		if !a.occupied(s) {
+			continue
+		}
+		if a.keys.Get(s) >= x {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// segUpperBound returns the number of elements of segment seg with key
+// less than or equal to x.
+func (a *Array) segUpperBound(seg int, x int64) int {
+	if a.cfg.Layout == LayoutClustered {
+		runK, _ := a.segRun(seg)
+		return upperBoundRun(runK, x)
+	}
+	base := seg * a.segSlots
+	n := 0
+	for s := base; s < base+a.segSlots; s++ {
+		if !a.occupied(s) {
+			continue
+		}
+		if a.keys.Get(s) > x {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// rankOf counts stored elements with key < x (inclusive=false) or
+// key <= x (inclusive=true).
+func (a *Array) rankOf(x int64, inclusive bool) int {
+	if a.n == 0 {
+		return 0
+	}
+	var seg int
+	if inclusive {
+		seg = a.ix.FindUB(x)
+	} else {
+		seg = a.ix.FindLB(x)
+	}
+	cnt := int(a.fen.prefix(seg))
+	if a.cards[seg] > 0 {
+		if inclusive {
+			cnt += a.segUpperBound(seg, x)
+		} else {
+			cnt += a.segLowerBound(seg, x)
+		}
+	}
+	return cnt
+}
+
+// Rank returns the number of stored elements with key strictly less
+// than x: the position x would occupy in the sorted multiset.
+func (a *Array) Rank(x int64) int { return a.rankOf(x, false) }
+
+// CountRange returns the number of elements with lo <= key <= hi.
+func (a *Array) CountRange(lo, hi int64) int {
+	if a.n == 0 || lo > hi {
+		return 0
+	}
+	return a.rankOf(hi, true) - a.rankOf(lo, false)
+}
+
+// Select returns the i-th smallest element (0-based), locating its
+// segment with one Fenwick descent.
+func (a *Array) Select(i int) (key, val int64, ok bool) {
+	if i < 0 || i >= a.n {
+		return 0, 0, false
+	}
+	seg, before := a.fen.find(int64(i))
+	r := i - int(before)
+	return a.elemKey(seg, r), a.elemVal(seg, r), true
+}
+
+// Floor returns the greatest stored element with key <= x.
+func (a *Array) Floor(x int64) (key, val int64, ok bool) {
+	if a.n == 0 {
+		return 0, 0, false
+	}
+	seg := a.ix.FindUB(x)
+	if a.cards[seg] > 0 {
+		if r := a.segUpperBound(seg, x); r > 0 {
+			return a.elemKey(seg, r-1), a.elemVal(seg, r-1), true
+		}
+	}
+	// Only the leftmost reachable segment can lack an element <= x; the
+	// floor, if any, is the maximum of the nearest non-empty segment to
+	// the left (all its elements are <= the separator of seg, <= x).
+	for s := seg - 1; s >= 0; s-- {
+		if c := int(a.cards[s]); c > 0 {
+			return a.elemKey(s, c-1), a.elemVal(s, c-1), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Ceiling returns the smallest stored element with key >= x.
+func (a *Array) Ceiling(x int64) (key, val int64, ok bool) {
+	if a.n == 0 {
+		return 0, 0, false
+	}
+	seg := a.ix.FindLB(x)
+	if c := int(a.cards[seg]); c > 0 {
+		if r := a.segLowerBound(seg, x); r < c {
+			return a.elemKey(seg, r), a.elemVal(seg, r), true
+		}
+	}
+	for s := seg + 1; s < a.numSegs; s++ {
+		if a.cards[s] > 0 {
+			return a.elemKey(s, 0), a.elemVal(s, 0), true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"rma/internal/workload"
+)
+
+// Differential test of the navigation, order-statistic and iterator
+// surface across engine configurations the facade does not expose:
+// interleaved layout, dynamic side index, log-sized segments, two-pass
+// rebalances — the walker and rank paths all have layout-specific code.
+
+func navConfigs() map[string]Config {
+	rma := DefaultConfig()
+	rma.SegmentSlots = 16
+	rma.PageSlots = 64
+
+	tpma := BaselineConfig()
+	tpma.PageSlots = 64
+
+	inter := DefaultConfig()
+	inter.SegmentSlots = 16
+	inter.PageSlots = 64
+	inter.Layout = LayoutInterleaved
+	inter.Rebalance = RebalanceTwoPass
+
+	return map[string]Config{"rma": rma, "tpma": tpma, "interleaved-static": inter}
+}
+
+func navLB(a []int64, x int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func navUB(a []int64, x int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func TestNavigationDifferential(t *testing.T) {
+	const keyRange = 3000
+	val := func(k int64) int64 { return k*5 + 1 }
+	for name, cfg := range navConfigs() {
+		t.Run(name, func(t *testing.T) {
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := workload.NewRNG(13)
+			var model []int64
+			insert := func(k int64) {
+				i := navUB(model, k)
+				model = append(model, 0)
+				copy(model[i+1:], model[i:])
+				model[i] = k
+				if err := a.Insert(k, val(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			remove := func(k int64) {
+				got, err := a.Delete(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				i := navLB(model, k)
+				want := i < len(model) && model[i] == k
+				if got != want {
+					t.Fatalf("Delete(%d) = %v, want %v", k, got, want)
+				}
+				if want {
+					model = append(model[:i], model[i+1:]...)
+				}
+			}
+			check := func() {
+				t.Helper()
+				if err := a.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				for trial := 0; trial < 25; trial++ {
+					x := int64(rng.Uint64n(keyRange+400)) - 200
+					if got, want := a.Rank(x), navLB(model, x); got != want {
+						t.Fatalf("Rank(%d) = %d, want %d", x, got, want)
+					}
+					fk, fv, fok := a.Floor(x)
+					if i := navUB(model, x) - 1; i >= 0 {
+						if !fok || fk != model[i] || fv != val(model[i]) {
+							t.Fatalf("Floor(%d) = (%d,%d,%v), want %d", x, fk, fv, fok, model[i])
+						}
+					} else if fok {
+						t.Fatalf("Floor(%d) spurious", x)
+					}
+					ck, cv, cok := a.Ceiling(x)
+					if i := navLB(model, x); i < len(model) {
+						if !cok || ck != model[i] || cv != val(model[i]) {
+							t.Fatalf("Ceiling(%d) = (%d,%d,%v), want %d", x, ck, cv, cok, model[i])
+						}
+					} else if cok {
+						t.Fatalf("Ceiling(%d) spurious", x)
+					}
+					lo := x - int64(rng.Uint64n(500))
+					hi := x + int64(rng.Uint64n(500))
+					if got, want := a.CountRange(lo, hi), navUB(model, hi)-navLB(model, lo); got != want {
+						t.Fatalf("CountRange(%d,%d) = %d, want %d", lo, hi, got, want)
+					}
+					// Ascending walk over [lo, hi].
+					i := navLB(model, lo)
+					for k, v := range a.IterAscend(lo, hi) {
+						if i >= len(model) || model[i] > hi || k != model[i] || v != val(k) {
+							t.Fatalf("IterAscend(%d,%d) mismatch at %d: got %d", lo, hi, i, k)
+						}
+						i++
+					}
+					if i != navUB(model, hi) && navLB(model, lo) < navUB(model, hi) {
+						t.Fatalf("IterAscend(%d,%d) stopped at %d, want %d", lo, hi, i, navUB(model, hi))
+					}
+					// Descending walk over [lo, hi].
+					j := navUB(model, hi) - 1
+					for k, v := range a.IterDescend(lo, hi) {
+						if j < 0 || model[j] < lo || k != model[j] || v != val(k) {
+							t.Fatalf("IterDescend(%d,%d) mismatch at %d: got %d", lo, hi, j, k)
+						}
+						j--
+					}
+				}
+				for _, i := range []int{-1, 0, len(model) / 2, len(model) - 1, len(model)} {
+					k, v, ok := a.Select(i)
+					if i < 0 || i >= len(model) {
+						if ok {
+							t.Fatalf("Select(%d) spurious with n=%d", i, len(model))
+						}
+						continue
+					}
+					if !ok || k != model[i] || v != val(model[i]) {
+						t.Fatalf("Select(%d) = (%d,%d,%v), want %d", i, k, v, ok, model[i])
+					}
+				}
+				// Walker with SeekGE repositioning.
+				w := a.NewWalker(minInt64, maxInt64)
+				x := int64(rng.Uint64n(keyRange))
+				w.SeekGE(x)
+				if got, want := w.Remaining(), len(model)-navLB(model, x); got != want {
+					t.Fatalf("Walker.Remaining after SeekGE(%d) = %d, want %d", x, got, want)
+				}
+				if i := navLB(model, x); i < len(model) {
+					k, v, ok := w.Next()
+					if !ok || k != model[i] || v != val(model[i]) {
+						t.Fatalf("Walker.Next after SeekGE(%d) = (%d,%d,%v), want %d", x, k, v, ok, model[i])
+					}
+				}
+			}
+
+			check() // empty array
+			for round := 0; round < 8; round++ {
+				for op := 0; op < 300; op++ {
+					k := int64(rng.Uint64n(keyRange))
+					if round >= 5 && rng.Uint64n(100) < 70 || round < 5 && rng.Uint64n(100) < 25 {
+						remove(k)
+					} else {
+						insert(k)
+					}
+				}
+				check()
+			}
+			// Drain completely: navigation on the emptied array.
+			for len(model) > 0 {
+				remove(model[len(model)-1])
+			}
+			check()
+		})
+	}
+}
+
+// TestNavigationBulk checks that bulk loads and bulk updates keep the
+// Fenwick prefix sums consistent (applyCards/reset paths).
+func TestNavigationBulk(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SegmentSlots = 16
+	cfg.PageSlots = 64
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(21)
+	var model []int64
+	for round := 0; round < 6; round++ {
+		batch := make([]int64, 500)
+		for i := range batch {
+			batch[i] = int64(rng.Uint64n(5000))
+		}
+		var dels []int64
+		if round > 2 {
+			for i := 0; i < 300 && len(model) > 0; i++ {
+				dels = append(dels, model[int(rng.Uint64n(uint64(len(model))))])
+			}
+		}
+		if err := a.BulkUpdate(Batch{Keys: batch, Vals: batch}, dels); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range dels {
+			if i := navLB(model, k); i < len(model) && model[i] == k {
+				model = append(model[:i], model[i+1:]...)
+			}
+		}
+		for _, k := range batch {
+			i := navUB(model, k)
+			model = append(model, 0)
+			copy(model[i+1:], model[i:])
+			model[i] = k
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := int64(rng.Uint64n(5200))
+			if got, want := a.Rank(x), navLB(model, x); got != want {
+				t.Fatalf("round %d: Rank(%d) = %d, want %d", round, x, got, want)
+			}
+			i := int(rng.Uint64n(uint64(len(model))))
+			if k, _, ok := a.Select(i); !ok || k != model[i] {
+				t.Fatalf("round %d: Select(%d) = %d, want %d", round, i, k, model[i])
+			}
+		}
+	}
+}

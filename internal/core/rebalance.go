@@ -104,9 +104,7 @@ func (a *Array) redistributeTwoPass(lo, hi int, targets []int, cnt int) {
 		a.writeInterleaved(lo, targets, cnt)
 	}
 	a.stats.ElementCopies += uint64(cnt)
-	for i, t := range targets {
-		a.cards[lo+i] = int32(t)
-	}
+	a.applyCards(lo, targets)
 }
 
 // redistributeRewired writes each element once into spare physical pages
@@ -140,9 +138,7 @@ func (a *Array) redistributeRewired(lo, hi int, targets []int, cnt int) error {
 	}
 	a.trimPool()
 
-	for i, t := range targets {
-		a.cards[lo+i] = int32(t)
-	}
+	a.applyCards(lo, targets)
 	return nil
 }
 

@@ -72,6 +72,7 @@ func (a *Array) resizeTo(newCap int, extra []pair) error {
 	for i, t := range targets {
 		a.cards[i] = int32(t)
 	}
+	a.fen.reset(a.cards)
 	a.cal = calibrator.NewTree(newSegs, a.cfg.Thresholds)
 	a.rebuildIndexFromLayout()
 	if a.det != nil {

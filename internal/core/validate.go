@@ -41,6 +41,18 @@ func (a *Array) Validate() error {
 		return fmt.Errorf("cards sum %d != n %d", total, a.n)
 	}
 
+	// Fenwick prefix sums must agree with cards at every segment.
+	run := int64(0)
+	for s := 0; s < a.numSegs; s++ {
+		if got := a.fen.prefix(s); got != run {
+			return fmt.Errorf("fenwick prefix(%d) = %d, cards say %d", s, got, run)
+		}
+		run += int64(a.cards[s])
+	}
+	if got := a.fen.prefix(a.numSegs); got != int64(a.n) {
+		return fmt.Errorf("fenwick total %d != n %d", got, a.n)
+	}
+
 	if a.cfg.Layout == LayoutInterleaved {
 		for s := 0; s < a.numSegs; s++ {
 			pop := 0

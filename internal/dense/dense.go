@@ -1,10 +1,16 @@
 // Package dense implements the static sorted dense array: the paper's
 // upper bound for scan throughput ("close to dense column scans") and the
 // storage model of static columnar data. It supports no updates; it
-// exists so benchmarks can report the gap the RMA is closing.
+// exists so benchmarks can report the gap the RMA is closing. Being one
+// sorted column, every navigation and order-statistic query is a binary
+// search or a direct index access — the lower bound the sparse
+// structures are measured against.
 package dense
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+)
 
 // Array is an immutable sorted column of key/value pairs.
 type Array struct {
@@ -48,6 +54,104 @@ func (a *Array) lowerBound(key int64) int {
 		}
 	}
 	return lo
+}
+
+func (a *Array) upperBound(key int64) int {
+	lo, hi := 0, len(a.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Min returns the smallest key.
+func (a *Array) Min() (int64, bool) {
+	if len(a.keys) == 0 {
+		return 0, false
+	}
+	return a.keys[0], true
+}
+
+// Max returns the largest key.
+func (a *Array) Max() (int64, bool) {
+	if len(a.keys) == 0 {
+		return 0, false
+	}
+	return a.keys[len(a.keys)-1], true
+}
+
+// Floor returns the greatest element with key <= x.
+func (a *Array) Floor(x int64) (key, val int64, ok bool) {
+	if i := a.upperBound(x) - 1; i >= 0 {
+		return a.keys[i], a.vals[i], true
+	}
+	return 0, 0, false
+}
+
+// Ceiling returns the smallest element with key >= x.
+func (a *Array) Ceiling(x int64) (key, val int64, ok bool) {
+	if i := a.lowerBound(x); i < len(a.keys) {
+		return a.keys[i], a.vals[i], true
+	}
+	return 0, 0, false
+}
+
+// Rank returns the number of elements with key strictly less than x.
+func (a *Array) Rank(x int64) int { return a.lowerBound(x) }
+
+// CountRange returns the number of elements with lo <= key <= hi.
+func (a *Array) CountRange(lo, hi int64) int {
+	if lo > hi {
+		return 0
+	}
+	return a.upperBound(hi) - a.lowerBound(lo)
+}
+
+// Select returns the i-th smallest element (0-based).
+func (a *Array) Select(i int) (key, val int64, ok bool) {
+	if i < 0 || i >= len(a.keys) {
+		return 0, 0, false
+	}
+	return a.keys[i], a.vals[i], true
+}
+
+// IterAscend returns a lazy ascending iterator over [lo, hi].
+func (a *Array) IterAscend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if lo > hi {
+			return
+		}
+		for i := a.lowerBound(lo); i < len(a.keys); i++ {
+			if a.keys[i] > hi {
+				return
+			}
+			if !yield(a.keys[i], a.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// IterDescend returns a lazy descending iterator over [lo, hi].
+func (a *Array) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if lo > hi {
+			return
+		}
+		for i := a.upperBound(hi) - 1; i >= 0; i-- {
+			if a.keys[i] < lo {
+				return
+			}
+			if !yield(a.keys[i], a.vals[i]) {
+				return
+			}
+		}
+	}
 }
 
 // ScanRange calls yield for every element with lo <= key <= hi.

@@ -1,0 +1,230 @@
+package staticindex
+
+import (
+	"fmt"
+	"iter"
+)
+
+// Column is the static-index baseline: an immutable sorted column cut
+// into fixed-size blocks whose minima are routed by the pointer-free
+// Static index of Fig 5. Point, navigation and order-statistic queries
+// descend the packed index to one block and binary search only inside
+// it — the same access pattern an RMA segment lookup pays, but over a
+// perfectly dense column. Because every block except the last holds
+// exactly `block` elements, ranks are exact: blockIdx*block plus one
+// in-block bound.
+type Column struct {
+	keys, vals []int64
+	block      int
+	ix         *Static // nil when the column is empty
+}
+
+// NewColumn builds the baseline from sorted parallel slices (not
+// copied). block is the elements-per-block capacity (>= 2); fanout is
+// the index node fanout (the paper uses 65).
+func NewColumn(keys, vals []int64, block, fanout int) *Column {
+	if len(keys) != len(vals) {
+		panic("staticindex: NewColumn length mismatch")
+	}
+	if block < 2 {
+		panic(fmt.Sprintf("staticindex: block %d < 2", block))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			panic(fmt.Sprintf("staticindex: NewColumn input not sorted at %d", i))
+		}
+	}
+	c := &Column{keys: keys, vals: vals, block: block}
+	if n := len(keys); n > 0 {
+		nb := (n + block - 1) / block
+		mins := make([]int64, nb)
+		for b := range mins {
+			mins[b] = keys[b*block]
+		}
+		c.ix = NewStatic(mins, fanout)
+	}
+	return c
+}
+
+// Size returns the number of elements.
+func (c *Column) Size() int { return len(c.keys) }
+
+// blockBounds returns the element interval [lo, hi) of block b.
+func (c *Column) blockBounds(b int) (lo, hi int) {
+	lo = b * c.block
+	hi = lo + c.block
+	if hi > len(c.keys) {
+		hi = len(c.keys)
+	}
+	return lo, hi
+}
+
+func boundIn(a []int64, x int64, inclusive bool) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x || (inclusive && a[mid] == x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Find returns a value stored under key: one index descent plus one
+// in-block binary search.
+func (c *Column) Find(key int64) (int64, bool) {
+	if c.ix == nil {
+		return 0, false
+	}
+	lo, hi := c.blockBounds(c.ix.FindUB(key))
+	i := lo + boundIn(c.keys[lo:hi], key, false)
+	if i < hi && c.keys[i] == key {
+		return c.vals[i], true
+	}
+	return 0, false
+}
+
+// position returns the number of elements with key < x (inclusive=false)
+// or <= x (inclusive=true).
+func (c *Column) position(x int64, inclusive bool) int {
+	if c.ix == nil {
+		return 0
+	}
+	var b int
+	if inclusive {
+		b = c.ix.FindUB(x)
+	} else {
+		b = c.ix.FindLB(x)
+	}
+	lo, hi := c.blockBounds(b)
+	return lo + boundIn(c.keys[lo:hi], x, inclusive)
+}
+
+// Rank returns the number of elements with key strictly less than x.
+func (c *Column) Rank(x int64) int { return c.position(x, false) }
+
+// CountRange returns the number of elements with lo <= key <= hi.
+func (c *Column) CountRange(lo, hi int64) int {
+	if lo > hi {
+		return 0
+	}
+	return c.position(hi, true) - c.position(lo, false)
+}
+
+// Select returns the i-th smallest element (0-based).
+func (c *Column) Select(i int) (key, val int64, ok bool) {
+	if i < 0 || i >= len(c.keys) {
+		return 0, 0, false
+	}
+	return c.keys[i], c.vals[i], true
+}
+
+// Floor returns the greatest element with key <= x.
+func (c *Column) Floor(x int64) (key, val int64, ok bool) {
+	if i := c.position(x, true) - 1; i >= 0 {
+		return c.keys[i], c.vals[i], true
+	}
+	return 0, 0, false
+}
+
+// Ceiling returns the smallest element with key >= x.
+func (c *Column) Ceiling(x int64) (key, val int64, ok bool) {
+	if i := c.position(x, false); i < len(c.keys) {
+		return c.keys[i], c.vals[i], true
+	}
+	return 0, 0, false
+}
+
+// Min returns the smallest key.
+func (c *Column) Min() (int64, bool) {
+	if len(c.keys) == 0 {
+		return 0, false
+	}
+	return c.keys[0], true
+}
+
+// Max returns the largest key.
+func (c *Column) Max() (int64, bool) {
+	if len(c.keys) == 0 {
+		return 0, false
+	}
+	return c.keys[len(c.keys)-1], true
+}
+
+// IterAscend returns a lazy ascending iterator over [lo, hi], entered
+// through one index descent.
+func (c *Column) IterAscend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if lo > hi {
+			return
+		}
+		for i := c.position(lo, false); i < len(c.keys); i++ {
+			if c.keys[i] > hi {
+				return
+			}
+			if !yield(c.keys[i], c.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// IterDescend returns a lazy descending iterator over [lo, hi].
+func (c *Column) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if lo > hi {
+			return
+		}
+		for i := c.position(hi, true) - 1; i >= 0; i-- {
+			if c.keys[i] < lo {
+				return
+			}
+			if !yield(c.keys[i], c.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// ScanRange calls yield for every element with lo <= key <= hi.
+func (c *Column) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	for k, v := range c.IterAscend(lo, hi) {
+		if !yield(k, v) {
+			return
+		}
+	}
+}
+
+// Sum aggregates elements in [lo, hi]: count and value sum.
+func (c *Column) Sum(lo, hi int64) (count int, sum int64) {
+	if lo > hi {
+		return 0, 0
+	}
+	i := c.position(lo, false)
+	j := c.position(hi, true)
+	for k := i; k < j; k++ {
+		sum += c.vals[k]
+	}
+	return j - i, sum
+}
+
+// SumAll aggregates the whole column.
+func (c *Column) SumAll() (count int, sum int64) {
+	var s int64
+	for _, v := range c.vals {
+		s += v
+	}
+	return len(c.keys), s
+}
+
+// FootprintBytes returns the memory held: the column plus the packed
+// index.
+func (c *Column) FootprintBytes() int64 {
+	f := int64(cap(c.keys))*8 + int64(cap(c.vals))*8 + 64
+	if c.ix != nil {
+		f += c.ix.FootprintBytes()
+	}
+	return f
+}

@@ -1,0 +1,60 @@
+package rma
+
+import "iter"
+
+// Iterators and navigation queries: the ordered-map surface of the
+// array. All four iterator forms are lazy range-over-func sequences
+// (Go 1.23+) backed by a segment-hopping walker in internal/core: they
+// hold one segment index and one offset, never materialize the range,
+// and borrow each segment's dense run straight from the page space.
+//
+// Like the callback scans, iterators are snapshot-free: mutating the
+// array invalidates any iterator or cursor in flight.
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// All returns a lazy iterator over every element in ascending key order.
+//
+//	for k, v := range a.All() { ... }
+func (r *Array) All() iter.Seq2[int64, int64] {
+	return r.a.IterAscend(minInt64, maxInt64)
+}
+
+// Ascend returns a lazy ascending iterator over elements with key >= lo.
+func (r *Array) Ascend(lo int64) iter.Seq2[int64, int64] {
+	return r.a.IterAscend(lo, maxInt64)
+}
+
+// Descend returns a lazy descending iterator over elements with
+// key <= hi, walking segments right to left.
+func (r *Array) Descend(hi int64) iter.Seq2[int64, int64] {
+	return r.a.IterDescend(minInt64, hi)
+}
+
+// Range returns a lazy ascending iterator over elements with
+// lo <= key <= hi.
+func (r *Array) Range(lo, hi int64) iter.Seq2[int64, int64] {
+	return r.a.IterAscend(lo, hi)
+}
+
+// Floor returns the greatest stored element with key <= x.
+func (r *Array) Floor(x int64) (key, val int64, ok bool) { return r.a.Floor(x) }
+
+// Ceiling returns the smallest stored element with key >= x.
+func (r *Array) Ceiling(x int64) (key, val int64, ok bool) { return r.a.Ceiling(x) }
+
+// Rank returns the number of stored elements with key strictly less
+// than x, in O(log S + log B) via the per-segment cardinality prefix
+// sums the array maintains incrementally.
+func (r *Array) Rank(x int64) int { return r.a.Rank(x) }
+
+// Select returns the i-th smallest element (0-based), or ok=false when
+// i is out of range.
+func (r *Array) Select(i int) (key, val int64, ok bool) { return r.a.Select(i) }
+
+// CountRange returns the number of elements with lo <= key <= hi
+// without scanning them.
+func (r *Array) CountRange(lo, hi int64) int { return r.a.CountRange(lo, hi) }

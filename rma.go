@@ -30,12 +30,35 @@
 //	a.Insert(42, 420)
 //	v, ok := a.Find(42)
 //	count, sum := a.Sum(0, 100)      // sequential range aggregation
-//	a.Scan(func(k, v int64) bool { fmt.Println(k, v); return true })
+//	for k, v := range a.Range(0, 100) { fmt.Println(k, v) }
 //
-// The companion packages under internal/ implement every system the
-// paper evaluates against — a traditional PMA, the APMA rebalancing
-// policy, tuned (a,b)-trees, an ART-indexed tree and static dense arrays
-// — and cmd/rmabench regenerates each figure of the paper's evaluation.
+// # Iteration
+//
+// Four lazy range-over-func forms — All, Ascend(lo), Descend(hi) and
+// Range(lo, hi) — iterate in key order without materializing anything:
+// a segment-hopping walker borrows each segment's dense run straight
+// from the page space, so a traversal holds O(1) state regardless of
+// range size. NewCursor exposes the same walker pull-style (Next/Key/
+// Value, SeekGE repositioning via the static index) for merge joins and
+// pagination. Iterators and cursors are snapshot-free: mutating the
+// array invalidates them.
+//
+// # Navigation and order statistics
+//
+// Floor, Ceiling, Rank, Select and CountRange complete the ordered-map
+// surface. Rank-based queries run in O(log n): the array maintains a
+// Fenwick tree over its per-segment cardinalities — updated on every
+// insert, delete, rebalance and resize — so a rank is one prefix sum
+// plus one in-segment binary search, and Select is one Fenwick descent.
+//
+// # Backends
+//
+// The OrderedMap and UpdatableMap interfaces cover this entire surface,
+// and every comparison structure of the paper's evaluation implements
+// them: ABTree (tuned (a,b)-tree), ARTTree (ART-indexed tree), Dense
+// (sorted column) and StaticIndexed (sorted column routed by the
+// pointer-free static index). Benchmarks, examples and cmd/rmabench
+// drive any backend interchangeably through the interface.
 package rma
 
 import (
@@ -113,6 +136,19 @@ func New(opts ...Option) (*Array, error) {
 		o(&cfg)
 	}
 	a, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{a: a}, nil
+}
+
+// NewTPMA builds a traditional PMA (the Fig 1a baseline: interleaved
+// layout, log-sized segments, dynamic side index, two-pass rebalances,
+// even rebalancing). It shares the full ordered-map surface, so the
+// harness and applications can compare it against the RMA through the
+// same interface.
+func NewTPMA() (*Array, error) {
+	a, err := core.New(core.BaselineConfig())
 	if err != nil {
 		return nil, err
 	}
