@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rma/internal/exp"
+)
+
+// hotpathSnapshot is one labeled run of the hotpath experiment. The
+// checked-in BENCH_hotpath.json is an append-only array of these: the
+// perf trajectory every PR extends and is held to.
+type hotpathSnapshot struct {
+	Label   string              `json:"label"`
+	Date    string              `json:"date"`
+	N       int                 `json:"n"`
+	Seed    uint64              `json:"seed"`
+	GoOS    string              `json:"goos"`
+	GoArch  string              `json:"goarch"`
+	Results []exp.HotpathResult `json:"results"`
+}
+
+// hotpath runs the experiment and, when -json is set, appends the
+// snapshot to the JSON trajectory file (creating it if absent).
+func hotpath(p exp.Params) {
+	results := exp.Hotpath(p)
+	if *jsonPath == "" {
+		return
+	}
+	var trajectory []hotpathSnapshot
+	data, err := os.ReadFile(*jsonPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &trajectory); err != nil {
+			fmt.Fprintf(os.Stderr, "rmabench: %s exists but is not a trajectory array: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	case !os.IsNotExist(err):
+		// Anything but a missing file must not silently truncate the
+		// append-only trajectory.
+		fmt.Fprintln(os.Stderr, "rmabench:", err)
+		os.Exit(1)
+	}
+	trajectory = append(trajectory, hotpathSnapshot{
+		Label:   *jsonLabel,
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		N:       p.N,
+		Seed:    p.Seed,
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		Results: results,
+	})
+	data, err = json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmabench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rmabench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rmabench: appended %q snapshot to %s\n", *jsonLabel, *jsonPath)
+}

@@ -7,13 +7,17 @@
 //	rmabench -exp all -n 262144 -out results.txt
 //
 // Experiments: fig01a fig01b fig01c fig10 fig11a fig11b fig12 fig13a
-// fig13b fig14 backends, or "all". Output is TSV with one block per
-// figure; the series names match the paper's legends. EXPERIMENTS.md
+// fig13b fig14 backends hotpath, or "all". Output is TSV with one block
+// per figure; the series names match the paper's legends. EXPERIMENTS.md
 // interprets the shapes against the paper's reported results. The
 // "backends" experiment is not a paper figure: it drives every
 // structure purely through the public OrderedMap interface — inserts,
 // lookups, lazy iteration, navigation and order statistics — to compare
-// the full ordered-map surface across backends.
+// the full ordered-map surface across backends. The "hotpath"
+// experiment tracks the repo's own perf trajectory (insert/lookup/scan
+// ns/op and allocs/op on every layout x rebalance corner); with
+// -json FILE -label NAME it appends a machine-readable snapshot to the
+// checked-in BENCH_hotpath.json.
 package main
 
 import (
@@ -39,7 +43,14 @@ var experiments = map[string]func(exp.Params){
 	"fig13b":   exp.Fig13b,
 	"fig14":    exp.Fig14,
 	"backends": backends,
+	"hotpath":  hotpath,
 }
+
+// hotpath-only flags: where to append the JSON trajectory snapshot.
+var (
+	jsonPath  = flag.String("json", "", "hotpath: append a snapshot to this JSON trajectory file")
+	jsonLabel = flag.String("label", "dev", "hotpath: label for the JSON snapshot")
+)
 
 func main() {
 	var (

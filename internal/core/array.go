@@ -55,6 +55,11 @@ type Array struct {
 	// Reusable scratch for two-pass rebalances and bulk loads.
 	scratchK, scratchV []int64
 	scratchC           []int32
+	// Reusable scratch for rebalance target cardinalities and span
+	// lists: a steady-state rebalance must not allocate (see
+	// PERFORMANCE.md), so these persist across calls.
+	targetsBuf         []int
+	srcSpans, dstSpans []span
 	pageShift          uint // log2(PageSlots)
 }
 
@@ -69,7 +74,7 @@ func New(cfg Config) (*Array, error) {
 	minCap := cfg.PageSlots // one page minimum
 	b := cfg.SegmentSlots
 	if cfg.Sizing == SizingLogCap {
-		b = logSegSize(minCap)
+		b = logSegSize(minCap, cfg.PageSlots)
 	}
 	a.segSlots = b
 	a.numSegs = minCap / b
@@ -160,6 +165,7 @@ func (a *Array) FootprintBytes() int64 {
 		f += a.det.FootprintBytes()
 	}
 	f += int64(cap(a.scratchK)+cap(a.scratchV))*8 + int64(cap(a.scratchC))*4
+	f += int64(cap(a.targetsBuf))*8 + int64(cap(a.srcSpans)+cap(a.dstSpans))*48
 	return f
 }
 
@@ -177,8 +183,14 @@ func (a *Array) SegmentDensity(seg int) float64 {
 // the segment's first slot within it. A segment never crosses a page
 // because PageSlots is a multiple of 2*SegmentSlots.
 func (a *Array) segPage(p *vmem.Pages, seg int) ([]int64, int) {
-	slot := seg * a.segSlots
-	return p.Page(slot >> a.pageShift), slot & (a.cfg.PageSlots - 1)
+	return a.pageAt(p, seg*a.segSlots)
+}
+
+// pageAt returns the page slice holding slot s and s's offset within it.
+// Hot paths hold the returned slice across a run of nearby slots instead
+// of paying vmem.Get's table indirection per slot.
+func (a *Array) pageAt(p *vmem.Pages, s int) ([]int64, int) {
+	return p.Page(s >> a.pageShift), s & (a.cfg.PageSlots - 1)
 }
 
 // runBounds returns the in-segment slot interval [lo, hi) occupied by a
@@ -202,12 +214,12 @@ func (a *Array) segMin(seg int) int64 {
 		return pg[off+lo]
 	default:
 		base := seg * a.segSlots
-		for s := base; s < base+a.segSlots; s++ {
-			if a.occupied(s) {
-				return a.keys.Get(s)
-			}
+		s := bmNext(a.bitmap, base, base+a.segSlots)
+		if s < 0 {
+			panic("core: segMin of empty segment")
 		}
-		panic("core: segMin of empty segment")
+		pg, off := a.pageAt(a.keys, s)
+		return pg[off]
 	}
 }
 
@@ -292,12 +304,17 @@ func log2(x int) int {
 }
 
 // logSegSize derives the TPMA segment size Theta(log2 C) for a capacity,
-// rounded up to a power of two (min 8) so window arithmetic stays exact.
-func logSegSize(capSlots int) int {
+// rounded up to a power of two (min 8) so window arithmetic stays exact,
+// and clamped to the page size so a segment never crosses a page — the
+// invariant every hot path's cached page-slice access relies on.
+func logSegSize(capSlots, pageSlots int) int {
 	l := log2(capSlots)
 	b := 8
 	for b < l {
 		b <<= 1
+	}
+	if b > pageSlots {
+		b = pageSlots
 	}
 	return b
 }

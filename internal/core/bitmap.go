@@ -1,0 +1,183 @@
+package core
+
+import "math/bits"
+
+// Word-parallel primitives over the interleaved layout's occupancy
+// bitmap. Every interleaved hot path iterates occupancy through these
+// instead of per-slot single-bit probes: a 64-slot stretch of gaps costs
+// one word test, and in-segment rank/select cost O(B/64) popcounts.
+//
+// All functions take half-open slot ranges [from, to) and assume
+// 0 <= from, to <= 64*len(bm). Bits outside the range never influence
+// the result, so the bitmap's unused tail bits (capacity not a multiple
+// of 64) are harmless as long as they are zero — which setOccupied
+// maintains.
+
+// bmNext returns the lowest set bit in [from, to), or -1.
+func bmNext(bm []uint64, from, to int) int {
+	if from >= to {
+		return -1
+	}
+	wi := from >> 6
+	w := bm[wi] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if w != 0 {
+			s := wi<<6 + bits.TrailingZeros64(w)
+			if s >= to {
+				return -1
+			}
+			return s
+		}
+		wi++
+		if wi<<6 >= to {
+			return -1
+		}
+		w = bm[wi]
+	}
+}
+
+// bmPrev returns the highest set bit in [from, to), or -1.
+func bmPrev(bm []uint64, from, to int) int {
+	if from >= to {
+		return -1
+	}
+	wi := (to - 1) >> 6
+	w := bm[wi] & (^uint64(0) >> (63 - uint(to-1)&63))
+	for {
+		if w != 0 {
+			s := wi<<6 + 63 - bits.LeadingZeros64(w)
+			if s < from {
+				return -1
+			}
+			return s
+		}
+		if wi<<6 <= from {
+			return -1
+		}
+		wi--
+		w = bm[wi]
+	}
+}
+
+// bmNextZero returns the lowest clear bit in [from, to), or -1.
+func bmNextZero(bm []uint64, from, to int) int {
+	if from >= to {
+		return -1
+	}
+	wi := from >> 6
+	w := ^bm[wi] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if w != 0 {
+			s := wi<<6 + bits.TrailingZeros64(w)
+			if s >= to {
+				return -1
+			}
+			return s
+		}
+		wi++
+		if wi<<6 >= to {
+			return -1
+		}
+		w = ^bm[wi]
+	}
+}
+
+// bmPrevZero returns the highest clear bit in [from, to), or -1.
+func bmPrevZero(bm []uint64, from, to int) int {
+	if from >= to {
+		return -1
+	}
+	wi := (to - 1) >> 6
+	w := ^bm[wi] & (^uint64(0) >> (63 - uint(to-1)&63))
+	for {
+		if w != 0 {
+			s := wi<<6 + 63 - bits.LeadingZeros64(w)
+			if s < from {
+				return -1
+			}
+			return s
+		}
+		if wi<<6 <= from {
+			return -1
+		}
+		wi--
+		w = ^bm[wi]
+	}
+}
+
+// bmRank returns the number of set bits in [from, to).
+func bmRank(bm []uint64, from, to int) int {
+	if from >= to {
+		return 0
+	}
+	wi := from >> 6
+	last := (to - 1) >> 6
+	w := bm[wi] &^ (1<<(uint(from)&63) - 1)
+	if wi == last {
+		if r := uint(to) & 63; r != 0 {
+			w &= 1<<r - 1
+		}
+		return bits.OnesCount64(w)
+	}
+	n := bits.OnesCount64(w)
+	for wi++; wi < last; wi++ {
+		n += bits.OnesCount64(bm[wi])
+	}
+	w = bm[last]
+	if r := uint(to) & 63; r != 0 {
+		w &= 1<<r - 1
+	}
+	return n + bits.OnesCount64(w)
+}
+
+// bmSelect returns the position of the rank-th (0-based) set bit in
+// [from, to), or -1 when fewer than rank+1 bits are set.
+func bmSelect(bm []uint64, from, to, rank int) int {
+	if from >= to || rank < 0 {
+		return -1
+	}
+	wi := from >> 6
+	w := bm[wi] &^ (1<<(uint(from)&63) - 1)
+	for {
+		c := bits.OnesCount64(w)
+		if rank < c {
+			for ; rank > 0; rank-- {
+				w &= w - 1 // drop the lowest set bit
+			}
+			s := wi<<6 + bits.TrailingZeros64(w)
+			if s >= to {
+				return -1
+			}
+			return s
+		}
+		rank -= c
+		wi++
+		if wi<<6 >= to {
+			return -1
+		}
+		w = bm[wi]
+	}
+}
+
+// bmClearRange clears every bit in [from, to).
+func bmClearRange(bm []uint64, from, to int) {
+	if from >= to {
+		return
+	}
+	wf := from >> 6
+	wt := (to - 1) >> 6
+	head := uint64(1)<<(uint(from)&63) - 1 // bits below from survive
+	var tail uint64
+	if r := uint(to) & 63; r != 0 {
+		tail = ^(uint64(1)<<r - 1) // bits at and above to survive
+	}
+	if wf == wt {
+		bm[wf] &= head | tail
+		return
+	}
+	bm[wf] &= head
+	for i := wf + 1; i < wt; i++ {
+		bm[i] = 0
+	}
+	bm[wt] &= tail
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"rma/internal/workload"
+)
+
+// Naive reference implementations: bit-by-bit loops, exactly what the
+// word-parallel helpers replaced on the hot paths.
+
+func naiveBit(bm []uint64, s int) bool { return bm[s>>6]&(1<<(uint(s)&63)) != 0 }
+
+func naiveNext(bm []uint64, from, to int, want bool) int {
+	for s := from; s < to; s++ {
+		if naiveBit(bm, s) == want {
+			return s
+		}
+	}
+	return -1
+}
+
+func naivePrev(bm []uint64, from, to int, want bool) int {
+	for s := to - 1; s >= from; s-- {
+		if naiveBit(bm, s) == want {
+			return s
+		}
+	}
+	return -1
+}
+
+func naiveRank(bm []uint64, from, to int) int {
+	n := 0
+	for s := from; s < to; s++ {
+		if naiveBit(bm, s) {
+			n++
+		}
+	}
+	return n
+}
+
+func naiveSelect(bm []uint64, from, to, rank int) int {
+	for s := from; s < to; s++ {
+		if naiveBit(bm, s) {
+			if rank == 0 {
+				return s
+			}
+			rank--
+		}
+	}
+	return -1
+}
+
+// checkBitmapOps cross-checks every helper against the naive loops on
+// one bitmap over a set of (from, to) ranges.
+func checkBitmapOps(t *testing.T, bm []uint64, slots int, ranges [][2]int) {
+	t.Helper()
+	for _, r := range ranges {
+		from, to := r[0], r[1]
+		if got, want := bmNext(bm, from, to), naiveNext(bm, from, to, true); got != want {
+			t.Fatalf("bmNext(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		if got, want := bmPrev(bm, from, to), naivePrev(bm, from, to, true); got != want {
+			t.Fatalf("bmPrev(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		if got, want := bmNextZero(bm, from, to), naiveNext(bm, from, to, false); got != want {
+			t.Fatalf("bmNextZero(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		if got, want := bmPrevZero(bm, from, to), naivePrev(bm, from, to, false); got != want {
+			t.Fatalf("bmPrevZero(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		if got, want := bmRank(bm, from, to), naiveRank(bm, from, to); got != want {
+			t.Fatalf("bmRank(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		count := naiveRank(bm, from, to)
+		for _, rank := range []int{0, 1, count - 1, count, count / 2} {
+			if got, want := bmSelect(bm, from, to, rank), naiveSelect(bm, from, to, rank); got != want {
+				t.Fatalf("bmSelect(%d,%d,%d) = %d, want %d", from, to, rank, got, want)
+			}
+		}
+	}
+	_ = slots
+}
+
+// TestBitmapOpsRandom property-tests the word helpers on random bitmaps
+// with densities from near-empty to near-full, over word-straddling,
+// sub-word and full-range intervals.
+func TestBitmapOpsRandom(t *testing.T) {
+	rng := workload.NewRNG(1234)
+	for trial := 0; trial < 200; trial++ {
+		words := 1 + int(rng.Uint64n(6))
+		slots := words * 64
+		bm := make([]uint64, words)
+		density := rng.Uint64n(65) // bits per word to set, 0..64
+		for w := range bm {
+			for b := uint64(0); b < density; b++ {
+				bm[w] |= 1 << rng.Uint64n(64)
+			}
+		}
+		var ranges [][2]int
+		for i := 0; i < 20; i++ {
+			from := int(rng.Uint64n(uint64(slots)))
+			to := from + int(rng.Uint64n(uint64(slots-from+1)))
+			ranges = append(ranges, [2]int{from, to})
+		}
+		ranges = append(ranges, [2]int{0, slots}, [2]int{0, 0}, [2]int{slots, slots},
+			[2]int{0, 1}, [2]int{slots - 1, slots}, [2]int{1, 63})
+		if slots >= 65 {
+			ranges = append(ranges, [2]int{63, 65}) // word-straddling
+		}
+		checkBitmapOps(t, bm, slots, ranges)
+	}
+}
+
+// TestBitmapClearRange property-tests bmClearRange against a per-bit
+// clear loop.
+func TestBitmapClearRange(t *testing.T) {
+	rng := workload.NewRNG(99)
+	for trial := 0; trial < 200; trial++ {
+		words := 1 + int(rng.Uint64n(5))
+		slots := words * 64
+		bm := make([]uint64, words)
+		for w := range bm {
+			bm[w] = rng.Uint64()
+		}
+		want := append([]uint64(nil), bm...)
+		from := int(rng.Uint64n(uint64(slots)))
+		to := from + int(rng.Uint64n(uint64(slots-from+1)))
+		for s := from; s < to; s++ {
+			want[s>>6] &^= 1 << (uint(s) & 63)
+		}
+		bmClearRange(bm, from, to)
+		for w := range bm {
+			if bm[w] != want[w] {
+				t.Fatalf("bmClearRange(%d,%d): word %d = %#x, want %#x", from, to, w, bm[w], want[w])
+			}
+		}
+	}
+}
+
+// FuzzBitmapOps is the fuzz-shaped variant: arbitrary word patterns and
+// range endpoints, cross-checked against the naive loops.
+func FuzzBitmapOps(f *testing.F) {
+	f.Add(uint64(0), uint64(0xffffffffffffffff), uint64(0x8000000000000001), 0, 192, 3)
+	f.Add(uint64(0xaaaaaaaaaaaaaaaa), uint64(0x5555555555555555), uint64(0), 63, 129, 0)
+	f.Fuzz(func(t *testing.T, w0, w1, w2 uint64, from, to, rank int) {
+		bm := []uint64{w0, w1, w2}
+		slots := 192
+		if from < 0 || to < from || to > slots {
+			t.Skip()
+		}
+		if got, want := bmNext(bm, from, to), naiveNext(bm, from, to, true); got != want {
+			t.Fatalf("bmNext(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		if got, want := bmPrev(bm, from, to), naivePrev(bm, from, to, true); got != want {
+			t.Fatalf("bmPrev(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		if got, want := bmNextZero(bm, from, to), naiveNext(bm, from, to, false); got != want {
+			t.Fatalf("bmNextZero(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		if got, want := bmPrevZero(bm, from, to), naivePrev(bm, from, to, false); got != want {
+			t.Fatalf("bmPrevZero(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		if got, want := bmRank(bm, from, to), naiveRank(bm, from, to); got != want {
+			t.Fatalf("bmRank(%d,%d) = %d, want %d", from, to, got, want)
+		}
+		if rank >= 0 {
+			if got, want := bmSelect(bm, from, to, rank), naiveSelect(bm, from, to, rank); got != want {
+				t.Fatalf("bmSelect(%d,%d,%d) = %d, want %d", from, to, rank, got, want)
+			}
+		}
+	})
+}

@@ -175,16 +175,17 @@ func (a *Array) mergeIntoSegment(seg int, run []pair) {
 		copy(vpg[voff+nl:voff+nh], a.scratchV[:newC])
 		a.stats.ElementCopies += uint64(2 * newC)
 	} else {
-		// Interleaved: gather, merge, respread within the segment.
+		// Interleaved: gather, merge, respread within the segment, all
+		// through the segment's page slices and word-parallel occupancy.
 		a.ensureScratch(newC)
 		base := seg * a.segSlots
+		end := base + a.segSlots
+		kpg, off := a.segPage(a.keys, seg)
+		vpg, voff := a.segPage(a.vals, seg)
 		o := 0
 		j := 0
-		for slot := base; slot < base+a.segSlots; slot++ {
-			if !a.occupied(slot) {
-				continue
-			}
-			k, v := a.keys.Get(slot), a.vals.Get(slot)
+		for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
+			k, v := kpg[off+s-base], vpg[voff+s-base]
 			for j < len(run) && run[j].k < k {
 				a.scratchK[o], a.scratchV[o] = run[j].k, run[j].v
 				j++
@@ -196,15 +197,13 @@ func (a *Array) mergeIntoSegment(seg int, run []pair) {
 		for ; j < len(run); j, o = j+1, o+1 {
 			a.scratchK[o], a.scratchV[o] = run[j].k, run[j].v
 		}
-		for slot := base; slot < base+a.segSlots; slot++ {
-			a.setOccupied(slot, false)
-		}
+		bmClearRange(a.bitmap, base, end)
 		a.cardAdd(seg, int32(newC-oldC))
 		for x := 0; x < newC; x++ {
-			slot := base + x*a.segSlots/newC
-			a.keys.Set(slot, a.scratchK[x])
-			a.vals.Set(slot, a.scratchV[x])
-			a.setOccupied(slot, true)
+			slot := x * a.segSlots / newC
+			kpg[off+slot] = a.scratchK[x]
+			vpg[voff+slot] = a.scratchV[x]
+			a.setOccupied(base+slot, true)
 		}
 		a.stats.ElementCopies += uint64(2 * newC)
 	}
@@ -234,7 +233,7 @@ func (a *Array) rebalanceMerge(lo, hi int, run []pair) error {
 	a.stats.RebalancedSegments += uint64(nseg)
 	a.stats.RebalancedElements += uint64(cnt)
 
-	targets := evenTargets(nseg, cnt, make([]int, nseg))
+	targets := evenTargets(nseg, cnt, a.targetsScratch(nseg))
 
 	windowSlots := nseg * a.segSlots
 	useRewire := a.cfg.Rebalance == RebalanceRewired &&
@@ -262,9 +261,7 @@ func (a *Array) rebalanceMerge(lo, hi int, run []pair) error {
 			}
 			return err
 		}
-		a.writeWindowStream(lo, targets,
-			func(page int) []int64 { return sparesK[page-page0] },
-			func(page int) []int64 { return sparesV[page-page0] }, next)
+		a.writeWindowStream(lo, targets, sparesK, sparesV, page0, next)
 		for i := 0; i < npages; i++ {
 			a.keys.Swap(page0+i, sparesK[i])
 			a.vals.Swap(page0+i, sparesV[i])
@@ -284,8 +281,9 @@ func (a *Array) rebalanceMerge(lo, hi int, run []pair) error {
 		if a.cfg.Layout == LayoutClustered {
 			sk, sv := a.scratchK[:cnt], a.scratchV[:cnt]
 			a.applyCards(lo, targets)
-			dst := a.destSpans(lo, targets, nil, nil)
-			copySpans(dst, []span{{k: sk, v: sv}})
+			dst := a.destSpans(lo, targets, nil, nil, 0)
+			a.srcSpans = append(a.srcSpans[:0], span{k: sk, v: sv})
+			copySpans(dst, a.srcSpans)
 		} else {
 			a.writeInterleaved(lo, targets, cnt)
 		}
@@ -343,26 +341,29 @@ func (a *Array) mergedWindowReader(lo, hi int, run []pair) func() (int64, int64,
 }
 
 // mergedWindowReaderInterleaved is mergedWindowReader for the interleaved
-// layout, walking occupied slots through the bitmap.
+// layout, advancing word-parallel through the bitmap with the current
+// page's slices cached — O(1) amortized per element, never a rescan.
 func (a *Array) mergedWindowReaderInterleaved(lo, hi int, run []pair) func() (int64, int64, bool) {
-	slot := lo * a.segSlots
 	end := hi * a.segSlots
+	mask := a.cfg.PageSlots - 1
+	cursor := lo * a.segSlots
+	next := bmNext(a.bitmap, cursor, end)
+	var kpg, vpg []int64
+	page := -1
 	ri := 0
-	nextSlot := func() int {
-		for slot < end {
-			if a.occupied(slot) {
-				return slot
-			}
-			slot++
-		}
-		return -1
-	}
 	return func() (int64, int64, bool) {
-		s := nextSlot()
-		if s >= 0 && (ri >= len(run) || a.keys.Get(s) <= run[ri].k) {
-			k, v := a.keys.Get(s), a.vals.Get(s)
-			slot++
-			return k, v, true
+		if next >= 0 {
+			if p := next >> a.pageShift; p != page {
+				page = p
+				kpg, vpg = a.keys.Page(p), a.vals.Page(p)
+			}
+			if ri >= len(run) || kpg[next&mask] <= run[ri].k {
+				k, v := kpg[next&mask], vpg[next&mask]
+				a.stats.SlotScans += uint64(next + 1 - cursor)
+				cursor = next + 1
+				next = bmNext(a.bitmap, cursor, end)
+				return k, v, true
+			}
 		}
 		if ri < len(run) {
 			p := run[ri]
@@ -374,9 +375,10 @@ func (a *Array) mergedWindowReaderInterleaved(lo, hi int, run []pair) func() (in
 }
 
 // writeWindowStream writes the stream into segments [lo, lo+len(targets))
-// with the clustered layout through the page resolvers.
+// with the clustered layout, into the spare pages indexed relative to
+// page0 (closure-free, like destSpans' rewired path).
 func (a *Array) writeWindowStream(lo int, targets []int,
-	resolveK, resolveV func(page int) []int64, next func() (int64, int64, bool)) {
+	sparesK, sparesV [][]int64, page0 int, next func() (int64, int64, bool)) {
 
 	for i, c := range targets {
 		if c == 0 {
@@ -390,8 +392,8 @@ func (a *Array) writeWindowStream(lo int, targets []int,
 		slot := seg*a.segSlots + rl
 		page := slot >> a.pageShift
 		off := slot & (a.cfg.PageSlots - 1)
-		kpg := resolveK(page)
-		vpg := resolveV(page)
+		kpg := sparesK[page-page0]
+		vpg := sparesV[page-page0]
 		for j := 0; j < c; j++ {
 			k, v, ok := next()
 			if !ok {

@@ -199,6 +199,7 @@ type Stats struct {
 	Resizes, Grows, Shrinks   uint64
 	ElementCopies             uint64 // element copy operations performed
 	PageSwaps                 uint64 // virtual page rewirings
+	SlotScans                 uint64 // slots covered by interleaved stream readers (linearity guard)
 	MaxWindowSegments         int    // largest window ever rebalanced
 	BulkLoads                 uint64
 }

@@ -93,12 +93,10 @@ func (a *Array) deleteClustered(seg int, key int64) int {
 func (a *Array) deleteInterleaved(seg int, key int64) int {
 	base := seg * a.segSlots
 	end := base + a.segSlots
+	kpg, off := a.segPage(a.keys, seg)
 	rank := 0
-	for s := base; s < end; s++ {
-		if !a.occupied(s) {
-			continue
-		}
-		k := a.keys.Get(s)
+	for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
+		k := kpg[off+s-base]
 		if k == key {
 			a.setOccupied(s, false)
 			a.cardAdd(seg, -1)

@@ -57,13 +57,12 @@ func (a *Array) makeRoom(seg int) error {
 	return a.grow()
 }
 
-// windowCard sums the cardinalities of segments [lo, hi).
+// windowCard returns the total cardinality of segments [lo, hi) as two
+// Fenwick prefix sums — O(log S) instead of the O(hi-lo) linear sum, so
+// the per-level density checks of makeRoom, Delete and the bulk loader
+// cost O(log² S) per overflowing operation rather than O(S).
 func (a *Array) windowCard(lo, hi int) int {
-	c := 0
-	for s := lo; s < hi; s++ {
-		c += int(a.cards[s])
-	}
-	return c
+	return int(a.fen.prefix(hi) - a.fen.prefix(lo))
 }
 
 // insertIntoSegment places (key, val) in a segment that has room,
@@ -121,21 +120,21 @@ func (a *Array) insertClustered(seg int, key, val int64) int {
 
 // insertInterleaved inserts into an interleaved segment by shifting the
 // run between the insertion point and the nearest gap, and returns the
-// element's rank within the segment.
+// element's rank within the segment. Occupancy is walked word-parallel
+// and keys are read through the segment's page slice — no per-slot bit
+// probes or page-table lookups.
 func (a *Array) insertInterleaved(seg int, key, val int64) int {
 	base := seg * a.segSlots
 	end := base + a.segSlots
+	kpg, off := a.segPage(a.keys, seg)
 
 	// Locate the target slot: the slot of the first element > key (we
 	// insert before it), or one past the last occupied slot.
 	target := -1
 	rank := 0
 	lastOcc := -1
-	for s := base; s < end; s++ {
-		if !a.occupied(s) {
-			continue
-		}
-		if a.keys.Get(s) > key {
+	for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
+		if kpg[off+s-base] > key {
 			target = s
 			break
 		}
@@ -177,49 +176,46 @@ func (a *Array) insertInterleaved(seg int, key, val int64) int {
 
 // gapRightOf returns the first free slot in [from, end), or -1.
 func (a *Array) gapRightOf(from, end int) int {
-	for s := from; s < end; s++ {
-		if !a.occupied(s) {
-			return s
-		}
-	}
-	return -1
+	return bmNextZero(a.bitmap, from, end)
 }
 
 // gapLeftOf returns the last free slot in [base, before), or -1.
 func (a *Array) gapLeftOf(base, before int) int {
-	for s := before - 1; s >= base; s-- {
-		if !a.occupied(s) {
-			return s
-		}
-	}
-	return -1
+	return bmPrevZero(a.bitmap, base, before)
 }
 
-// shiftRightInterleaved moves every element in [from, gap) one slot right;
-// gap must be free and to the right of from.
+// shiftRightInterleaved moves the fully-occupied run [from, gap) one slot
+// right into the free slot gap with two block copies (the run never
+// crosses a page: it lies within one segment). The callers guarantee the
+// run is dense — gap is the nearest free slot — so the occupancy update
+// is O(1): gap becomes occupied, from becomes free.
 func (a *Array) shiftRightInterleaved(from, gap int) {
-	for s := gap; s > from; s-- {
-		a.keys.Set(s, a.keys.Get(s-1))
-		a.vals.Set(s, a.vals.Get(s-1))
-		a.setOccupied(s, a.occupied(s-1))
-	}
+	kpg, off := a.pageAt(a.keys, from)
+	vpg, voff := a.pageAt(a.vals, from)
+	n := gap - from
+	copy(kpg[off+1:off+1+n], kpg[off:off+n])
+	copy(vpg[voff+1:voff+1+n], vpg[voff:voff+n])
+	a.setOccupied(gap, true)
 	a.setOccupied(from, false)
 }
 
-// shiftLeftInterleaved moves every element in (gap, to] one slot left;
-// gap must be free and to the left of to.
+// shiftLeftInterleaved moves the fully-occupied run (gap, to] one slot
+// left into the free slot gap; the mirror of shiftRightInterleaved.
 func (a *Array) shiftLeftInterleaved(gap, to int) {
-	for s := gap; s < to; s++ {
-		a.keys.Set(s, a.keys.Get(s+1))
-		a.vals.Set(s, a.vals.Get(s+1))
-		a.setOccupied(s, a.occupied(s+1))
-	}
+	kpg, off := a.pageAt(a.keys, gap)
+	vpg, voff := a.pageAt(a.vals, gap)
+	n := to - gap
+	copy(kpg[off:off+n], kpg[off+1:off+1+n])
+	copy(vpg[voff:voff+n], vpg[voff+1:voff+1+n])
+	a.setOccupied(gap, true)
 	a.setOccupied(to, false)
 }
 
 func (a *Array) placeInterleaved(slot int, key, val int64, seg int) {
-	a.keys.Set(slot, key)
-	a.vals.Set(slot, val)
+	kpg, off := a.pageAt(a.keys, slot)
+	vpg, voff := a.pageAt(a.vals, slot)
+	kpg[off] = key
+	vpg[voff] = val
 	a.setOccupied(slot, true)
 	a.cardAdd(seg, 1)
 }

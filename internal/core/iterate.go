@@ -83,11 +83,12 @@ func (a *Array) compactSeg(seg int, bufK, bufV []int64) ([]int64, []int64) {
 	}
 	bufK, bufV = bufK[:0], bufV[:0]
 	base := seg * a.segSlots
-	for s := base; s < base+a.segSlots; s++ {
-		if a.occupied(s) {
-			bufK = append(bufK, a.keys.Get(s))
-			bufV = append(bufV, a.vals.Get(s))
-		}
+	end := base + a.segSlots
+	kpg, off := a.segPage(a.keys, seg)
+	vpg, voff := a.segPage(a.vals, seg)
+	for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
+		bufK = append(bufK, kpg[off+s-base])
+		bufV = append(bufV, vpg[voff+s-base])
 	}
 	return bufK, bufV
 }

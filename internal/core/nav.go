@@ -14,12 +14,11 @@ func (a *Array) segLowerBound(seg int, x int64) int {
 		return lowerBoundRun(runK, x)
 	}
 	base := seg * a.segSlots
+	end := base + a.segSlots
+	kpg, off := a.segPage(a.keys, seg)
 	n := 0
-	for s := base; s < base+a.segSlots; s++ {
-		if !a.occupied(s) {
-			continue
-		}
-		if a.keys.Get(s) >= x {
+	for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
+		if kpg[off+s-base] >= x {
 			break
 		}
 		n++
@@ -35,12 +34,11 @@ func (a *Array) segUpperBound(seg int, x int64) int {
 		return upperBoundRun(runK, x)
 	}
 	base := seg * a.segSlots
+	end := base + a.segSlots
+	kpg, off := a.segPage(a.keys, seg)
 	n := 0
-	for s := base; s < base+a.segSlots; s++ {
-		if !a.occupied(s) {
-			continue
-		}
-		if a.keys.Get(s) > x {
+	for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
+		if kpg[off+s-base] > x {
 			break
 		}
 		n++

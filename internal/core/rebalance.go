@@ -57,10 +57,16 @@ func (a *Array) computeTargets(lo, hi, cnt int) []int {
 	return evenTargets(nseg, cnt, a.targetsScratch(nseg))
 }
 
-// targetsScratch returns a reusable int slice of the given length.
+// targetsScratch returns a reusable int slice of the given length,
+// growing the persistent buffer only when a wider window appears. The
+// steady-state rebalance path must not allocate (see PERFORMANCE.md and
+// TestInsertRebalanceAllocationFree).
 func (a *Array) targetsScratch(n int) []int {
-	t := make([]int, n)
-	return t
+	if cap(a.targetsBuf) < n {
+		a.targetsBuf = make([]int, n)
+	}
+	a.targetsBuf = a.targetsBuf[:n]
+	return a.targetsBuf
 }
 
 // evenTargets spreads cnt elements over nseg segments as evenly as
@@ -98,8 +104,9 @@ func (a *Array) redistributeTwoPass(lo, hi int, targets []int, cnt int) {
 	a.gatherWindow(lo, hi, cnt)
 	a.stats.ElementCopies += uint64(cnt)
 	if a.cfg.Layout == LayoutClustered {
-		dst := a.destSpans(lo, targets, nil, nil)
-		copySpans(dst, []span{{k: a.scratchK[:cnt], v: a.scratchV[:cnt]}})
+		dst := a.destSpans(lo, targets, nil, nil, 0)
+		a.srcSpans = append(a.srcSpans[:0], span{k: a.scratchK[:cnt], v: a.scratchV[:cnt]})
+		copySpans(dst, a.srcSpans)
 	} else {
 		a.writeInterleaved(lo, targets, cnt)
 	}
@@ -127,8 +134,7 @@ func (a *Array) redistributeRewired(lo, hi int, targets []int, cnt int) error {
 	}
 
 	src := a.sourceSpans(lo, hi)
-	dst := a.destSpans(lo, targets, func(page int) []int64 { return sparesK[page-page0] },
-		func(page int) []int64 { return sparesV[page-page0] })
+	dst := a.destSpans(lo, targets, sparesK, sparesV, page0)
 	copySpans(dst, src)
 	a.stats.ElementCopies += uint64(cnt)
 
@@ -156,11 +162,18 @@ func (a *Array) gatherWindow(lo, hi, cnt int) {
 		return
 	}
 	pos := 0
-	for slot := lo * a.segSlots; slot < hi*a.segSlots; slot++ {
-		if a.occupied(slot) {
-			a.scratchK[pos] = a.keys.Get(slot)
-			a.scratchV[pos] = a.vals.Get(slot)
+	end := hi * a.segSlots
+	mask := a.cfg.PageSlots - 1
+	s := bmNext(a.bitmap, lo*a.segSlots, end)
+	for s != -1 {
+		page := s >> a.pageShift
+		kpg, vpg := a.keys.Page(page), a.vals.Page(page)
+		pageEnd := (page + 1) << a.pageShift
+		for s != -1 && s < pageEnd {
+			a.scratchK[pos] = kpg[s&mask]
+			a.scratchV[pos] = vpg[s&mask]
 			pos++
+			s = bmNext(a.bitmap, s+1, end)
 		}
 	}
 }
@@ -176,9 +189,10 @@ func (a *Array) ensureScratch(n int) {
 
 // sourceSpans returns the window's current element runs in key order
 // (clustered layout only): one run per segment, merging is not needed
-// because segments are already ordered.
+// because segments are already ordered. The returned slice aliases the
+// persistent scratch and is valid until the next sourceSpans call.
 func (a *Array) sourceSpans(lo, hi int) []span {
-	spans := make([]span, 0, hi-lo)
+	spans := a.srcSpans[:0]
 	for s := lo; s < hi; s++ {
 		c := int(a.cards[s])
 		if c == 0 {
@@ -189,18 +203,17 @@ func (a *Array) sourceSpans(lo, hi int) []span {
 		rl, rh := a.runBounds(s)
 		spans = append(spans, span{k: kpg[off+rl : off+rh], v: vpg[voff+rl : voff+rh]})
 	}
+	a.srcSpans = spans
 	return spans
 }
 
 // destSpans returns the destination runs for the given targets in the
-// clustered layout. resolveK/resolveV map a page index to its destination
-// page; nil means the live pages (two-pass write-back).
-func (a *Array) destSpans(lo int, targets []int, resolveK, resolveV func(page int) []int64) []span {
-	if resolveK == nil {
-		resolveK = func(page int) []int64 { return a.keys.Page(page) }
-		resolveV = func(page int) []int64 { return a.vals.Page(page) }
-	}
-	spans := make([]span, 0, len(targets))
+// clustered layout. With sparesK/sparesV nil the spans point into the
+// live pages (two-pass write-back); otherwise they point into the spare
+// pages, indexed relative to page0 (rewired path). The returned slice
+// aliases the persistent scratch and is valid until the next call.
+func (a *Array) destSpans(lo int, targets []int, sparesK, sparesV [][]int64, page0 int) []span {
+	spans := a.dstSpans[:0]
 	for i, c := range targets {
 		if c == 0 {
 			continue
@@ -213,11 +226,15 @@ func (a *Array) destSpans(lo int, targets []int, resolveK, resolveV func(page in
 		slot := seg*a.segSlots + rl
 		page := slot >> a.pageShift
 		off := slot & (a.cfg.PageSlots - 1)
-		spans = append(spans, span{
-			k: resolveK(page)[off : off+c],
-			v: resolveV(page)[off : off+c],
-		})
+		var kpg, vpg []int64
+		if sparesK == nil {
+			kpg, vpg = a.keys.Page(page), a.vals.Page(page)
+		} else {
+			kpg, vpg = sparesK[page-page0], sparesV[page-page0]
+		}
+		spans = append(spans, span{k: kpg[off : off+c], v: vpg[off : off+c]})
 	}
+	a.dstSpans = spans
 	return spans
 }
 
@@ -256,18 +273,22 @@ func copySpans(dst, src []span) {
 // [lo, lo+len(targets)) with evenly strided gaps inside each segment
 // (the classic PMA layout after a rebalance).
 func (a *Array) writeInterleaved(lo int, targets []int, cnt int) {
-	// Clear the window's occupancy bits.
-	for slot := lo * a.segSlots; slot < (lo+len(targets))*a.segSlots; slot++ {
-		a.setOccupied(slot, false)
-	}
+	// Clear the window's occupancy bits word-wise.
+	bmClearRange(a.bitmap, lo*a.segSlots, (lo+len(targets))*a.segSlots)
 	pos := 0
 	for i, c := range targets {
-		base := (lo + i) * a.segSlots
+		if c == 0 {
+			continue
+		}
+		seg := lo + i
+		base := seg * a.segSlots
+		kpg, off := a.segPage(a.keys, seg)
+		vpg, voff := a.segPage(a.vals, seg)
 		for j := 0; j < c; j++ {
-			slot := base + j*a.segSlots/c
-			a.keys.Set(slot, a.scratchK[pos])
-			a.vals.Set(slot, a.scratchV[pos])
-			a.setOccupied(slot, true)
+			slot := j * a.segSlots / c
+			kpg[off+slot] = a.scratchK[pos]
+			vpg[voff+slot] = a.scratchV[pos]
+			a.setOccupied(base+slot, true)
 			pos++
 		}
 	}
@@ -279,9 +300,9 @@ func (a *Array) writeInterleaved(lo int, targets []int, cnt int) {
 // recycling pages across rebalances (resizes fall back to fresh, zeroed
 // allocations for the part the pool cannot cover).
 func (a *Array) trimPool() {
-	cap := a.keys.NumPages()/8 + 1
-	a.keys.TrimSpares(cap)
-	a.vals.TrimSpares(cap)
+	maxSpares := a.keys.NumPages()/8 + 1
+	a.keys.TrimSpares(maxSpares)
+	a.vals.TrimSpares(maxSpares)
 }
 
 // refreshSeparators recomputes the separators of segments [lo, hi) after

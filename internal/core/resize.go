@@ -38,7 +38,7 @@ func (a *Array) resizeTo(newCap int, extra []pair) error {
 	oldSegs, oldB := a.numSegs, a.segSlots
 	newB := a.segSlots
 	if a.cfg.Sizing == SizingLogCap {
-		newB = logSegSize(newCap)
+		newB = logSegSize(newCap, a.cfg.PageSlots)
 	}
 	newSegs := newCap / newB
 	total := a.n + len(extra)
@@ -174,20 +174,28 @@ func (a *Array) writeResizeInterleavedAware(newSegs, newB int, targets []int, ex
 		writeClusteredStream(newSegs, newB, a.cfg.PageSlots, targets, resolveK, resolveV, next)
 		return
 	}
-	// Interleaved: new bitmap sized for the new capacity.
+	// Interleaved: new bitmap sized for the new capacity. Segments never
+	// cross pages (newB <= PageSlots, both powers of two), so each
+	// segment's destination page is resolved once.
 	newCap := newSegs * newB
 	bm := make([]uint64, (newCap+63)/64)
 	for i, c := range targets {
+		if c == 0 {
+			continue
+		}
 		base := i * newB
+		page := base / a.cfg.PageSlots
+		off := base % a.cfg.PageSlots
+		kpg, vpg := resolveK(page), resolveV(page)
 		for j := 0; j < c; j++ {
-			slot := base + j*newB/c
+			slot := j * newB / c
 			k, v, ok := next()
 			if !ok {
 				panic("core: resize element count mismatch")
 			}
-			resolveK(slot / a.cfg.PageSlots)[slot%a.cfg.PageSlots] = k
-			resolveV(slot / a.cfg.PageSlots)[slot%a.cfg.PageSlots] = v
-			bm[slot>>6] |= 1 << (uint(slot) & 63)
+			kpg[off+slot] = k
+			vpg[off+slot] = v
+			bm[(base+slot)>>6] |= 1 << (uint(base+slot) & 63)
 		}
 	}
 	a.bitmap = bm
@@ -225,16 +233,21 @@ func writeClusteredStream(newSegs, newB, pageSlots int, targets []int,
 
 // mergedReader returns a stream over the union of the array's current
 // elements (old geometry) and the sorted extra batch, in key order.
+//
+// On the clustered layout it caches the current segment's run slices; on
+// the interleaved one it advances a slot cursor word-parallel through
+// the bitmap with the current page's slices cached — O(1) amortized per
+// element. (An earlier version called elemKey/elemVal per element, each
+// an O(B) rescan from the segment base: O(B²) per segment on every
+// resize. Stats.SlotScans pins the linear walk.)
 func (a *Array) mergedReader(extra []pair) func() (int64, int64, bool) {
-	// Cursor over the existing elements, caching the current segment's
-	// run slices on the clustered layout.
-	seg, rank := 0, 0
-	var runK, runV []int64
-	advance := func() (int64, int64, bool) {
-		for seg < a.numSegs {
-			c := int(a.cards[seg])
-			if rank < c {
-				if a.cfg.Layout == LayoutClustered {
+	var advance func() (int64, int64, bool)
+	if a.cfg.Layout == LayoutClustered {
+		seg, rank := 0, 0
+		var runK, runV []int64
+		advance = func() (int64, int64, bool) {
+			for seg < a.numSegs {
+				if rank < int(a.cards[seg]) {
 					if runK == nil {
 						kpg, off := a.segPage(a.keys, seg)
 						vpg, voff := a.segPage(a.vals, seg)
@@ -245,16 +258,31 @@ func (a *Array) mergedReader(extra []pair) func() (int64, int64, bool) {
 					rank++
 					return k, v, true
 				}
-				k := a.elemKey(seg, rank)
-				v := a.elemVal(seg, rank)
-				rank++
-				return k, v, true
+				seg++
+				rank = 0
+				runK, runV = nil, nil
 			}
-			seg++
-			rank = 0
-			runK, runV = nil, nil
+			return 0, 0, false
 		}
-		return 0, 0, false
+	} else {
+		end := a.Capacity()
+		mask := a.cfg.PageSlots - 1
+		cursor := 0
+		var kpg, vpg []int64
+		page := -1
+		advance = func() (int64, int64, bool) {
+			s := bmNext(a.bitmap, cursor, end)
+			if s < 0 {
+				return 0, 0, false
+			}
+			if p := s >> a.pageShift; p != page {
+				page = p
+				kpg, vpg = a.keys.Page(p), a.vals.Page(p)
+			}
+			a.stats.SlotScans += uint64(s + 1 - cursor)
+			cursor = s + 1
+			return kpg[s&mask], vpg[s&mask], true
+		}
 	}
 	curK, curV, curOK := advance()
 	ei := 0
@@ -282,16 +310,12 @@ func (a *Array) elemVal(seg, rank int) int64 {
 		return pg[off+lo+rank]
 	default:
 		base := seg * a.segSlots
-		seen := 0
-		for s := base; s < base+a.segSlots; s++ {
-			if a.occupied(s) {
-				if seen == rank {
-					return a.vals.Get(s)
-				}
-				seen++
-			}
+		s := bmSelect(a.bitmap, base, base+a.segSlots, rank)
+		if s < 0 {
+			panic("core: elemVal rank out of range")
 		}
-		panic("core: elemVal rank out of range")
+		pg, off := a.pageAt(a.vals, s)
+		return pg[off]
 	}
 }
 

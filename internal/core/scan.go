@@ -40,21 +40,26 @@ func (a *Array) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
 	}
 }
 
+// scanRangeInterleaved walks occupied slots word-parallel, holding the
+// current page's key and value slices across every slot it contains.
 func (a *Array) scanRangeInterleaved(lo, hi int64, yield func(key, val int64) bool) {
 	startSeg := a.ix.FindLB(lo)
-	for slot := startSeg * a.segSlots; slot < a.Capacity(); slot++ {
-		if !a.occupied(slot) {
-			continue
-		}
-		k := a.keys.Get(slot)
-		if k < lo {
-			continue
-		}
-		if k > hi {
-			return
-		}
-		if !yield(k, a.vals.Get(slot)) {
-			return
+	capSlots := a.Capacity()
+	mask := a.cfg.PageSlots - 1
+	s := bmNext(a.bitmap, startSeg*a.segSlots, capSlots)
+	for s != -1 {
+		page := s >> a.pageShift
+		kpg, vpg := a.keys.Page(page), a.vals.Page(page)
+		pageEnd := (page + 1) << a.pageShift
+		for s != -1 && s < pageEnd {
+			k := kpg[s&mask]
+			if k > hi {
+				return
+			}
+			if k >= lo && !yield(k, vpg[s&mask]) {
+				return
+			}
+			s = bmNext(a.bitmap, s+1, capSlots)
 		}
 	}
 }
@@ -114,19 +119,24 @@ func (a *Array) Sum(lo, hi int64) (count int, sum int64) {
 
 func (a *Array) sumInterleaved(lo, hi int64) (count int, sum int64) {
 	startSeg := a.ix.FindLB(lo)
-	for slot := startSeg * a.segSlots; slot < a.Capacity(); slot++ {
-		if !a.occupied(slot) {
-			continue
+	capSlots := a.Capacity()
+	mask := a.cfg.PageSlots - 1
+	s := bmNext(a.bitmap, startSeg*a.segSlots, capSlots)
+	for s != -1 {
+		page := s >> a.pageShift
+		kpg, vpg := a.keys.Page(page), a.vals.Page(page)
+		pageEnd := (page + 1) << a.pageShift
+		for s != -1 && s < pageEnd {
+			k := kpg[s&mask]
+			if k > hi {
+				return count, sum
+			}
+			if k >= lo {
+				sum += vpg[s&mask]
+				count++
+			}
+			s = bmNext(a.bitmap, s+1, capSlots)
 		}
-		k := a.keys.Get(slot)
-		if k < lo {
-			continue
-		}
-		if k > hi {
-			return count, sum
-		}
-		sum += a.vals.Get(slot)
-		count++
 	}
 	return count, sum
 }

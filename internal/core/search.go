@@ -20,13 +20,13 @@ func (a *Array) Find(key int64) (int64, bool) {
 		}
 	default:
 		base := seg * a.segSlots
-		for s := base; s < base+a.segSlots; s++ {
-			if !a.occupied(s) {
-				continue
-			}
-			k := a.keys.Get(s)
+		end := base + a.segSlots
+		kpg, off := a.segPage(a.keys, seg)
+		for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
+			k := kpg[off+s-base]
 			if k == key {
-				return a.vals.Get(s), true
+				vpg, voff := a.segPage(a.vals, seg)
+				return vpg[voff+s-base], true
 			}
 			if k > key {
 				break
@@ -119,10 +119,9 @@ func (a *Array) Max() (int64, bool) {
 			return pg[off+hi-1], true
 		default:
 			base := s * a.segSlots
-			for i := base + a.segSlots - 1; i >= base; i-- {
-				if a.occupied(i) {
-					return a.keys.Get(i), true
-				}
+			if i := bmPrev(a.bitmap, base, base+a.segSlots); i >= 0 {
+				pg, off := a.pageAt(a.keys, i)
+				return pg[off], true
 			}
 		}
 	}
@@ -157,7 +156,9 @@ func (a *Array) neighborAfter(seg, rank int) (int64, bool) {
 	return 0, false
 }
 
-// elemKey returns the rank-th smallest key of segment seg.
+// elemKey returns the rank-th smallest key of segment seg. On the
+// interleaved layout the slot is found with a word-parallel in-segment
+// select — O(B/64) popcounts, not an O(B) bit-by-bit rescan.
 func (a *Array) elemKey(seg, rank int) int64 {
 	switch a.cfg.Layout {
 	case LayoutClustered:
@@ -166,15 +167,11 @@ func (a *Array) elemKey(seg, rank int) int64 {
 		return pg[off+lo+rank]
 	default:
 		base := seg * a.segSlots
-		seen := 0
-		for s := base; s < base+a.segSlots; s++ {
-			if a.occupied(s) {
-				if seen == rank {
-					return a.keys.Get(s)
-				}
-				seen++
-			}
+		s := bmSelect(a.bitmap, base, base+a.segSlots, rank)
+		if s < 0 {
+			panic("core: elemKey rank out of range")
 		}
-		panic("core: elemKey rank out of range")
+		pg, off := a.pageAt(a.keys, s)
+		return pg[off]
 	}
 }

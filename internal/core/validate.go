@@ -55,12 +55,7 @@ func (a *Array) Validate() error {
 
 	if a.cfg.Layout == LayoutInterleaved {
 		for s := 0; s < a.numSegs; s++ {
-			pop := 0
-			for slot := s * a.segSlots; slot < (s+1)*a.segSlots; slot++ {
-				if a.occupied(slot) {
-					pop++
-				}
-			}
+			pop := bmRank(a.bitmap, s*a.segSlots, (s+1)*a.segSlots)
 			if pop != int(a.cards[s]) {
 				return fmt.Errorf("segment %d: bitmap %d != card %d", s, pop, a.cards[s])
 			}

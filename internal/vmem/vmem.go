@@ -50,6 +50,10 @@ type Pages struct {
 	table     [][]int64 // virtual page id -> physical page
 	spares    [][]int64 // pool of detached physical pages
 
+	// acquireBuf backs AcquireSpares results so steady-state rebalances
+	// acquire their spare pages without allocating a fresh [][]int64.
+	acquireBuf [][]int64
+
 	stats Stats
 
 	failAfter int // fail the n-th next physical allocation; -1 = disabled
@@ -117,21 +121,70 @@ func (p *Pages) alloc() ([]int64, error) {
 	return make([]int64, p.pageSlots), nil
 }
 
+// allocAppend appends n physical pages to out, preferring the spare pool
+// (recycled without zeroing); the fresh remainder is carved from a single
+// backing allocation, so growing by many pages costs one make instead of
+// one per page. On failure the already-taken pages return to the pool and
+// out is restored to its original length.
+//
+// Note the batching trade-off: pages carved from one backing share it,
+// so the garbage collector reclaims the batch only once every page of it
+// has been dropped. Pages in the live table are retained anyway; only a
+// trimmed pool can briefly over-retain.
+func (p *Pages) allocAppend(out [][]int64, n int) ([][]int64, error) {
+	base := len(out)
+	for n > 0 && len(p.spares) > 0 {
+		if p.failAfter == 0 {
+			p.spares = append(p.spares, out[base:]...)
+			return out[:base], ErrAllocFailed
+		}
+		if p.failAfter > 0 {
+			p.failAfter--
+		}
+		m := len(p.spares)
+		pg := p.spares[m-1]
+		p.spares = p.spares[:m-1]
+		p.stats.PoolReuses++
+		out = append(out, pg)
+		n--
+	}
+	if n == 0 {
+		return out, nil
+	}
+	if p.failAfter >= 0 && p.failAfter < n {
+		// The injected failure lands inside the fresh batch: fall back to
+		// page-by-page allocation for exact failure semantics.
+		for ; n > 0; n-- {
+			pg, err := p.alloc()
+			if err != nil {
+				p.spares = append(p.spares, out[base:]...)
+				return out[:base], err
+			}
+			out = append(out, pg)
+		}
+		return out, nil
+	}
+	if p.failAfter > 0 {
+		p.failAfter -= n
+	}
+	backing := make([]int64, n*p.pageSlots)
+	p.stats.FreshAllocs += uint64(n)
+	p.stats.ZeroedSlots += uint64(n * p.pageSlots)
+	for i := 0; i < n; i++ {
+		out = append(out, backing[i*p.pageSlots:(i+1)*p.pageSlots:(i+1)*p.pageSlots])
+	}
+	return out, nil
+}
+
 // Grow extends the address space by n virtual pages, absorbing spare
 // buffers first as the paper does when expanding the RMA. On failure the
 // address space is unchanged.
 func (p *Pages) Grow(n int) error {
-	fresh := make([][]int64, 0, n)
-	for i := 0; i < n; i++ {
-		pg, err := p.alloc()
-		if err != nil {
-			// Undo: return already-taken pages to the pool.
-			p.spares = append(p.spares, fresh...)
-			return err
-		}
-		fresh = append(fresh, pg)
+	table, err := p.allocAppend(p.table, n)
+	if err != nil {
+		return err
 	}
-	p.table = append(p.table, fresh...)
+	p.table = table
 	return nil
 }
 
@@ -155,16 +208,20 @@ func (p *Pages) AcquireSpare() ([]int64, error) { return p.alloc() }
 // AcquireSpares detaches n spare pages at once, or none on failure —
 // callers pre-acquire everything a rebalance needs so that a failure
 // cannot leave the structure half-rewired.
+//
+// The returned slice aliases an internal reusable buffer: it is valid
+// only until the next AcquireSpares call on this Pages, which is exactly
+// the lifetime a rebalance needs (acquire, fill, Swap) and keeps the
+// steady-state rebalance path allocation-free.
 func (p *Pages) AcquireSpares(n int) ([][]int64, error) {
-	out := make([][]int64, 0, n)
-	for i := 0; i < n; i++ {
-		pg, err := p.alloc()
-		if err != nil {
-			p.spares = append(p.spares, out...)
-			return nil, err
-		}
-		out = append(out, pg)
+	if cap(p.acquireBuf) < n {
+		p.acquireBuf = make([][]int64, 0, n)
 	}
+	out, err := p.allocAppend(p.acquireBuf[:0], n)
+	if err != nil {
+		return nil, err
+	}
+	p.acquireBuf = out
 	return out, nil
 }
 
@@ -209,7 +266,7 @@ func (p *Pages) Stats() Stats { return p.stats }
 // pages, and the page table itself.
 func (p *Pages) FootprintBytes() int64 {
 	pages := int64(len(p.table) + len(p.spares))
-	return pages*int64(p.pageSlots)*8 + int64(cap(p.table)+cap(p.spares))*24
+	return pages*int64(p.pageSlots)*8 + int64(cap(p.table)+cap(p.spares)+cap(p.acquireBuf))*24
 }
 
 // InjectAllocFailure makes the n-th next physical allocation fail
