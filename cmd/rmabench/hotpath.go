@@ -26,7 +26,13 @@ type hotpathSnapshot struct {
 // hotpath runs the experiment and, when -json is set, appends the
 // snapshot to the JSON trajectory file (creating it if absent).
 func hotpath(p exp.Params) {
-	results := exp.Hotpath(p)
+	appendSnapshot(p, exp.Hotpath(p))
+}
+
+// appendSnapshot appends a labeled result set to the -json trajectory
+// file (a no-op when -json is unset). Shared by the hotpath and shards
+// experiments so both extend the same BENCH_hotpath.json history.
+func appendSnapshot(p exp.Params, results []exp.HotpathResult) {
 	if *jsonPath == "" {
 		return
 	}

@@ -7,17 +7,19 @@
 //	rmabench -exp all -n 262144 -out results.txt
 //
 // Experiments: fig01a fig01b fig01c fig10 fig11a fig11b fig12 fig13a
-// fig13b fig14 backends hotpath, or "all". Output is TSV with one block
-// per figure; the series names match the paper's legends. EXPERIMENTS.md
-// interprets the shapes against the paper's reported results. The
-// "backends" experiment is not a paper figure: it drives every
-// structure purely through the public OrderedMap interface — inserts,
-// lookups, lazy iteration, navigation and order statistics — to compare
-// the full ordered-map surface across backends. The "hotpath"
+// fig13b fig14 backends hotpath shards, or "all". Output is TSV with one
+// block per figure; the series names match the paper's legends.
+// EXPERIMENTS.md interprets the shapes against the paper's reported
+// results. The "backends" experiment is not a paper figure: it drives
+// every structure purely through the public OrderedMap interface —
+// inserts, lookups, lazy iteration, navigation and order statistics — to
+// compare the full ordered-map surface across backends. The "hotpath"
 // experiment tracks the repo's own perf trajectory (insert/lookup/scan
-// ns/op and allocs/op on every layout x rebalance corner); with
-// -json FILE -label NAME it appends a machine-readable snapshot to the
-// checked-in BENCH_hotpath.json.
+// ns/op and allocs/op on every layout x rebalance corner); the "shards"
+// experiment tracks the concurrent serving layer (aggregate put/batched
+// put/get/merged-scan throughput over a goroutines x shard-count
+// matrix, capped by -shardmax). With -json FILE -label NAME both append
+// a machine-readable snapshot to the checked-in BENCH_hotpath.json.
 package main
 
 import (
@@ -44,12 +46,15 @@ var experiments = map[string]func(exp.Params){
 	"fig14":    exp.Fig14,
 	"backends": backends,
 	"hotpath":  hotpath,
+	"shards":   shards,
 }
 
-// hotpath-only flags: where to append the JSON trajectory snapshot.
+// Trajectory flags (hotpath and shards): where to append the JSON
+// snapshot, plus the shards matrix cap.
 var (
-	jsonPath  = flag.String("json", "", "hotpath: append a snapshot to this JSON trajectory file")
-	jsonLabel = flag.String("label", "dev", "hotpath: label for the JSON snapshot")
+	jsonPath  = flag.String("json", "", "hotpath/shards: append a snapshot to this JSON trajectory file")
+	jsonLabel = flag.String("label", "dev", "hotpath/shards: label for the JSON snapshot")
+	shardMax  = flag.Int("shardmax", 8, "shards: largest shard count in the sweep (1 = unsharded baseline only)")
 )
 
 func main() {

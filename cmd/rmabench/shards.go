@@ -1,0 +1,13 @@
+package main
+
+import "rma/internal/exp"
+
+// shards runs the concurrent serving-layer experiment (aggregate put /
+// batched put / get / merged scan throughput over a goroutines x shard
+// count matrix) and, like hotpath, appends a labeled snapshot to the
+// -json trajectory file. -shardmax 1 records the unsharded baseline
+// alone (the "pre-sharding" serving datapoint).
+func shards(p exp.Params) {
+	p.ShardMax = *shardMax
+	appendSnapshot(p, exp.Shards(p))
+}

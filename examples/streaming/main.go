@@ -90,4 +90,75 @@ func main() {
 	s := a.Stats()
 	fmt.Printf("bulk loads=%d rebalances=%d pageswaps=%d resizes=%d\n",
 		s.BulkLoads, s.Rebalances, s.PageSwaps, s.Resizes)
+
+	runSharded()
+}
+
+// runSharded replays the same sliding window through the concurrent
+// serving layer: every tick is one ApplyBatch mixing the expired
+// deletions with the new arrivals, grouped per shard so each shard is
+// locked once and the insert runs ride the per-shard bulk path. Shard
+// boundaries are fixed at construction, so for a time-ordered stream
+// they must be provisioned over the whole lifetime the window will
+// slide across (a key-range-sharded store cannot re-shard on the fly —
+// see CONCURRENCY.md).
+func runSharded() {
+	rng := workload.NewRNG(99)
+	now := int64(1_700_000_000_000)
+	streamSpan := int64(window + batchSize*ticks) // keys advance ~1/event
+	sample := make([]int64, 1024)
+	for i := range sample {
+		sample[i] = now + int64(i)*streamSpan/int64(len(sample))
+	}
+	sh, err := rma.NewShardedFromSample(4, sample, rma.WithScanOrientedThresholds())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var pending [][]int64
+	mkBatch := func() []int64 {
+		keys := make([]int64, batchSize)
+		for i := range keys {
+			now += int64(rng.Uint64n(3))
+			keys[i] = now
+		}
+		return keys
+	}
+	for len(pending)*batchSize < window {
+		keys := mkBatch()
+		ops := make([]rma.BatchOp, len(keys))
+		for i, k := range keys {
+			ops[i] = rma.BatchOp{Kind: rma.OpPut, Key: k, Val: k}
+		}
+		if _, err := sh.ApplyBatch(ops); err != nil {
+			log.Fatal(err)
+		}
+		pending = append(pending, keys)
+	}
+
+	var loadTime time.Duration
+	for tick := 0; tick < ticks; tick++ {
+		newKeys := mkBatch()
+		expired := pending[0]
+		pending = append(pending[1:], newKeys)
+
+		ops := make([]rma.BatchOp, 0, len(expired)+len(newKeys))
+		for _, k := range expired {
+			ops = append(ops, rma.BatchOp{Kind: rma.OpDelete, Key: k})
+		}
+		for _, k := range newKeys {
+			ops = append(ops, rma.BatchOp{Kind: rma.OpPut, Key: k, Val: k})
+		}
+		t0 := time.Now()
+		deleted, err := sh.ApplyBatch(ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loadTime += time.Since(t0)
+		if deleted != len(expired) {
+			log.Fatalf("tick %d: ApplyBatch deleted %d of %d expired", tick, deleted, len(expired))
+		}
+	}
+	fmt.Printf("sharded(4) batched ticks: %6.2f Mops/s (final size %d, shard sizes %v)\n",
+		float64(2*batchSize*ticks)/loadTime.Seconds()/1e6, sh.Size(), sh.ShardSizes())
 }

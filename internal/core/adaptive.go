@@ -1,10 +1,6 @@
 package core
 
-import (
-	"sort"
-
-	"rma/internal/detector"
-)
+import "rma/internal/detector"
 
 // interval is a marked interval <s, l> of Section IV: a range of l
 // positions starting at position s in the sorted sequence of the window's
@@ -18,19 +14,25 @@ type interval struct {
 
 // marksToIntervals converts the Detector's per-segment marks into
 // position intervals within the window [lo, hi) (the preprocessing
-// phase's final output).
+// phase's final output). The returned slice aliases reusable scratch,
+// valid until the next call: steady-state mark processing must not
+// allocate (see PERFORMANCE.md and TestAdaptiveInsertAllocationFree).
 func (a *Array) marksToIntervals(lo, hi int, marks []detector.Mark) []interval {
 	total := a.windowCard(lo, hi)
 	if total == 0 {
 		return nil
 	}
 	// Prefix cardinalities to turn (segment, rank) into window positions.
-	prefix := make([]int, hi-lo+1)
+	if cap(a.prefixBuf) < hi-lo+1 {
+		a.prefixBuf = make([]int, hi-lo+1)
+	}
+	prefix := a.prefixBuf[:hi-lo+1]
+	prefix[0] = 0
 	for s := lo; s < hi; s++ {
 		prefix[s-lo+1] = prefix[s-lo] + int(a.cards[s])
 	}
 
-	iv := make([]interval, 0, len(marks))
+	iv := a.ivBuf[:0]
 	for _, m := range marks {
 		switch m.Kind {
 		case detector.MarkSegment:
@@ -65,10 +67,17 @@ func (a *Array) marksToIntervals(lo, hi int, marks []detector.Mark) []interval {
 			}
 		}
 	}
+	a.ivBuf = iv // keep the grown capacity for the next call
 	if len(iv) == 0 {
 		return nil
 	}
-	sort.Slice(iv, func(i, j int) bool { return iv[i].pos < iv[j].pos })
+	// Insertion sort by position: mark counts are tiny (bounded by the
+	// window's segments) and this avoids sort.Slice's closure allocation.
+	for i := 1; i < len(iv); i++ {
+		for j := i; j > 0 && iv[j].pos < iv[j-1].pos; j-- {
+			iv[j], iv[j-1] = iv[j-1], iv[j]
+		}
+	}
 	// Merge overlaps so the adaptive algorithm sees disjoint intervals.
 	out := iv[:1]
 	for _, cur := range iv[1:] {
@@ -111,15 +120,26 @@ func (a *Array) windowRank(lo, hi int, prefix []int, key int64, _ bool) int {
 // top-down traversal of the calibrator subtree rooted at the window,
 // splitting the element run R and its marked intervals between children,
 // pushing marked intervals toward the less-loaded side, and clamping the
-// split so every level's density thresholds hold.
+// split so every level's density thresholds hold. The result aliases the
+// shared targets scratch, like evenTargets.
 func (a *Array) adaptiveTargets(lo, hi, cnt int, marks []interval) []int {
 	nseg := hi - lo
-	out := make([]int, nseg)
-	a.adaptiveRec(lo, nseg, cnt, marks, out)
+	out := a.targetsScratch(nseg)
+	a.adaptiveRec(lo, nseg, cnt, marks, out, 0)
 	return out
 }
 
-func (a *Array) adaptiveRec(segLo, nseg, r int, marks []interval, out []int) {
+// ivSplitScratch returns the reusable left/right interval buffers for
+// one depth of the adaptive recursion (each depth needs its own pair,
+// alive across the recursive calls below it).
+func (a *Array) ivSplitScratch(depth int) (lm, rm []interval) {
+	for depth >= len(a.ivSplit) {
+		a.ivSplit = append(a.ivSplit, [2][]interval{})
+	}
+	return a.ivSplit[depth][0][:0], a.ivSplit[depth][1][:0]
+}
+
+func (a *Array) adaptiveRec(segLo, nseg, r int, marks []interval, out []int, depth int) {
 	if nseg == 1 {
 		out[0] = r
 		return
@@ -156,8 +176,9 @@ func (a *Array) adaptiveRec(segLo, nseg, r int, marks []interval, out []int) {
 
 	left := a.objective(r, marks, minL, maxL)
 
-	// Split the marked intervals at the boundary.
-	var lm, rm []interval
+	// Split the marked intervals at the boundary, into this depth's
+	// reusable buffers (deeper recursion levels use their own pair).
+	lm, rm := a.ivSplitScratch(depth)
 	for _, iv := range marks {
 		switch {
 		case iv.pos+iv.length <= left:
@@ -169,8 +190,9 @@ func (a *Array) adaptiveRec(segLo, nseg, r int, marks []interval, out []int) {
 			rm = append(rm, interval{pos: 0, length: iv.pos + iv.length - left, score: iv.score})
 		}
 	}
-	a.adaptiveRec(segLo, half, left, lm, out[:half])
-	a.adaptiveRec(segLo+half, half, r-left, rm, out[half:])
+	a.ivSplit[depth][0], a.ivSplit[depth][1] = lm, rm
+	a.adaptiveRec(segLo, half, left, lm, out[:half], depth+1)
+	a.adaptiveRec(segLo+half, half, r-left, rm, out[half:], depth+1)
 }
 
 // objective picks the boundary position (the number of elements going to
@@ -288,7 +310,11 @@ func (a *Array) objective(r int, marks []interval, minL, maxL int) int {
 // from the gap-rich region — the ping-pong effect of Section II.
 func (a *Array) apmaTargets(lo, hi, cnt int, marks []detector.Mark) []int {
 	nseg := hi - lo
-	markedSegs := make([]bool, nseg)
+	if cap(a.markedBuf) < nseg {
+		a.markedBuf = make([]bool, nseg)
+	}
+	markedSegs := a.markedBuf[:nseg]
+	clear(markedSegs)
 	any := false
 	for _, m := range marks {
 		if m.Seg >= lo && m.Seg < hi {
@@ -299,7 +325,7 @@ func (a *Array) apmaTargets(lo, hi, cnt int, marks []detector.Mark) []int {
 	if !any {
 		return nil
 	}
-	out := make([]int, nseg)
+	out := a.targetsScratch(nseg)
 	a.apmaRec(markedSegs, cnt, out)
 	return out
 }

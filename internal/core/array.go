@@ -60,7 +60,16 @@ type Array struct {
 	// PERFORMANCE.md), so these persist across calls.
 	targetsBuf         []int
 	srcSpans, dstSpans []span
-	pageShift          uint // log2(PageSlots)
+	// Reusable scratch for adaptive mark processing (ROADMAP open item:
+	// the detector's mark path must not allocate in steady state):
+	// window prefix cardinalities, the merged interval list, per-depth
+	// interval splits of the adaptive recursion, and APMA's marked-segment
+	// flags.
+	prefixBuf []int
+	ivBuf     []interval
+	ivSplit   [][2][]interval
+	markedBuf []bool
+	pageShift uint // log2(PageSlots)
 }
 
 // New builds an empty array with the given configuration.
@@ -115,8 +124,52 @@ func (a *Array) resetDerived() {
 		mins[i] = unsetSep
 	}
 	a.buildIndex(mins)
+	a.warmRebalanceScratch()
 	if a.cfg.Adaptive != AdaptiveOff {
 		a.det = detector.New(a.numSegs, a.cfg.Detector)
+		a.warmAdaptiveScratch()
+	}
+}
+
+// warmRebalanceScratch pre-sizes the rebalance scratch to the widest
+// possible window — the root, numSegs segments — so the first
+// root-window rebalance of a capacity epoch does not pay a one-time
+// growth allocation mid-steady-state. Called wherever the geometry
+// changes; allocation stays confined to resize points.
+func (a *Array) warmRebalanceScratch() {
+	if cap(a.targetsBuf) < a.numSegs {
+		a.targetsBuf = make([]int, 0, a.numSegs)
+	}
+	if cap(a.srcSpans) < a.numSegs {
+		a.srcSpans = make([]span, 0, a.numSegs)
+	}
+	if cap(a.dstSpans) < a.numSegs {
+		a.dstSpans = make([]span, 0, a.numSegs)
+	}
+}
+
+// warmAdaptiveScratch pre-sizes the mark-processing buffers to their
+// bounds at the current segment count, so steady-state adaptive
+// rebalances never allocate: allocation happens only here, at resize
+// points that already reallocate the detector wholesale. The per-depth
+// interval splits get a generous fixed capacity instead of their
+// (quadratic) worst case — marked-interval counts are tiny in practice,
+// and ivSplitScratch still grows them on demand.
+func (a *Array) warmAdaptiveScratch() {
+	if cap(a.prefixBuf) < a.numSegs+1 {
+		a.prefixBuf = make([]int, 0, a.numSegs+1)
+	}
+	if cap(a.ivBuf) < a.numSegs {
+		a.ivBuf = make([]interval, 0, a.numSegs)
+	}
+	if cap(a.markedBuf) < a.numSegs {
+		a.markedBuf = make([]bool, 0, a.numSegs)
+	}
+	for depth := log2(a.numSegs) + 1; depth >= len(a.ivSplit); {
+		a.ivSplit = append(a.ivSplit, [2][]interval{
+			make([]interval, 0, 16),
+			make([]interval, 0, 16),
+		})
 	}
 }
 
@@ -166,6 +219,10 @@ func (a *Array) FootprintBytes() int64 {
 	}
 	f += int64(cap(a.scratchK)+cap(a.scratchV))*8 + int64(cap(a.scratchC))*4
 	f += int64(cap(a.targetsBuf))*8 + int64(cap(a.srcSpans)+cap(a.dstSpans))*48
+	f += int64(cap(a.prefixBuf))*8 + int64(cap(a.ivBuf))*24 + int64(cap(a.markedBuf))
+	for _, p := range a.ivSplit {
+		f += int64(cap(p[0])+cap(p[1])) * 24
+	}
 	return f
 }
 

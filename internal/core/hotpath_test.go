@@ -109,6 +109,77 @@ func TestInsertRebalanceAllocationFree(t *testing.T) {
 	}
 }
 
+// TestAdaptiveInsertAllocationFree pins the ROADMAP open item this PR
+// closes: adaptive mark processing (Detector.Marks, marksToIntervals,
+// the adaptive recursion's interval splits, APMA's marked flags) used
+// to allocate on every adaptive rebalance. A steady-state insert under
+// a hammered (sequential) pattern must now be allocation-free while
+// adaptive rebalances demonstrably fire.
+func TestAdaptiveInsertAllocationFree(t *testing.T) {
+	for _, pol := range []struct {
+		name string
+		p    AdaptivePolicy
+	}{{"rma", AdaptiveRMA}, {"apma", AdaptiveAPMA}} {
+		t.Run(pol.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Adaptive = pol.p
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Sequential ascending inserts: the hammering pattern the
+			// Detector is built to recognize, so rebalances take the
+			// adaptive path with pair-granular marks.
+			key := int64(0)
+			ins := func() {
+				if err := a.Insert(key, key); err != nil {
+					t.Fatal(err)
+				}
+				key += 2
+			}
+			for i := 0; i < 6000; i++ {
+				ins()
+			}
+			for grows := a.Stats().Grows; a.Stats().Grows == grows; {
+				ins()
+			}
+			_, tauRoot := a.cal.At(a.cal.Height())
+			for float64(a.Size()) < 0.8*tauRoot*float64(a.Capacity()) {
+				ins()
+			}
+			headroom := int(tauRoot*float64(a.Capacity())) - a.Size()
+			const perRun, runs = 64, 5
+			if need := perRun * (runs + 2); headroom < need {
+				t.Fatalf("test needs %d insert headroom, have %d (retune the build phase)", need, headroom)
+			}
+
+			before := a.Stats()
+			allocs := testing.AllocsPerRun(runs, func() {
+				for i := 0; i < perRun; i++ {
+					ins()
+				}
+			})
+			after := a.Stats()
+			if after.Resizes != before.Resizes {
+				t.Fatalf("a resize fired during the measured window (%d -> %d); retune the test",
+					before.Resizes, after.Resizes)
+			}
+			if after.AdaptiveRebalances == before.AdaptiveRebalances {
+				t.Fatalf("no adaptive rebalance fired during %d measured inserts; the test proves nothing",
+					perRun*(runs+1))
+			}
+			if allocs != 0 {
+				t.Errorf("steady-state insert with adaptive rebalances: %.2f allocs/run, want 0 (%d adaptive rebalances measured)",
+					allocs, after.AdaptiveRebalances-before.AdaptiveRebalances)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestInterleavedResizeLinearSlotScans pins the mergedReader fix: during
 // an interleaved resize the reader advances a slot cursor word-parallel,
 // covering each slot of the old capacity at most once. The seed

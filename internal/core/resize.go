@@ -75,8 +75,10 @@ func (a *Array) resizeTo(newCap int, extra []pair) error {
 	a.fen.reset(a.cards)
 	a.cal = calibrator.NewTree(newSegs, a.cfg.Thresholds)
 	a.rebuildIndexFromLayout()
+	a.warmRebalanceScratch()
 	if a.det != nil {
 		a.det.Reset(newSegs)
+		a.warmAdaptiveScratch()
 	}
 	return nil
 }

@@ -21,7 +21,7 @@ package detector
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Config holds the Detector tuning knobs.
@@ -94,7 +94,8 @@ type Detector struct {
 	fwdCnt []int16
 	sc     []int16
 
-	scratch []uint64 // reused by Marks
+	scratch  []uint64 // reused by Marks
+	marksBuf []Mark   // reused by Marks; the rebalance path must not allocate
 }
 
 // New returns a Detector for numSegs segments.
@@ -112,7 +113,9 @@ func (d *Detector) Config() Config { return d.cfg }
 
 // Reset re-dimensions the detector for numSegs segments, clearing all
 // metadata. Called when the array is resized, since segment identities
-// change wholesale.
+// change wholesale. The Marks scratch buffers are pre-sized to their
+// worst case here, so mark processing never allocates between resizes
+// (see PERFORMANCE.md and TestAdaptiveInsertAllocationFree).
 func (d *Detector) Reset(numSegs int) {
 	q := d.cfg.QueueLen
 	d.ts = make([]uint64, numSegs*q)
@@ -123,6 +126,12 @@ func (d *Detector) Reset(numSegs int) {
 	d.fwdVal = make([]int64, numSegs)
 	d.fwdCnt = make([]int16, numSegs)
 	d.sc = make([]int16, numSegs)
+	if cap(d.scratch) < numSegs*q {
+		d.scratch = make([]uint64, 0, numSegs*q)
+	}
+	if cap(d.marksBuf) < numSegs {
+		d.marksBuf = make([]Mark, 0, numSegs)
+	}
 }
 
 // NumSegments returns the number of tracked segments.
@@ -180,7 +189,10 @@ func (d *Detector) RecordDelete(seg int, now uint64) {
 }
 
 // Marks runs the preprocessing phase (Section IV) over the window of
-// segments [lo, hi) and returns the marked segments in order.
+// segments [lo, hi) and returns the marked segments in order. The
+// returned slice aliases a buffer reused by the next Marks call: the
+// caller must consume it before calling Marks again. Steady-state mark
+// processing is allocation-free (see PERFORMANCE.md).
 //
 // The percentile cutoff follows the paper with one robustness fix
 // (documented in DESIGN.md): the cutoff rank is
@@ -204,7 +216,7 @@ func (d *Detector) Marks(lo, hi int) []Mark {
 			d.scratch = append(d.scratch, d.ts[base+i])
 		}
 	}
-	sort.Slice(d.scratch, func(i, j int) bool { return d.scratch[i] < d.scratch[j] })
+	slices.Sort(d.scratch)
 
 	k := int(math.Ceil((1 - d.cfg.Alpha) * float64(total)))
 	if minK := int(math.Ceil(d.cfg.Phi * float64(q))); k < minK {
@@ -217,7 +229,7 @@ func (d *Detector) Marks(lo, hi int) []Mark {
 	}
 	p := d.scratch[total-k-1] // strictly-greater cutoff
 
-	var marks []Mark
+	marks := d.marksBuf[:0]
 	for s := lo; s < hi; s++ {
 		cnt := int(d.count[s])
 		if cnt == 0 {
@@ -252,6 +264,7 @@ func (d *Detector) Marks(lo, hi int) []Mark {
 		}
 		marks = append(marks, m)
 	}
+	d.marksBuf = marks
 	return marks
 }
 
@@ -261,7 +274,8 @@ func (d *Detector) FootprintBytes() int64 {
 		int64(cap(d.head))*2 + int64(cap(d.count))*2 +
 		int64(cap(d.bwdVal))*8 + int64(cap(d.bwdCnt))*2 +
 		int64(cap(d.fwdVal))*8 + int64(cap(d.fwdCnt))*2 +
-		int64(cap(d.sc))*2 + int64(cap(d.scratch))*8
+		int64(cap(d.sc))*2 + int64(cap(d.scratch))*8 +
+		int64(cap(d.marksBuf))*32
 }
 
 func absInt(x int) int {

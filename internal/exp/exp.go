@@ -26,6 +26,10 @@ type Params struct {
 	N    int       // final cardinality (paper: 1G = 2^30)
 	Seed uint64    // base RNG seed
 	Out  io.Writer // results sink (TSV)
+	// ShardMax caps the shard counts the "shards" experiment sweeps
+	// (0 means the full matrix up to 8). Setting it to 1 records the
+	// unsharded serving baseline on its own.
+	ShardMax int
 }
 
 // DefaultParams returns laptop-scale defaults.

@@ -1,0 +1,120 @@
+package shard
+
+import "iter"
+
+// Merged iteration: shards own disjoint, contiguous key ranges in
+// ascending shard order, so a globally ordered traversal is the
+// concatenation of per-shard traversals — no heap merge, O(1) walker
+// state per shard, one shard lock held at a time. The yielded sequence
+// is always globally sorted; under concurrent writers each shard's
+// portion is a consistent snapshot, but shards visited later may
+// reflect writes that happened after earlier shards were read.
+//
+// The yield callback runs with the current shard's lock held: it must
+// not call back into the same Map.
+
+// IterAscend returns a lazy ascending iterator over elements with
+// lo <= key <= hi, merged across shards.
+func (m *Map) IterAscend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if lo > hi {
+			return
+		}
+		jHi := m.shardOf(hi)
+		for j := m.shardOf(lo); j <= jHi; j++ {
+			if !m.yieldAscend(j, lo, hi, yield) {
+				return
+			}
+		}
+	}
+}
+
+// IterDescend returns a lazy descending iterator over elements with
+// lo <= key <= hi, walking shards right to left.
+func (m *Map) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
+	return func(yield func(int64, int64) bool) {
+		if lo > hi {
+			return
+		}
+		jLo := m.shardOf(lo)
+		for j := m.shardOf(hi); j >= jLo; j-- {
+			if !m.yieldDescend(j, lo, hi, yield) {
+				return
+			}
+		}
+	}
+}
+
+// yieldAscend drives shard j's portion of an ascending traversal under
+// the shard's lock; it reports false when the consumer stopped early.
+func (m *Map) yieldAscend(j int, lo, hi int64, yield func(int64, int64) bool) bool {
+	s := &m.shards[j]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.a.IterAscend(lo, hi) {
+		if !yield(k, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Map) yieldDescend(j int, lo, hi int64, yield func(int64, int64) bool) bool {
+	s := &m.shards[j]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.a.IterDescend(lo, hi) {
+		if !yield(k, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanRange visits every element with lo <= key <= hi in key order via
+// the per-shard callback scans (dense-run tight loops).
+func (m *Map) ScanRange(lo, hi int64, visit func(key, val int64) bool) {
+	if lo > hi {
+		return
+	}
+	jHi := m.shardOf(hi)
+	for j := m.shardOf(lo); j <= jHi; j++ {
+		s := &m.shards[j]
+		s.mu.Lock()
+		stopped := false
+		s.a.ScanRange(lo, hi, func(k, v int64) bool {
+			if !visit(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		s.mu.Unlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// Scan visits every element in key order.
+func (m *Map) Scan(visit func(key, val int64) bool) { m.ScanRange(minKey, maxKey, visit) }
+
+// Sum aggregates elements with lo <= key <= hi across shards.
+func (m *Map) Sum(lo, hi int64) (count int, sum int64) {
+	if lo > hi {
+		return 0, 0
+	}
+	jHi := m.shardOf(hi)
+	for j := m.shardOf(lo); j <= jHi; j++ {
+		s := &m.shards[j]
+		s.mu.Lock()
+		c, sm := s.a.Sum(lo, hi)
+		s.mu.Unlock()
+		count += c
+		sum += sm
+	}
+	return count, sum
+}
+
+// SumAll aggregates every element.
+func (m *Map) SumAll() (count int, sum int64) { return m.Sum(minKey, maxKey) }

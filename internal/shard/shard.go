@@ -1,0 +1,425 @@
+// Package shard implements the concurrent serving layer over the RMA:
+// an ordered map that partitions the key space across K independent
+// core.Array instances, each guarded by its own lock.
+//
+// Sharding is the natural concurrency boundary for this structure
+// because everything the engine does — rebalances, rewiring, resizes —
+// is confined to one array's page space (PUMA makes the same argument
+// for page-granular allocation). Shard boundaries are immutable after
+// construction, so routing a key to its shard is a lock-free binary
+// search; only the per-shard work takes a lock. Keys never migrate
+// between shards, which keeps every cross-shard read (merged iteration,
+// rank sums, range counts) a sequence of per-shard critical sections
+// with no global lock and no lock coupling.
+//
+// Concurrency contract (see CONCURRENCY.md at the repo root):
+//
+//   - Every operation locks at most one shard at a time; multi-shard
+//     operations visit shards in ascending index order.
+//   - Shard locks are exclusive even for reads: the engine's "read"
+//     paths mutate internal state (operation counters, walker scratch),
+//     so they cannot share a shard.
+//   - Single-shard point operations (Insert, Delete, Find, Contains)
+//     are linearizable. Every operation that may visit more than one
+//     shard — iterators, Min/Max, Floor/Ceiling, Rank, Select,
+//     CountRange, Sum, Size, ApplyBatch — is atomic per shard but not
+//     across shards: concurrent writers can interleave between shard
+//     visits (a Floor probing leftward can return a key that was
+//     deleted after its owning shard was passed). Within one shard the
+//     view is always consistent, and the merged key order is always
+//     globally ascending because shards own disjoint key ranges.
+//   - Iterator and scan callbacks run while the current shard's lock is
+//     held and must not call back into the same Map.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rma/internal/core"
+)
+
+const (
+	minKey = -1 << 63
+	maxKey = 1<<63 - 1
+)
+
+// cell is one shard: a lock and its array, padded so that neighbouring
+// shard locks do not share a cache line under concurrent traffic.
+type cell struct {
+	mu sync.Mutex
+	a  *core.Array
+	_  [64 - 16]byte
+}
+
+// Map is the sharded ordered map. Create one with New; the zero value
+// is not usable. All methods are safe for concurrent use.
+type Map struct {
+	// seps holds the K-1 shard separators: shard i owns keys k with
+	// seps[i-1] <= k < seps[i] (boundary sentinels implied at the ends
+	// of the int64 domain). Immutable after New, hence read lock-free.
+	seps   []int64
+	shards []cell
+}
+
+// New builds a Map with len(seps)+1 shards, one fresh core.Array per
+// shard built from cfg. seps must be non-decreasing; equal separators
+// are allowed and simply leave the shard between them empty.
+func New(cfg core.Config, seps []int64) (*Map, error) {
+	for i := 1; i < len(seps); i++ {
+		if seps[i] < seps[i-1] {
+			return nil, fmt.Errorf("shard: separators must be non-decreasing, got %d after %d", seps[i], seps[i-1])
+		}
+	}
+	m := &Map{
+		seps:   append([]int64(nil), seps...),
+		shards: make([]cell, len(seps)+1),
+	}
+	for i := range m.shards {
+		a, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.shards[i].a = a
+	}
+	return m, nil
+}
+
+// UniformSeps returns k-1 separators splitting the full int64 key
+// domain into k equal spans: the default when nothing is known about
+// the key distribution.
+func UniformSeps(k int) []int64 {
+	if k <= 1 {
+		return nil
+	}
+	step := ^uint64(0)/uint64(k) + 1
+	seps := make([]int64, k-1)
+	for i := range seps {
+		seps[i] = minKey + int64(uint64(i+1)*step)
+	}
+	return seps
+}
+
+// QuantileSeps returns k-1 separators at the quantiles of sample, so
+// each shard receives roughly the same share of a workload distributed
+// like the sample. The sample is not modified. With fewer distinct
+// sample keys than shards, some shards own empty ranges — harmless.
+func QuantileSeps(k int, sample []int64) []int64 {
+	if k <= 1 || len(sample) == 0 {
+		return UniformSeps(k)
+	}
+	sorted := append([]int64(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	seps := make([]int64, k-1)
+	for i := range seps {
+		seps[i] = sorted[len(sorted)*(i+1)/k]
+	}
+	return seps
+}
+
+// NumShards returns the number of shards K.
+func (m *Map) NumShards() int { return len(m.shards) }
+
+// Boundaries returns a copy of the K-1 shard separators.
+func (m *Map) Boundaries() []int64 { return append([]int64(nil), m.seps...) }
+
+// shardOf routes a key to its owning shard: the first shard whose upper
+// separator exceeds the key. Lock-free — seps is immutable.
+func (m *Map) shardOf(key int64) int {
+	lo, hi := 0, len(m.seps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if key < m.seps[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ownRange returns the key interval [lo, hi] owned by shard i
+// (inclusive bounds, clipped to the int64 domain).
+func (m *Map) ownRange(i int) (lo, hi int64) {
+	lo, hi = minKey, maxKey
+	if i > 0 {
+		lo = m.seps[i-1]
+	}
+	if i < len(m.seps) {
+		hi = m.seps[i] - 1
+	}
+	return lo, hi
+}
+
+// --- point operations -------------------------------------------------------
+
+// Insert adds a key/value pair to the owning shard.
+func (m *Map) Insert(key, val int64) error {
+	s := &m.shards[m.shardOf(key)]
+	s.mu.Lock()
+	err := s.a.Insert(key, val)
+	s.mu.Unlock()
+	return err
+}
+
+// Delete removes one occurrence of key, reporting whether it existed.
+func (m *Map) Delete(key int64) (bool, error) {
+	s := &m.shards[m.shardOf(key)]
+	s.mu.Lock()
+	ok, err := s.a.Delete(key)
+	s.mu.Unlock()
+	return ok, err
+}
+
+// Find returns a value stored under key.
+func (m *Map) Find(key int64) (int64, bool) {
+	s := &m.shards[m.shardOf(key)]
+	s.mu.Lock()
+	v, ok := s.a.Find(key)
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Contains reports whether key is stored.
+func (m *Map) Contains(key int64) bool {
+	s := &m.shards[m.shardOf(key)]
+	s.mu.Lock()
+	ok := s.a.Contains(key)
+	s.mu.Unlock()
+	return ok
+}
+
+// --- min/max and navigation -------------------------------------------------
+
+// Min returns the smallest stored key.
+func (m *Map) Min() (int64, bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		k, ok := s.a.Min()
+		s.mu.Unlock()
+		if ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the largest stored key.
+func (m *Map) Max() (int64, bool) {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		s := &m.shards[i]
+		s.mu.Lock()
+		k, ok := s.a.Max()
+		s.mu.Unlock()
+		if ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Floor returns the greatest stored element with key <= x: the owning
+// shard's floor, or the max of the nearest non-empty shard to the left.
+func (m *Map) Floor(x int64) (key, val int64, ok bool) {
+	j := m.shardOf(x)
+	s := &m.shards[j]
+	s.mu.Lock()
+	key, val, ok = s.a.Floor(x)
+	s.mu.Unlock()
+	if ok {
+		return key, val, true
+	}
+	for i := j - 1; i >= 0; i-- {
+		s := &m.shards[i]
+		s.mu.Lock()
+		key, val, ok = s.a.Floor(maxKey)
+		s.mu.Unlock()
+		if ok {
+			return key, val, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Ceiling returns the smallest stored element with key >= x.
+func (m *Map) Ceiling(x int64) (key, val int64, ok bool) {
+	j := m.shardOf(x)
+	s := &m.shards[j]
+	s.mu.Lock()
+	key, val, ok = s.a.Ceiling(x)
+	s.mu.Unlock()
+	if ok {
+		return key, val, true
+	}
+	for i := j + 1; i < len(m.shards); i++ {
+		s := &m.shards[i]
+		s.mu.Lock()
+		key, val, ok = s.a.Ceiling(minKey)
+		s.mu.Unlock()
+		if ok {
+			return key, val, true
+		}
+	}
+	return 0, 0, false
+}
+
+// --- order statistics ---------------------------------------------------------
+
+// Rank returns the number of stored elements with key < x: the sizes of
+// the shards left of the owning shard plus the in-shard rank. Each shard
+// is read under its own lock; under concurrent writes the sum is a
+// consistent-per-shard snapshot, not a global one.
+func (m *Map) Rank(x int64) int {
+	j := m.shardOf(x)
+	r := 0
+	for i := 0; i < j; i++ {
+		s := &m.shards[i]
+		s.mu.Lock()
+		r += s.a.Size()
+		s.mu.Unlock()
+	}
+	s := &m.shards[j]
+	s.mu.Lock()
+	r += s.a.Rank(x)
+	s.mu.Unlock()
+	return r
+}
+
+// Select returns the i-th smallest element (0-based), walking shards
+// left to right until the index falls inside one.
+func (m *Map) Select(i int) (key, val int64, ok bool) {
+	if i < 0 {
+		return 0, 0, false
+	}
+	for j := range m.shards {
+		s := &m.shards[j]
+		s.mu.Lock()
+		n := s.a.Size()
+		if i < n {
+			key, val, ok = s.a.Select(i)
+			s.mu.Unlock()
+			return key, val, ok
+		}
+		s.mu.Unlock()
+		i -= n
+	}
+	return 0, 0, false
+}
+
+// CountRange returns the number of elements with lo <= key <= hi:
+// boundary shards answer with their Fenwick counts, interior shards
+// contribute their whole size.
+func (m *Map) CountRange(lo, hi int64) int {
+	if lo > hi {
+		return 0
+	}
+	jLo, jHi := m.shardOf(lo), m.shardOf(hi)
+	cnt := 0
+	for j := jLo; j <= jHi; j++ {
+		s := &m.shards[j]
+		s.mu.Lock()
+		if j > jLo && j < jHi {
+			cnt += s.a.Size()
+		} else {
+			cnt += s.a.CountRange(lo, hi)
+		}
+		s.mu.Unlock()
+	}
+	return cnt
+}
+
+// --- bookkeeping --------------------------------------------------------------
+
+// Size returns the total number of stored elements across shards.
+func (m *Map) Size() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		n += s.a.Size()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// ShardSizes returns the per-shard element counts (inspection and load
+// diagnostics).
+func (m *Map) ShardSizes() []int {
+	out := make([]int, len(m.shards))
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		out[i] = s.a.Size()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// FootprintBytes returns the physical memory held by all shards plus
+// the separator table.
+func (m *Map) FootprintBytes() int64 {
+	f := int64(cap(m.seps)) * 8
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		f += s.a.FootprintBytes()
+		s.mu.Unlock()
+	}
+	return f
+}
+
+// Stats returns the operation counters summed across shards
+// (MaxWindowSegments is the maximum).
+func (m *Map) Stats() core.Stats {
+	var t core.Stats
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		st := s.a.Stats()
+		s.mu.Unlock()
+		t.Inserts += st.Inserts
+		t.Deletes += st.Deletes
+		t.Lookups += st.Lookups
+		t.Rebalances += st.Rebalances
+		t.AdaptiveRebalances += st.AdaptiveRebalances
+		t.RebalancedSegments += st.RebalancedSegments
+		t.RebalancedElements += st.RebalancedElements
+		t.Resizes += st.Resizes
+		t.Grows += st.Grows
+		t.Shrinks += st.Shrinks
+		t.ElementCopies += st.ElementCopies
+		t.PageSwaps += st.PageSwaps
+		t.SlotScans += st.SlotScans
+		t.BulkLoads += st.BulkLoads
+		if st.MaxWindowSegments > t.MaxWindowSegments {
+			t.MaxWindowSegments = st.MaxWindowSegments
+		}
+	}
+	return t
+}
+
+// Validate checks every shard's structural invariants and that every
+// stored key lies inside its shard's owned range. O(n); for tests.
+func (m *Map) Validate() error {
+	for i := range m.shards {
+		s := &m.shards[i]
+		lo, hi := m.ownRange(i)
+		s.mu.Lock()
+		err := s.a.Validate()
+		if err == nil {
+			if mn, ok := s.a.Min(); ok && mn < lo {
+				err = fmt.Errorf("shard %d: key %d below owned range [%d, %d]", i, mn, lo, hi)
+			}
+			if mx, ok := s.a.Max(); ok && mx > hi {
+				err = fmt.Errorf("shard %d: key %d above owned range [%d, %d]", i, mx, lo, hi)
+			}
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

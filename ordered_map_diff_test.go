@@ -209,13 +209,30 @@ func diffBackends(t *testing.T) map[string]UpdatableMap {
 		}
 		return a
 	}
+	mkSharded := func(shards int, sample []int64) *Sharded {
+		s, err := NewShardedFromSample(shards, sample,
+			WithSegmentCapacity(16), WithPageCapacity(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Boundary sample spanning the differential key range, so the
+	// sharded backends split the test traffic across all shards.
+	sample := make([]int64, 64)
+	for i := range sample {
+		sample[i] = int64(i) * 4000 / int64(len(sample))
+	}
 	return map[string]UpdatableMap{
 		"rma-default":      mk(WithSegmentCapacity(16), WithPageCapacity(64)),
 		"rma-scanoriented": mk(WithSegmentCapacity(8), WithPageCapacity(32), WithScanOrientedThresholds()),
 		"rma-norewire": mk(WithSegmentCapacity(16), WithPageCapacity(64),
 			WithMemoryRewiring(false), WithAdaptiveRebalancing(false)),
-		"abtree": NewABTree(16),
-		"art":    NewARTTree(16),
+		"abtree":     NewABTree(16),
+		"art":        NewARTTree(16),
+		"sharded-5":  mkSharded(5, sample),
+		"sharded-1":  mkSharded(1, nil),
+		"sharded-64": mkSharded(64, sample),
 	}
 }
 
@@ -268,6 +285,11 @@ func TestOrderedMapDifferential(t *testing.T) {
 				checkQueries(t, om, m, probesAt())
 				if a, ok := om.(*Array); ok {
 					if err := a.Validate(); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+				}
+				if s, ok := om.(*Sharded); ok {
+					if err := s.Validate(); err != nil {
 						t.Fatalf("round %d: %v", round, err)
 					}
 				}

@@ -21,7 +21,9 @@
 //     land.
 //
 // Keys form a multiset: duplicates are allowed, Delete removes one
-// occurrence. The structure is not safe for concurrent use.
+// occurrence. An Array is not safe for concurrent use; for concurrent
+// serving, NewSharded partitions the key space across independent
+// arrays behind per-shard locks (see Sharded and CONCURRENCY.md).
 //
 // # Quick start
 //
@@ -57,8 +59,9 @@
 // and every comparison structure of the paper's evaluation implements
 // them: ABTree (tuned (a,b)-tree), ARTTree (ART-indexed tree), Dense
 // (sorted column) and StaticIndexed (sorted column routed by the
-// pointer-free static index). Benchmarks, examples and cmd/rmabench
-// drive any backend interchangeably through the interface.
+// pointer-free static index) — as does the concurrent Sharded serving
+// layer. Benchmarks, examples and cmd/rmabench drive any backend
+// interchangeably through the interface.
 package rma
 
 import (

@@ -1,0 +1,184 @@
+package rma
+
+import (
+	"fmt"
+	"iter"
+
+	"rma/internal/core"
+	"rma/internal/shard"
+)
+
+// Sharded is the concurrent serving layer: an ordered map that
+// partitions the key space across K independent Rewired Memory Arrays,
+// each guarded by its own lock. Shard boundaries are fixed at
+// construction, so routing is a lock-free binary search and keys never
+// migrate between shards; every engine-level operation — rebalances,
+// rewiring, resizes — stays confined to one shard's page space.
+//
+// All methods are safe for concurrent use. Single-shard point
+// operations (Insert, Delete, Find, Contains) are linearizable; every
+// operation that may visit several shards — iterators, Min/Max,
+// Floor/Ceiling, Rank, Select, CountRange, Sum, Size, ApplyBatch — is
+// atomic per shard but not across shards — see CONCURRENCY.md for the
+// exact contract. Iterator and scan callbacks run holding the current
+// shard's lock and must not call back into the same Sharded map.
+type Sharded struct {
+	m *shard.Map
+}
+
+// BatchOp is one operation of an ApplyBatch batch.
+type BatchOp = shard.Op
+
+// Batch operation kinds.
+const (
+	// OpPut inserts Key/Val (multiset semantics, like Insert).
+	OpPut = shard.OpPut
+	// OpDelete removes one occurrence of Key (Val is ignored).
+	OpDelete = shard.OpDelete
+)
+
+// NewSharded builds a Sharded map with the given number of shards,
+// splitting the full int64 key domain evenly. Every shard is a fresh
+// RMA built from the same options New accepts. Use NewShardedFromSample
+// when the key distribution is known — uniform boundaries concentrate a
+// skewed workload onto few shards.
+func NewSharded(shards int, opts ...Option) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("rma: NewSharded needs at least 1 shard, got %d", shards)
+	}
+	return newSharded(shard.UniformSeps(shards), opts)
+}
+
+// NewShardedFromSample builds a Sharded map whose shard boundaries sit
+// at the quantiles of sample, so each shard receives roughly the same
+// share of a workload distributed like the sample.
+func NewShardedFromSample(shards int, sample []int64, opts ...Option) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("rma: NewShardedFromSample needs at least 1 shard, got %d", shards)
+	}
+	return newSharded(shard.QuantileSeps(shards, sample), opts)
+}
+
+func newSharded(seps []int64, opts []Option) (*Sharded, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := shard.New(cfg, seps)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{m: m}, nil
+}
+
+// NumShards returns the number of shards K.
+func (s *Sharded) NumShards() int { return s.m.NumShards() }
+
+// Boundaries returns a copy of the K-1 shard separator keys.
+func (s *Sharded) Boundaries() []int64 { return s.m.Boundaries() }
+
+// ShardSizes returns the per-shard element counts (load diagnostics).
+func (s *Sharded) ShardSizes() []int { return s.m.ShardSizes() }
+
+// Insert adds a key/value pair to the owning shard.
+func (s *Sharded) Insert(key, val int64) error { return s.m.Insert(key, val) }
+
+// Delete removes one occurrence of key, reporting whether it existed.
+func (s *Sharded) Delete(key int64) (bool, error) { return s.m.Delete(key) }
+
+// ApplyBatch applies a batch of puts and deletes, grouping operations
+// per shard so each shard is locked once and long insertion runs ride
+// the bulk-load path. It returns how many deletions found their key.
+// Operations on the same key keep their relative order; the batch is
+// atomic per shard, not across shards.
+func (s *Sharded) ApplyBatch(ops []BatchOp) (deleted int, err error) {
+	return s.m.ApplyBatch(ops)
+}
+
+// Find returns a value stored under key.
+func (s *Sharded) Find(key int64) (int64, bool) { return s.m.Find(key) }
+
+// Contains reports whether key is stored.
+func (s *Sharded) Contains(key int64) bool { return s.m.Contains(key) }
+
+// Min returns the smallest stored key.
+func (s *Sharded) Min() (int64, bool) { return s.m.Min() }
+
+// Max returns the largest stored key.
+func (s *Sharded) Max() (int64, bool) { return s.m.Max() }
+
+// Floor returns the greatest stored element with key <= x.
+func (s *Sharded) Floor(x int64) (key, val int64, ok bool) { return s.m.Floor(x) }
+
+// Ceiling returns the smallest stored element with key >= x.
+func (s *Sharded) Ceiling(x int64) (key, val int64, ok bool) { return s.m.Ceiling(x) }
+
+// Rank returns the number of stored elements with key < x.
+func (s *Sharded) Rank(x int64) int { return s.m.Rank(x) }
+
+// Select returns the i-th smallest element (0-based).
+func (s *Sharded) Select(i int) (key, val int64, ok bool) { return s.m.Select(i) }
+
+// CountRange returns the number of elements with lo <= key <= hi.
+func (s *Sharded) CountRange(lo, hi int64) int { return s.m.CountRange(lo, hi) }
+
+// All returns a lazy ascending iterator over every element, merged
+// across shards (shards own disjoint key ranges, so the merge is a
+// concatenation — no heap, one shard lock at a time).
+func (s *Sharded) All() iter.Seq2[int64, int64] { return s.m.IterAscend(minInt64, maxInt64) }
+
+// Ascend returns a lazy ascending iterator over elements with key >= lo.
+func (s *Sharded) Ascend(lo int64) iter.Seq2[int64, int64] { return s.m.IterAscend(lo, maxInt64) }
+
+// Descend returns a lazy descending iterator over elements with
+// key <= hi.
+func (s *Sharded) Descend(hi int64) iter.Seq2[int64, int64] { return s.m.IterDescend(minInt64, hi) }
+
+// Range returns a lazy ascending iterator over lo <= key <= hi.
+func (s *Sharded) Range(lo, hi int64) iter.Seq2[int64, int64] { return s.m.IterAscend(lo, hi) }
+
+// ScanRange visits every element with lo <= key <= hi in key order.
+func (s *Sharded) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
+	s.m.ScanRange(lo, hi, yield)
+}
+
+// Scan visits every element in key order.
+func (s *Sharded) Scan(yield func(key, val int64) bool) { s.m.Scan(yield) }
+
+// Sum aggregates elements with lo <= key <= hi, returning their count
+// and the sum of their values.
+func (s *Sharded) Sum(lo, hi int64) (count int, sum int64) { return s.m.Sum(lo, hi) }
+
+// SumAll aggregates every element.
+func (s *Sharded) SumAll() (count int, sum int64) { return s.m.SumAll() }
+
+// Size returns the total number of stored elements.
+func (s *Sharded) Size() int { return s.m.Size() }
+
+// FootprintBytes returns the physical memory held by all shards.
+func (s *Sharded) FootprintBytes() int64 { return s.m.FootprintBytes() }
+
+// Stats returns the operation counters summed across shards.
+func (s *Sharded) Stats() Stats {
+	st := s.m.Stats()
+	return Stats{
+		Inserts: st.Inserts, Deletes: st.Deletes, Lookups: st.Lookups,
+		Rebalances: st.Rebalances, AdaptiveRebalances: st.AdaptiveRebalances,
+		RebalancedElements: st.RebalancedElements, ElementCopies: st.ElementCopies,
+		PageSwaps: st.PageSwaps,
+		Resizes:   st.Resizes, Grows: st.Grows, Shrinks: st.Shrinks,
+		BulkLoads: st.BulkLoads,
+	}
+}
+
+// Validate checks every shard's structural invariants and shard-range
+// ownership; O(n), for tests and debugging.
+func (s *Sharded) Validate() error { return s.m.Validate() }
+
+// InsertKV implements UpdatableMap.
+func (s *Sharded) InsertKV(key, val int64) error { return s.Insert(key, val) }
+
+// DeleteKey implements UpdatableMap.
+func (s *Sharded) DeleteKey(key int64) (bool, error) { return s.Delete(key) }
+
+var _ UpdatableMap = (*Sharded)(nil)

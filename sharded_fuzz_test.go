@@ -1,0 +1,152 @@
+package rma
+
+import (
+	"testing"
+)
+
+// Fuzz targets for the sharded serving layer, focused on the seams the
+// unit tests can only sample: shard-boundary navigation (Floor/Ceiling/
+// Range endpoints that straddle or hit a separator exactly) and the
+// order-preserving hybrid batch path. Both fuzzers mirror every
+// operation into the sorted-slice reference model of the differential
+// tests and compare the full query surface with checkQueries, probing
+// every shard separator and its neighbours explicitly. The seed corpus
+// under testdata/fuzz pins boundary-heavy shapes; CI runs each target
+// for a short -fuzz smoke on every push.
+
+// fuzzSeps returns the probes a sharded map's own boundaries induce:
+// each separator and both neighbours, where navigation answers must
+// switch shards.
+func fuzzSeps(s *Sharded) []int64 {
+	var probes []int64
+	for _, b := range s.Boundaries() {
+		if b > minInt64 {
+			probes = append(probes, b-1)
+		}
+		probes = append(probes, b)
+		if b < maxInt64 {
+			probes = append(probes, b+1)
+		}
+	}
+	return probes
+}
+
+// FuzzShardedSeek derives a put/delete stream from data — the high bit
+// of every first byte selects deletion, the rest forms a key in
+// [0, 32768) — builds a Sharded map with sample-learned boundaries, and
+// differentially checks navigation at every separator, the raw probe,
+// and the domain edges.
+func FuzzShardedSeek(f *testing.F) {
+	f.Add([]byte{0x01, 0x00, 0x01, 0x01, 0x7f, 0xff}, int64(128), int64(3))
+	f.Add([]byte{0x10, 0x20, 0x90, 0x20, 0x10, 0x21}, int64(-1), int64(8))
+	f.Fuzz(func(t *testing.T, data []byte, probe int64, shardsRaw int64) {
+		k := int(shardsRaw%7 + 7)
+		k = k%7 + 2 // 2..8 shards
+		// Decode the stream; the first half of the puts also serves as
+		// the boundary-learning sample.
+		var keys []int64
+		type op struct {
+			del bool
+			key int64
+		}
+		var ops []op
+		for i := 0; i+1 < len(data); i += 2 {
+			key := int64(data[i]&0x7f)<<8 | int64(data[i+1])
+			del := data[i]&0x80 != 0
+			ops = append(ops, op{del: del, key: key})
+			if !del {
+				keys = append(keys, key)
+			}
+		}
+		if len(keys) == 0 {
+			keys = []int64{0}
+		}
+		s, err := NewShardedFromSample(k, keys[:(len(keys)+1)/2],
+			WithSegmentCapacity(8), WithPageCapacity(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &refModel{}
+		for _, o := range ops {
+			if o.del {
+				got, err := s.Delete(o.key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := m.delete(o.key); got != want {
+					t.Fatalf("Delete(%d) = %v, want %v", o.key, got, want)
+				}
+			} else {
+				if err := s.Insert(o.key, diffVal(o.key)); err != nil {
+					t.Fatal(err)
+				}
+				m.insert(o.key)
+			}
+		}
+
+		probes := append(fuzzSeps(s), probe, minInt64, maxInt64, 0, 32768)
+		checkQueries(t, s, m, probes)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzShardedBatch decodes the same stream shape into ApplyBatch
+// batches (chunked so some runs ride the bulk path and some do not) and
+// checks that the hybrid per-shard application matches the in-order
+// reference exactly, including the reported deletion count.
+func FuzzShardedBatch(f *testing.F) {
+	f.Add([]byte{0x01, 0x00, 0x81, 0x00, 0x01, 0x01}, uint16(4), int64(2))
+	f.Add([]byte{0x40, 0x00, 0x40, 0x01, 0xc0, 0x00, 0x40, 0x02}, uint16(64), int64(5))
+	f.Fuzz(func(t *testing.T, data []byte, chunkRaw uint16, shardsRaw int64) {
+		k := int(shardsRaw%7+7)%7 + 2 // 2..8 shards
+		chunk := int(chunkRaw)%256 + 1
+		var ops []BatchOp
+		var sample []int64
+		for i := 0; i+1 < len(data); i += 2 {
+			key := int64(data[i]&0x7f)<<8 | int64(data[i+1])
+			if data[i]&0x80 != 0 {
+				ops = append(ops, BatchOp{Kind: OpDelete, Key: key})
+			} else {
+				ops = append(ops, BatchOp{Kind: OpPut, Key: key, Val: diffVal(key)})
+				sample = append(sample, key)
+			}
+		}
+		s, err := NewShardedFromSample(k, sample,
+			WithSegmentCapacity(8), WithPageCapacity(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &refModel{}
+		for off := 0; off < len(ops); off += chunk {
+			end := off + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			batch := ops[off:end]
+			want := 0
+			for _, op := range batch {
+				if op.Kind == OpDelete {
+					if m.delete(op.Key) {
+						want++
+					}
+				} else {
+					m.insert(op.Key)
+				}
+			}
+			got, err := s.ApplyBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("ApplyBatch chunk [%d,%d) deleted %d, want %d", off, end, got, want)
+			}
+		}
+		probes := append(fuzzSeps(s), minInt64, maxInt64, 0, 32768)
+		checkQueries(t, s, m, probes)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

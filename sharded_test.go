@@ -1,0 +1,23 @@
+package rma
+
+import "testing"
+
+// Constructor validation: a non-positive shard count is a caller bug,
+// not a request for a silently serialized single-shard map.
+func TestNewShardedValidation(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		if _, err := NewSharded(k); err == nil {
+			t.Errorf("NewSharded(%d) succeeded, want error", k)
+		}
+		if _, err := NewShardedFromSample(k, []int64{1, 2, 3}); err == nil {
+			t.Errorf("NewShardedFromSample(%d) succeeded, want error", k)
+		}
+	}
+	s, err := NewSharded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 1 || len(s.Boundaries()) != 0 {
+		t.Fatalf("NewSharded(1) = %d shards, boundaries %v", s.NumShards(), s.Boundaries())
+	}
+}

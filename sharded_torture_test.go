@@ -1,0 +1,346 @@
+package rma
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"rma/internal/workload"
+)
+
+// Randomized concurrent torture tests for the sharded serving layer.
+//
+// The verification strategy makes exact checking possible without a
+// global lock around the system under test: every goroutine owns a
+// disjoint key stripe (key % G == g), so its operations commute with
+// everyone else's. Against its own stripe a goroutine checks results
+// exactly (its keys are mutated by nobody else); against the whole map
+// it checks the invariants that survive concurrent interleaving —
+// global iteration order, bounds on navigation answers, lower bounds
+// on counts. A mutex-wrapped reference multiset mirrors every write,
+// and after the goroutines join, the full query surface is compared
+// against it with the same checkQueries used by the single-threaded
+// differential tests. Run under -race in CI.
+
+// lockedRef is the mutex-wrapped reference: a multiset of keys.
+type lockedRef struct {
+	mu     sync.Mutex
+	counts map[int64]int
+}
+
+func (r *lockedRef) insert(k int64) {
+	r.mu.Lock()
+	r.counts[k]++
+	r.mu.Unlock()
+}
+
+func (r *lockedRef) delete(k int64) {
+	r.mu.Lock()
+	if r.counts[k] > 0 {
+		r.counts[k]--
+	}
+	r.mu.Unlock()
+}
+
+// sortedKeys flattens the multiset into the sorted key slice the
+// refModel wants.
+func (r *lockedRef) sortedKeys() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var keys []int64
+	for k, c := range r.counts {
+		for i := 0; i < c; i++ {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+const (
+	tortureG          = 8      // goroutines (>= 4 per the acceptance bar)
+	tortureOpsPerG    = 16_000 // 8 * 16k = 128k ops total (>= 100k)
+	tortureKeySpace   = 4_096  // small enough to hammer duplicates and boundaries
+	tortureCheckEvery = 1_000  // cross-surface probe cadence
+)
+
+// tortureStripeKey maps a per-goroutine draw to the goroutine's stripe.
+func tortureStripeKey(g int, raw uint64) int64 {
+	return int64(raw%(tortureKeySpace/tortureG))*tortureG + int64(g)
+}
+
+func TestShardedConcurrentDifferential(t *testing.T) {
+	// Boundaries learned from a sample of the torture key space, so the
+	// stripes cross every shard boundary constantly.
+	sample := make([]int64, 256)
+	for i := range sample {
+		sample[i] = int64(i) * tortureKeySpace / int64(len(sample))
+	}
+	s, err := NewShardedFromSample(7, sample, WithSegmentCapacity(16), WithPageCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &lockedRef{counts: make(map[int64]int)}
+
+	var wg sync.WaitGroup
+	for g := 0; g < tortureG; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(1000 + g))
+			local := &refModel{} // this goroutine's stripe, exact
+			for op := 0; op < tortureOpsPerG; op++ {
+				k := tortureStripeKey(g, rng.Uint64())
+				if rng.Uint64n(100) < 30 { // 30% delete
+					got, err := s.Delete(k)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if want := local.delete(k); got != want {
+						t.Errorf("g%d: Delete(%d) = %v, want %v", g, k, got, want)
+						return
+					}
+					if got {
+						ref.delete(k)
+					}
+				} else { // 70% put
+					if err := s.Insert(k, diffVal(k)); err != nil {
+						t.Error(err)
+						return
+					}
+					local.insert(k)
+					ref.insert(k)
+				}
+
+				if op%tortureCheckEvery != tortureCheckEvery-1 {
+					continue
+				}
+				tortureProbe(t, g, s, local, rng)
+				if t.Failed() {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiescent exact check: the whole query surface against the
+	// mutex-wrapped reference, via the single-threaded differential
+	// harness, plus structural validation of every shard.
+	m := &refModel{keys: ref.sortedKeys()}
+	probes := []int64{minInt64, maxInt64, -1, 0, tortureKeySpace / 2, tortureKeySpace}
+	rng := workload.NewRNG(77)
+	for i := 0; i < 32; i++ {
+		probes = append(probes, int64(rng.Uint64n(tortureKeySpace+200))-100)
+	}
+	checkQueries(t, s, m, probes)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() == 0 {
+		t.Fatal("torture run left the map empty; the workload mix is broken")
+	}
+}
+
+// tortureProbe runs the mid-flight checks: exact against the caller's
+// stripe, invariant-based against the concurrently mutated whole.
+func tortureProbe(t *testing.T, g int, s *Sharded, local *refModel, rng *workload.RNG) {
+	// Exact point lookups on the own stripe.
+	for i := 0; i < 4; i++ {
+		k := tortureStripeKey(g, rng.Uint64())
+		wantIdx := lbSlice(local.keys, k)
+		want := wantIdx < len(local.keys) && local.keys[wantIdx] == k
+		v, found := s.Find(k)
+		if found != want {
+			t.Errorf("g%d: Find(%d) found=%v, want %v", g, k, found, want)
+			return
+		}
+		if found && v != diffVal(k) {
+			t.Errorf("g%d: Find(%d) = %d, want %d", g, k, v, diffVal(k))
+			return
+		}
+	}
+
+	// Floor/Ceiling bounds: the global answer can only be tighter than
+	// the own-stripe answer, never on the wrong side of the probe.
+	x := tortureStripeKey(g, rng.Uint64())
+	if i := ubSlice(local.keys, x) - 1; i >= 0 {
+		fk, _, ok := s.Floor(x)
+		if !ok || fk > x || fk < local.keys[i] {
+			t.Errorf("g%d: Floor(%d) = (%d,%v), want in [%d,%d]", g, x, fk, ok, local.keys[i], x)
+			return
+		}
+	}
+	if i := lbSlice(local.keys, x); i < len(local.keys) {
+		ck, _, ok := s.Ceiling(x)
+		if !ok || ck < x || ck > local.keys[i] {
+			t.Errorf("g%d: Ceiling(%d) = (%d,%v), want in [%d,%d]", g, x, ck, ok, local.keys[i], x)
+			return
+		}
+	}
+
+	// Merged range scan: globally sorted, and the own-stripe
+	// subsequence exactly matches the local model.
+	lo := int64(rng.Uint64n(tortureKeySpace))
+	hi := lo + int64(rng.Uint64n(tortureKeySpace/4))
+	wantStripe := local.slice(lo, hi)
+	si := 0
+	prev := int64(minInt64)
+	for k, v := range s.Range(lo, hi) {
+		if k < lo || k > hi {
+			t.Errorf("g%d: Range(%d,%d) yielded out-of-range key %d", g, lo, hi, k)
+			return
+		}
+		if k < prev {
+			t.Errorf("g%d: Range(%d,%d) out of order: %d after %d", g, lo, hi, k, prev)
+			return
+		}
+		prev = k
+		if int(k)%tortureG == g {
+			if si >= len(wantStripe) || k != wantStripe[si] || v != diffVal(k) {
+				t.Errorf("g%d: Range(%d,%d) own-stripe element %d = (%d,%d) diverges from the local model (%d expected)",
+					g, lo, hi, si, k, v, len(wantStripe))
+				return
+			}
+			si++
+		}
+	}
+	if si != len(wantStripe) {
+		t.Errorf("g%d: Range(%d,%d) yielded %d own-stripe elements, want %d", g, lo, hi, si, len(wantStripe))
+		return
+	}
+
+	// Rank and CountRange lower bounds: at least the own stripe's
+	// contribution, and Rank is monotone.
+	r1, r2 := s.Rank(lo), s.Rank(hi+1)
+	if r1 > r2 {
+		t.Errorf("g%d: Rank not monotone: Rank(%d)=%d > Rank(%d)=%d", g, lo, r1, hi+1, r2)
+		return
+	}
+	if ownBelow := lbSlice(local.keys, lo); r1 < ownBelow {
+		t.Errorf("g%d: Rank(%d) = %d < own-stripe lower bound %d", g, lo, r1, ownBelow)
+		return
+	}
+	if got := s.CountRange(lo, hi); got < len(wantStripe) {
+		t.Errorf("g%d: CountRange(%d,%d) = %d < own-stripe count %d", g, lo, hi, got, len(wantStripe))
+		return
+	}
+}
+
+// TestShardedConcurrentBatches hammers ApplyBatch from every goroutine
+// (mixed puts and deletes on the own stripe) while readers traverse the
+// merged surface, then checks the final state exactly.
+func TestShardedConcurrentBatches(t *testing.T) {
+	sample := make([]int64, 128)
+	for i := range sample {
+		sample[i] = int64(i) * tortureKeySpace / int64(len(sample))
+	}
+	s, err := NewShardedFromSample(8, sample, WithSegmentCapacity(16), WithPageCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &lockedRef{counts: make(map[int64]int)}
+
+	const (
+		batchG      = 4
+		readerG     = 2
+		batches     = 30
+		opsPerBatch = 512 // 4 * 30 * 512 = ~61k batched ops
+	)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < readerG; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := int64(minInt64)
+				n := 0
+				for k := range s.All() {
+					if k < prev {
+						t.Errorf("reader %d: All out of order: %d after %d", g, k, prev)
+						return
+					}
+					prev = k
+					n++
+				}
+				if cnt := s.CountRange(minInt64, maxInt64); cnt < 0 {
+					t.Errorf("reader %d: negative CountRange %d", g, cnt)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < batchG; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			rng := workload.NewRNG(uint64(7000 + g))
+			local := &refModel{}
+			for b := 0; b < batches; b++ {
+				// Even batches are pure ingest bursts whose per-shard
+				// runs ride the bulk path; odd batches churn.
+				delPct := uint64(30)
+				if b%2 == 0 {
+					delPct = 0
+				}
+				ops := make([]BatchOp, opsPerBatch)
+				for i := range ops {
+					k := tortureStripeKey(g, rng.Uint64())
+					if rng.Uint64n(100) < delPct {
+						ops[i] = BatchOp{Kind: OpDelete, Key: k}
+					} else {
+						ops[i] = BatchOp{Kind: OpPut, Key: k, Val: diffVal(k)}
+					}
+				}
+				wantDeleted := 0
+				for _, op := range ops {
+					if op.Kind == OpDelete {
+						if local.delete(op.Key) {
+							wantDeleted++
+							ref.delete(op.Key)
+						}
+					} else {
+						local.insert(op.Key)
+						ref.insert(op.Key)
+					}
+				}
+				got, err := s.ApplyBatch(ops)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != wantDeleted {
+					t.Errorf("g%d batch %d: ApplyBatch deleted %d, want %d", g, b, got, wantDeleted)
+					return
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	m := &refModel{keys: ref.sortedKeys()}
+	probes := []int64{minInt64, maxInt64, 0, tortureKeySpace}
+	rng := workload.NewRNG(5)
+	for i := 0; i < 24; i++ {
+		probes = append(probes, int64(rng.Uint64n(tortureKeySpace)))
+	}
+	checkQueries(t, s, m, probes)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().BulkLoads == 0 {
+		t.Fatal("concurrent batches never took the bulk path")
+	}
+}
