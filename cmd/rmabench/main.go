@@ -47,6 +47,7 @@ var experiments = map[string]func(exp.Params){
 	"backends": backends,
 	"hotpath":  hotpath,
 	"shards":   shards,
+	"putasync": putasync,
 }
 
 // Trajectory flags (hotpath and shards): where to append the JSON
@@ -55,6 +56,7 @@ var (
 	jsonPath  = flag.String("json", "", "hotpath/shards: append a snapshot to this JSON trajectory file")
 	jsonLabel = flag.String("label", "dev", "hotpath/shards: label for the JSON snapshot")
 	shardMax  = flag.Int("shardmax", 8, "shards: largest shard count in the sweep (1 = unsharded baseline only)")
+	asyncMode = flag.String("async", "both", "putasync: rebalancer modes to measure (off|on|both)")
 )
 
 func main() {

@@ -11,3 +11,12 @@ func shards(p exp.Params) {
 	p.ShardMax = *shardMax
 	appendSnapshot(p, exp.Shards(p))
 }
+
+// putasync runs the per-put latency experiment (p50/p99 with the
+// background rebalancer off and/or on, per -async) and appends a
+// labeled snapshot like the other trajectory experiments.
+func putasync(p exp.Params) {
+	p.ShardMax = *shardMax
+	p.Async = *asyncMode
+	appendSnapshot(p, exp.PutAsync(p))
+}

@@ -5,6 +5,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"rma"
 )
@@ -81,4 +82,31 @@ func main() {
 	s := a.Stats()
 	fmt.Printf("rebalances=%d (adaptive %d) resizes=%d pageswaps=%d copies=%d\n",
 		s.Rebalances, s.AdaptiveRebalances, s.Resizes, s.PageSwaps, s.ElementCopies)
+
+	// Concurrent serving: shard the key space and let a background
+	// worker pool execute rebalances off the write path. Writers do
+	// only a minimal local spread on overflow; iterators and batches
+	// still observe fully rebalanced shards. Close drains the deferred
+	// work and stops the pool.
+	sh, err := rma.NewSharded(8, rma.WithBackgroundRebalancing(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sh.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 25_000; i++ {
+				if err := sh.Insert(i*4+int64(w), i); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ss := sh.Stats()
+	fmt.Printf("sharded: size=%d deferred=%d background-runs=%d pending=%d\n",
+		sh.Size(), ss.DeferredWindows, ss.MaintenanceRuns, sh.PendingWindows())
 }

@@ -70,6 +70,12 @@ type Array struct {
 	ivSplit   [][2][]interval
 	markedBuf []bool
 	pageShift uint // log2(PageSlots)
+
+	// Deferred rebalancing (see pending.go): when deferred is on, an
+	// overflowing insert does only a minimal local spread and queues
+	// the density violation here for the maintenance layer.
+	deferred bool
+	pending  pendingQueue
 }
 
 // New builds an empty array with the given configuration.
@@ -223,6 +229,7 @@ func (a *Array) FootprintBytes() int64 {
 	for _, p := range a.ivSplit {
 		f += int64(cap(p[0])+cap(p[1])) * 24
 	}
+	f += int64(len(a.pending.buf)) * 4
 	return f
 }
 

@@ -202,4 +202,10 @@ type Stats struct {
 	SlotScans                 uint64 // slots covered by interleaved stream readers (linearity guard)
 	MaxWindowSegments         int    // largest window ever rebalanced
 	BulkLoads                 uint64
+	// DeferredWindows counts density violations a deferred-mode insert
+	// queued instead of repairing synchronously; MaintenanceRuns counts
+	// the maintenance passes that found a violation still standing and
+	// executed the deferred rebalance or grow.
+	DeferredWindows uint64
+	MaintenanceRuns uint64
 }

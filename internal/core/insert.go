@@ -41,17 +41,31 @@ func (a *Array) postInsertThreshold(seg int) {
 // makeRoom rebalances the smallest calibrator window around seg whose
 // density thresholds admit one more element, or grows the array when
 // even the root window is too dense (Section II).
+//
+// In deferred mode (SetDeferRebalance) a density violation does not
+// stall the writer: the smallest window with *physical* room gets a
+// minimal local spread so the insert can complete, and the violation is
+// queued for the maintenance layer (MaintainOne) to repair with the
+// policy rebalance — or the grow — later. Only when the queue is full,
+// or no window short of a resize has physical room, does the writer
+// fall back to the synchronous path.
 func (a *Array) makeRoom(seg int) error {
 	for l := 2; l <= a.cal.Height(); l++ {
 		lo, hi := a.cal.Window(seg, l)
 		_, tau := a.cal.At(l)
 		capW := (hi - lo) * a.segSlots
 		cardW := a.windowCard(lo, hi)
-		// The window qualifies if, after the pending insertion, it is
-		// within tau AND an even spread leaves at least one free slot
+		// Physical room: an even spread leaves at least one free slot
 		// per segment, so the pending insert cannot re-trigger at once.
-		if float64(cardW+1) <= tau*float64(capW) && cardW <= capW-(hi-lo) {
+		hasRoom := cardW <= capW-(hi-lo)
+		// The window qualifies if, after the pending insertion, it is
+		// also within tau.
+		if hasRoom && float64(cardW+1) <= tau*float64(capW) {
 			return a.rebalance(lo, hi, l)
+		}
+		if a.deferred && hasRoom && a.pending.push(seg) {
+			a.stats.DeferredWindows++
+			return a.rebalanceLocal(lo, hi)
 		}
 	}
 	return a.grow()

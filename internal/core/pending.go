@@ -1,0 +1,164 @@
+package core
+
+// Deferred rebalancing: the detection/execution split that keeps big
+// rebalances off the writer's critical path.
+//
+// In deferred mode (SetDeferRebalance) an overflowing Insert no longer
+// executes the density policy synchronously. The writer performs only
+// the minimal local make-room — an even spread over the smallest
+// calibrator window with physical room, ignoring the tau thresholds —
+// records the violated window in a fixed-size per-array pending queue,
+// and returns. A maintenance caller (internal/rebal's worker pool, via
+// the shard layer) later drains the queue one entry at a time with
+// MaintainOne, re-evaluating the thresholds from scratch and executing
+// the policy rebalance — or the grow — the writer deferred.
+//
+// Invariants preserved in deferred mode:
+//
+//   - All structural invariants (Validate) hold at every instant: a
+//     local spread is a normal window rebalance, just chosen by a
+//     weaker predicate. Only the *density* thresholds may be violated
+//     between a deferral and its maintenance.
+//   - The steady-state write path stays allocation-free: the pending
+//     queue is an embedded ring buffer, never grown.
+//   - Deferral is lossy-safe: when the queue is full the writer falls
+//     back to the synchronous policy (and a dropped entry would merely
+//     postpone work until the next overflow re-detects the violation).
+
+// maxPendingWindows bounds the per-array deferral backlog. Entries
+// dedup by segment, and one maintenance rebalance typically clears a
+// whole window's worth of entries, so the queue stays tiny; when it
+// fills, writers simply fall back to synchronous rebalancing.
+const maxPendingWindows = 64
+
+// pendingQueue is a fixed-capacity FIFO of segment indices whose
+// density thresholds were violated. Embedded in Array: no allocation.
+type pendingQueue struct {
+	buf  [maxPendingWindows]int32
+	head int
+	n    int
+}
+
+func (q *pendingQueue) len() int { return q.n }
+
+// push enqueues seg, deduplicating; it reports false when the queue is
+// full (the caller then rebalances synchronously).
+func (q *pendingQueue) push(seg int) bool {
+	for i := 0; i < q.n; i++ {
+		if q.buf[(q.head+i)%maxPendingWindows] == int32(seg) {
+			return true
+		}
+	}
+	if q.n == maxPendingWindows {
+		return false
+	}
+	q.buf[(q.head+q.n)%maxPendingWindows] = int32(seg)
+	q.n++
+	return true
+}
+
+func (q *pendingQueue) pop() int {
+	seg := int(q.buf[q.head])
+	q.head = (q.head + 1) % maxPendingWindows
+	q.n--
+	return seg
+}
+
+// SetDeferRebalance switches the array between synchronous and deferred
+// rebalancing. Turning deferral off does not drain the queue; callers
+// that need a fully rebalanced array call FlushPending first (the shard
+// layer does). Only Insert defers; Delete's underflow handling and the
+// bulk loader stay synchronous.
+func (a *Array) SetDeferRebalance(on bool) { a.deferred = on }
+
+// DeferRebalance reports whether deferred rebalancing is on.
+func (a *Array) DeferRebalance() bool { return a.deferred }
+
+// PendingCount returns the number of queued deferred windows.
+func (a *Array) PendingCount() int { return a.pending.len() }
+
+// MaintainOne pops one deferred entry and resolves it: if any window
+// around the recorded segment still violates its density threshold, it
+// executes the smallest admissible policy rebalance (or grows when even
+// the root is too dense). It reports whether an entry was processed, so
+// maintenance loops know when the queue is drained. Each call is one
+// bounded slice of work — at most one rebalance or resize — sized to be
+// held under a shard lock without stalling writers for long.
+func (a *Array) MaintainOne() (bool, error) {
+	if a.pending.len() == 0 {
+		return false, nil
+	}
+	seg := a.pending.pop()
+	// The geometry may have changed since the entry was queued (a grow
+	// or shrink renumbers segments); clamp and re-evaluate from scratch.
+	if seg >= a.numSegs {
+		seg = a.numSegs - 1
+	}
+	return true, a.maintainSeg(seg)
+}
+
+// FlushPending drains the whole deferral queue synchronously. Iterators
+// and batch appliers in the shard layer call this under the shard lock
+// so snapshots observe a fully rebalanced shard.
+func (a *Array) FlushPending() error {
+	for a.pending.len() > 0 {
+		if _, err := a.MaintainOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maintainSeg executes the policy work a deferred insert skipped: the
+// same calibrator walk as makeRoom, minus the pending insert. If the
+// smallest window around seg is back within its tau — an earlier
+// maintenance pass, a resize or deletes resolved the violation — this
+// is a no-op. Otherwise it rebalances the smallest window that
+// satisfies its threshold with spread room, or grows when none does
+// (the resize the writer deferred).
+//
+// Deliberately NOT enforced: "every window within its tau". That is
+// not an engine invariant — the adaptive policy skews densities on
+// purpose, packing cold windows dense to concentrate gaps where the
+// next inserts land — so maintenance only ever repairs what would
+// block insert admission, exactly like the synchronous path. (An
+// earlier version repaired the highest violating level and fought the
+// adaptive skew with endless near-root rebalances.)
+func (a *Array) maintainSeg(seg int) error {
+	// A root-window violation is unambiguous deferred work: the
+	// adaptive policy never intends root density above tauH, and only a
+	// grow repairs it. Without this check a run of wide local spreads
+	// can keep every small window individually admissible while the
+	// array densifies toward physically full — where writers would pay
+	// the grow synchronously after ever-widening local spreads.
+	_, tauRoot := a.cal.At(a.cal.Height())
+	if float64(a.n) > tauRoot*float64(a.Capacity()) {
+		a.stats.MaintenanceRuns++
+		return a.grow()
+	}
+	height := a.cal.Height()
+	violated := false
+	for l := 2; l <= height; l++ {
+		lo, hi := a.cal.Window(seg, l)
+		_, tau := a.cal.At(l)
+		capW := (hi - lo) * a.segSlots
+		cardW := a.windowCard(lo, hi)
+		if float64(cardW) > tau*float64(capW) {
+			violated = true
+			continue // too dense at this level: need a bigger window
+		}
+		if !violated {
+			return nil // smallest window already admissible: nothing deferred remains
+		}
+		if cardW <= capW-(hi-lo) {
+			a.stats.MaintenanceRuns++
+			return a.rebalance(lo, hi, l)
+		}
+		// Within tau but no spread room — keep walking up.
+	}
+	if !violated {
+		return nil
+	}
+	a.stats.MaintenanceRuns++
+	return a.grow()
+}

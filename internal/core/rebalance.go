@@ -10,17 +10,34 @@ type span struct{ k, v []int64 }
 // following the adaptive algorithm when the Detector marks hammered
 // intervals (Section IV).
 func (a *Array) rebalance(lo, hi, level int) error {
+	cnt := a.windowCard(lo, hi)
+	return a.rebalanceTargets(lo, hi, a.computeTargets(lo, hi, cnt), cnt)
+}
+
+// rebalanceLocal is the deferred-mode writer's minimal make-room: an
+// unconditional even spread of the window. Unlike the policy rebalance
+// it never consults the adaptive detector — an adaptive allocation may
+// leave the insert's own segment full (gaps go where the detector
+// predicts the frontier), which would send the insert's retry loop
+// straight back here forever. An even spread of a window with physical
+// room provably leaves every segment at least one free slot, so the
+// pending insert always completes.
+func (a *Array) rebalanceLocal(lo, hi int) error {
 	nseg := hi - lo
 	cnt := a.windowCard(lo, hi)
+	return a.rebalanceTargets(lo, hi, evenTargets(nseg, cnt, a.targetsScratch(nseg)), cnt)
+}
 
+// rebalanceTargets physically applies a rebalance with the given target
+// cardinalities, maintaining counters and separators.
+func (a *Array) rebalanceTargets(lo, hi int, targets []int, cnt int) error {
+	nseg := hi - lo
 	a.stats.Rebalances++
 	a.stats.RebalancedSegments += uint64(nseg)
 	a.stats.RebalancedElements += uint64(cnt)
 	if nseg > a.stats.MaxWindowSegments {
 		a.stats.MaxWindowSegments = nseg
 	}
-
-	targets := a.computeTargets(lo, hi, cnt)
 	if err := a.redistribute(lo, hi, targets, cnt); err != nil {
 		return err
 	}

@@ -30,6 +30,10 @@ type Params struct {
 	// (0 means the full matrix up to 8). Setting it to 1 records the
 	// unsharded serving baseline on its own.
 	ShardMax int
+	// Async selects which rebalancer modes the "putasync" experiment
+	// measures: "off" (synchronous only), "on" (background only), or
+	// "both" (the default when empty).
+	Async string
 }
 
 // DefaultParams returns laptop-scale defaults.

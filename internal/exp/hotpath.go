@@ -16,12 +16,20 @@ const maxInt64 = 1<<63 - 1
 type HotpathResult struct {
 	Series        string  `json:"series"` // e.g. "insert-uniform"
 	Layout        string  `json:"layout"` // "clustered" | "interleaved"
-	Rebalance     string  `json:"rebal"`  // "rewired" | "twopass"
+	Rebalance     string  `json:"rebal"`  // "rewired" | "twopass" | "sync" | "async"
 	Ops           int     `json:"ops"`    // operations measured
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
 	ElementCopies uint64  `json:"element_copies"` // total, from core.Stats
 	PageSwaps     uint64  `json:"page_swaps"`     // total, from core.Stats
+	// Per-operation latency quantiles, recorded only by the putasync
+	// experiment (the tail the async rebalancer exists to shrink).
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	// DeferredWindows/MaintenanceRuns attribute how much rebalance work
+	// left the write path (putasync only).
+	DeferredWindows uint64 `json:"deferred_windows,omitempty"`
+	MaintenanceRuns uint64 `json:"maintenance_runs,omitempty"`
 }
 
 // hotpathConfigs enumerates the four layout x rebalance corners the

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rma/internal/rebal"
+	"rma/internal/shard"
+	"rma/internal/workload"
+)
+
+// PutAsync measures what the background rebalancer is for: per-put
+// latency quantiles. Each goroutine times every Insert individually, so
+// the p99 captures the stalls that aggregate-throughput series average
+// away — the synchronous spreads/resizes on the writer's critical path.
+// Series are "putasync-<mode>-g<G>-s<K>" with mode "sync" (rebalances
+// execute inside Insert) or "async" (deferred to a maintenance pool of
+// one worker per available CPU); compare the p99 columns between the
+// two modes at the same shard count. NsPerOp is the mean of the same
+// per-op samples, so it is directly comparable with p50/p99 (it is NOT
+// aggregate wall time over goroutines like the "shards" series).
+// DeferredWindows/MaintenanceRuns record how much rebalance work the
+// async mode moved off the write path. A pool drain (Close) runs after
+// the measured window, so async numbers exclude shutdown but include
+// all steady-state maintenance interference.
+func PutAsync(p Params) []HotpathResult {
+	mode := p.Async
+	switch mode {
+	case "":
+		mode = "both"
+	case "off", "on", "both":
+	default:
+		// A typo must not append an empty snapshot to the checked-in
+		// trajectory and exit 0.
+		panic(sprintf("putasync: unknown -async mode %q (want off|on|both)", mode))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	p.printf("## putasync: per-put latency, N=%d, GOMAXPROCS=%d, pool=%d workers\n",
+		p.N, runtime.GOMAXPROCS(0), workers)
+	p.printf("# series\trebal\tmean.ns\tp50.ns\tp99.ns\tdeferred\tmaint.runs\telt.copies\n")
+
+	var results []HotpathResult
+	goroutines := 8
+	shardCounts := []int{1, 8}
+	maxShards := p.ShardMax
+	if maxShards <= 0 {
+		maxShards = 8
+	}
+
+	for _, k := range shardCounts {
+		if k > maxShards && k != 1 {
+			continue
+		}
+		if mode == "off" || mode == "both" {
+			results = append(results, putLatency(p, k, goroutines, 0))
+		}
+		if mode == "on" || mode == "both" {
+			results = append(results, putLatency(p, k, goroutines, workers))
+		}
+	}
+	for _, r := range results {
+		p.printf("%s\t%s\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\n",
+			r.Series, r.Rebalance, r.NsPerOp, r.P50Ns, r.P99Ns,
+			r.DeferredWindows, r.MaintenanceRuns, r.ElementCopies)
+	}
+	return results
+}
+
+// putLatency loads p.N uniform keys through g goroutines over k shards,
+// timing every Insert. workers == 0 keeps rebalancing synchronous;
+// otherwise a maintenance pool of that size drains deferred windows in
+// the background.
+func putLatency(p Params, k, g, workers int) HotpathResult {
+	m := newShardMap(p, k)
+	var pool *rebal.Pool
+	modeName := "sync"
+	if workers > 0 {
+		modeName = "async"
+		pool = rebal.NewPool(m, workers)
+		m.EnableDeferredRebalancing(pool.Notify)
+		pool.Start()
+	}
+
+	per := p.N / g
+	lats := make([][]int64, g)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen := workload.NewUniform(p.Seed+uint64(i)*31, 0)
+			n := per
+			if i == g-1 {
+				n = p.N - per*(g-1)
+			}
+			samples := make([]int64, n)
+			for j := 0; j < n; j++ {
+				key := gen.Next()
+				t0 := time.Now()
+				if err := m.Insert(key, workload.ValueFor(key)); err != nil {
+					panic(err)
+				}
+				samples[j] = time.Since(t0).Nanoseconds()
+			}
+			lats[i] = samples
+		}(i)
+	}
+	wg.Wait()
+	if pool != nil {
+		if err := pool.Close(); err != nil {
+			panic(err)
+		}
+	}
+
+	all := lats[0][:0:0]
+	var sum int64
+	for _, s := range lats {
+		all = append(all, s...)
+		for _, v := range s {
+			sum += v
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	st := m.Stats()
+	return HotpathResult{
+		Series:          sprintf("putasync-%s-g%d-s%d", modeName, g, k),
+		Layout:          "sharded",
+		Rebalance:       modeName,
+		Ops:             len(all),
+		NsPerOp:         float64(sum) / float64(len(all)),
+		P50Ns:           quantile(all, 0.50),
+		P99Ns:           quantile(all, 0.99),
+		ElementCopies:   st.ElementCopies,
+		PageSwaps:       st.PageSwaps,
+		DeferredWindows: st.DeferredWindows,
+		MaintenanceRuns: st.MaintenanceRuns,
+	}
+}
+
+// quantile returns the q-quantile of sorted (nearest-rank).
+func quantile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i])
+}
+
+// interface guard: the shard map is the pool's maintenance source.
+var _ rebal.Source = (*shard.Map)(nil)

@@ -1,0 +1,168 @@
+// Package rebal is the asynchronous maintenance layer of the sharded
+// serving stack: a pool of worker goroutines that executes the window
+// rebalances, adaptive spreads and resizes the engine's deferred-mode
+// writers queued instead of running synchronously (see
+// internal/core/pending.go and CONCURRENCY.md).
+//
+// The pool never touches engine state directly. It drives a Source —
+// implemented by internal/shard.Map — whose MaintainShard method
+// acquires the shard's lock for exactly one bounded slice of work (one
+// rebalance or resize) and releases it, so maintenance interleaves with
+// foreground traffic at fine granularity instead of stalling a shard
+// for a whole backlog.
+//
+// Fairness: workers share one atomic round-robin cursor over the shard
+// indices. A worker does one slice on the cursor's shard and moves on,
+// so a flood of deferred windows on one shard cannot starve another
+// shard's maintenance — every K-th slice visits any given shard
+// regardless of backlog skew. Workers park only after a full clean
+// sweep (K consecutive empty slices) and are woken by Notify, which
+// writers call after leaving deferred work behind.
+package rebal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Source is the maintenance surface the pool drives. internal/shard.Map
+// implements it; tests substitute fakes.
+type Source interface {
+	// NumShards returns the number of independently lockable shards.
+	NumShards() int
+	// MaintainShard performs at most one bounded slice of deferred work
+	// on shard i under its lock, reporting whether an entry was
+	// processed. Errors are storage-allocation failures; the shard
+	// stays consistent and the entry is consumed.
+	MaintainShard(i int) (bool, error)
+}
+
+// Pool runs background maintenance workers over a Source. Create with
+// NewPool, then Start; Close drains every queued entry and stops the
+// workers. All methods are safe for concurrent use; Close is
+// idempotent.
+type Pool struct {
+	src     Source
+	workers int
+
+	cursor atomic.Uint64 // shared round-robin shard cursor
+	wake   chan struct{} // coalesced writer wakeups, cap = workers
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	started   atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// NewPool builds a pool of the given number of workers (minimum 1) over
+// src. The pool is inert until Start.
+func NewPool(src Source, workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{
+		src:     src,
+		workers: workers,
+		wake:    make(chan struct{}, workers),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the worker goroutines. Starting twice panics (the
+// lifecycle is New → Start → Close).
+func (p *Pool) Start() {
+	if !p.started.CompareAndSwap(false, true) {
+		panic("rebal: Pool started twice")
+	}
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go p.run()
+	}
+}
+
+// Notify wakes a parked worker. Writers call it (outside any shard
+// lock) after an operation left deferred windows pending. Non-blocking
+// and coalescing: a burst of notifies costs one channel send.
+func (p *Pool) Notify() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the pool: workers exit, then every shard's remaining
+// backlog is drained synchronously, so a closed pool leaves no deferred
+// work behind. Idempotent — extra Closes return the first result.
+func (p *Pool) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		if p.started.Load() {
+			p.wg.Wait()
+		}
+		p.closeErr = p.drainAll()
+		if p.closeErr == nil {
+			p.errMu.Lock()
+			p.closeErr = p.lastErr
+			p.errMu.Unlock()
+		}
+	})
+	return p.closeErr
+}
+
+// drainAll empties every shard's queue, shard by shard.
+func (p *Pool) drainAll() error {
+	for i := 0; i < p.src.NumShards(); i++ {
+		for {
+			did, err := p.src.MaintainShard(i)
+			if err != nil {
+				return fmt.Errorf("rebal: draining shard %d: %w", i, err)
+			}
+			if !did {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// run is one worker: round-robin slices until a clean sweep, then park.
+func (p *Pool) run() {
+	defer p.wg.Done()
+	k := p.src.NumShards()
+	idle := 0
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		i := int(p.cursor.Add(1)-1) % k
+		did, err := p.src.MaintainShard(i)
+		if err != nil {
+			// Storage-allocation failure (failure injection in tests):
+			// the entry is consumed and the shard stays consistent, so
+			// record it and keep maintaining.
+			p.errMu.Lock()
+			p.lastErr = err
+			p.errMu.Unlock()
+		}
+		if did {
+			idle = 0
+			continue
+		}
+		if idle++; idle < k {
+			continue // finish sweeping the other shards before parking
+		}
+		select {
+		case <-p.wake:
+			idle = 0
+		case <-p.done:
+			return
+		}
+	}
+}

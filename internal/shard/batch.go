@@ -99,8 +99,14 @@ func (m *Map) ApplyBatch(ops []Op) (deleted int, err error) {
 		}
 		s := &m.shards[j]
 		s.mu.Lock()
+		// Flush-on-snapshot: the batch applies against a fully
+		// rebalanced shard, so its bulk runs see policy-compliant
+		// densities (a flush failure leaves the shard consistent).
+		_ = s.a.FlushPending()
 		d, e := applyGroup(s.a, group, &b.bulkK, &b.bulkV)
+		pending := s.a.PendingCount()
 		s.mu.Unlock()
+		m.maintenanceHint(pending)
 		deleted += d
 		if e != nil {
 			return deleted, e

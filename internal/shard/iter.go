@@ -45,12 +45,21 @@ func (m *Map) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
 	}
 }
 
+// flushDeferred drains the shard's deferred-rebalance backlog before a
+// snapshot read; it must run under the shard's lock. Iterators and
+// scans call it so every shard they observe is fully rebalanced
+// (flush-on-snapshot — see CONCURRENCY.md). A flush error can only be
+// a storage-allocation failure, which leaves the shard consistent with
+// the work still queued, so reads proceed regardless.
+func flushDeferred(s *cell) { _ = s.a.FlushPending() }
+
 // yieldAscend drives shard j's portion of an ascending traversal under
 // the shard's lock; it reports false when the consumer stopped early.
 func (m *Map) yieldAscend(j int, lo, hi int64, yield func(int64, int64) bool) bool {
 	s := &m.shards[j]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	flushDeferred(s)
 	for k, v := range s.a.IterAscend(lo, hi) {
 		if !yield(k, v) {
 			return false
@@ -63,6 +72,7 @@ func (m *Map) yieldDescend(j int, lo, hi int64, yield func(int64, int64) bool) b
 	s := &m.shards[j]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	flushDeferred(s)
 	for k, v := range s.a.IterDescend(lo, hi) {
 		if !yield(k, v) {
 			return false
@@ -81,6 +91,7 @@ func (m *Map) ScanRange(lo, hi int64, visit func(key, val int64) bool) {
 	for j := m.shardOf(lo); j <= jHi; j++ {
 		s := &m.shards[j]
 		s.mu.Lock()
+		flushDeferred(s)
 		stopped := false
 		s.a.ScanRange(lo, hi, func(k, v int64) bool {
 			if !visit(k, v) {
@@ -108,6 +119,7 @@ func (m *Map) Sum(lo, hi int64) (count int, sum int64) {
 	for j := m.shardOf(lo); j <= jHi; j++ {
 		s := &m.shards[j]
 		s.mu.Lock()
+		flushDeferred(s)
 		c, sm := s.a.Sum(lo, hi)
 		s.mu.Unlock()
 		count += c

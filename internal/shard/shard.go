@@ -61,6 +61,13 @@ type Map struct {
 	// of the int64 domain). Immutable after New, hence read lock-free.
 	seps   []int64
 	shards []cell
+
+	// notify, when non-nil, is called outside any shard lock after a
+	// write left deferred rebalance work pending — the hook that wakes
+	// internal/rebal's worker pool. Set once by
+	// EnableDeferredRebalancing before the map is shared; immutable
+	// afterwards (like seps), hence read lock-free.
+	notify func()
 }
 
 // New builds a Map with len(seps)+1 shards, one fresh core.Array per
@@ -152,6 +159,99 @@ func (m *Map) ownRange(i int) (lo, hi int64) {
 	return lo, hi
 }
 
+// --- deferred rebalancing ---------------------------------------------------
+
+// EnableDeferredRebalancing switches every shard's engine into deferred
+// mode (see internal/core/pending.go): overflowing inserts do only a
+// minimal local spread and queue the density violation; MaintainShard
+// executes the deferred work. notify, if non-nil, is invoked outside
+// any shard lock after a write leaves work pending — wire it to the
+// maintenance pool's Notify. Must be called before the map is shared
+// across goroutines (the facade calls it at construction).
+func (m *Map) EnableDeferredRebalancing(notify func()) {
+	m.notify = notify
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.a.SetDeferRebalance(true)
+		s.mu.Unlock()
+	}
+}
+
+// DisableDeferredRebalancing drains every shard's backlog and returns
+// the shards to synchronous rebalancing. Used on Close so a map
+// outliving its maintenance pool keeps the synchronous contract.
+func (m *Map) DisableDeferredRebalancing() error {
+	var first error
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		err := s.a.FlushPending()
+		s.a.SetDeferRebalance(false)
+		s.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MaintainShard performs at most one slice of deferred work on shard i
+// — one queued violation resolved under one short lock acquisition —
+// reporting whether an entry was processed. This is internal/rebal's
+// Source surface; the bounded slice is what lets maintenance interleave
+// with foreground writers instead of stalling a shard for its whole
+// backlog.
+func (m *Map) MaintainShard(i int) (bool, error) {
+	s := &m.shards[i]
+	s.mu.Lock()
+	did, err := s.a.MaintainOne()
+	s.mu.Unlock()
+	return did, err
+}
+
+// PendingShard returns shard i's deferred-window backlog.
+func (m *Map) PendingShard(i int) int {
+	s := &m.shards[i]
+	s.mu.Lock()
+	n := s.a.PendingCount()
+	s.mu.Unlock()
+	return n
+}
+
+// PendingWindows returns the total deferred-window backlog across
+// shards (diagnostics; per-shard consistent, not a global snapshot).
+func (m *Map) PendingWindows() int {
+	n := 0
+	for i := range m.shards {
+		n += m.PendingShard(i)
+	}
+	return n
+}
+
+// FlushAll synchronously drains every shard's deferred backlog.
+func (m *Map) FlushAll() error {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		err := s.a.FlushPending()
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maintenanceHint wakes the maintenance pool when a write left deferred
+// work behind. pending is read under the shard lock; the call happens
+// after release so the worker can take the lock immediately.
+func (m *Map) maintenanceHint(pending int) {
+	if pending > 0 && m.notify != nil {
+		m.notify()
+	}
+}
+
 // --- point operations -------------------------------------------------------
 
 // Insert adds a key/value pair to the owning shard.
@@ -159,7 +259,9 @@ func (m *Map) Insert(key, val int64) error {
 	s := &m.shards[m.shardOf(key)]
 	s.mu.Lock()
 	err := s.a.Insert(key, val)
+	pending := s.a.PendingCount()
 	s.mu.Unlock()
+	m.maintenanceHint(pending)
 	return err
 }
 
@@ -393,6 +495,8 @@ func (m *Map) Stats() core.Stats {
 		t.PageSwaps += st.PageSwaps
 		t.SlotScans += st.SlotScans
 		t.BulkLoads += st.BulkLoads
+		t.DeferredWindows += st.DeferredWindows
+		t.MaintenanceRuns += st.MaintenanceRuns
 		if st.MaxWindowSegments > t.MaxWindowSegments {
 			t.MaxWindowSegments = st.MaxWindowSegments
 		}

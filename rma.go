@@ -74,21 +74,37 @@ type Array struct {
 	a *core.Array
 }
 
-// Option configures New.
-type Option func(*core.Config)
+// options collects everything the constructors accept: the engine
+// configuration plus facade-level settings that have no core
+// counterpart (the background rebalancer only exists at the sharded
+// serving layer).
+type options struct {
+	cfg core.Config
+	// rebalWorkers is the background-rebalancer worker count for
+	// NewSharded/NewShardedFromSample: 0 keeps rebalancing synchronous,
+	// < 0 means one worker per available CPU. Ignored by New.
+	rebalWorkers int
+}
+
+func defaultOptions() options {
+	return options{cfg: core.DefaultConfig()}
+}
+
+// Option configures New, NewSharded and NewShardedFromSample.
+type Option func(*options)
 
 // WithSegmentCapacity sets the segment size B in elements (power of two,
 // >= 4; default 128, the paper's default). Larger segments favour scans,
 // smaller ones favour updates, exactly like (a,b)-tree leaves.
 func WithSegmentCapacity(b int) Option {
-	return func(c *core.Config) { c.SegmentSlots = b }
+	return func(o *options) { o.cfg.SegmentSlots = b }
 }
 
 // WithUpdateOrientedThresholds selects the update-oriented density
 // thresholds (rho1=0.08, rhoH=0.3, tauH=0.75, tau1=1, doubling resizes) —
 // the default, favouring update throughput.
 func WithUpdateOrientedThresholds() Option {
-	return func(c *core.Config) { c.Thresholds = calibrator.UpdateOriented() }
+	return func(o *options) { o.cfg.Thresholds = calibrator.UpdateOriented() }
 }
 
 // WithScanOrientedThresholds selects the scan-oriented thresholds
@@ -96,18 +112,18 @@ func WithUpdateOrientedThresholds() Option {
 // below 50% fill): ~20% slower updates, denser array, faster scans and a
 // smaller footprint (Section III of the paper).
 func WithScanOrientedThresholds() Option {
-	return func(c *core.Config) { c.Thresholds = calibrator.ScanOriented() }
+	return func(o *options) { o.cfg.Thresholds = calibrator.ScanOriented() }
 }
 
 // WithAdaptiveRebalancing enables (default) or disables the adaptive
 // rebalancing of Section IV. Disabled, every rebalance spreads elements
 // evenly (the traditional policy).
 func WithAdaptiveRebalancing(on bool) Option {
-	return func(c *core.Config) {
+	return func(o *options) {
 		if on {
-			c.Adaptive = core.AdaptiveRMA
+			o.cfg.Adaptive = core.AdaptiveRMA
 		} else {
-			c.Adaptive = core.AdaptiveOff
+			o.cfg.Adaptive = core.AdaptiveOff
 		}
 	}
 }
@@ -116,11 +132,11 @@ func WithAdaptiveRebalancing(on bool) Option {
 // Disabled, rebalances use the classic two-pass copy and resizes allocate
 // fresh zeroed memory.
 func WithMemoryRewiring(on bool) Option {
-	return func(c *core.Config) {
+	return func(o *options) {
 		if on {
-			c.Rebalance = core.RebalanceRewired
+			o.cfg.Rebalance = core.RebalanceRewired
 		} else {
-			c.Rebalance = core.RebalanceTwoPass
+			o.cfg.Rebalance = core.RebalanceTwoPass
 		}
 	}
 }
@@ -129,16 +145,34 @@ func WithMemoryRewiring(on bool) Option {
 // >= 2*B; default 2048 slots = 16 KB per page and array). Smaller pages
 // rewire more often; larger pages amortize swaps over more data.
 func WithPageCapacity(slots int) Option {
-	return func(c *core.Config) { c.PageSlots = slots }
+	return func(o *options) { o.cfg.PageSlots = slots }
+}
+
+// WithBackgroundRebalancing enables the asynchronous per-shard
+// rebalancer of the sharded serving layer (NewSharded and
+// NewShardedFromSample; New ignores it — a sequential Array has no
+// maintenance goroutines). workers sets the maintenance pool size: 0
+// disables (the default, synchronous rebalancing), < 0 sizes the pool
+// to one worker per available CPU.
+//
+// With the rebalancer on, an insert that overflows its window does only
+// the minimal local make-room needed to complete and defers the policy
+// rebalance (or resize) to the pool, shrinking the writer's tail
+// latency; iterators, scans and ApplyBatch still observe fully
+// rebalanced shards (flush-on-snapshot). Call Close on the Sharded map
+// to drain and stop the pool. See CONCURRENCY.md for the full deferred
+// work contract.
+func WithBackgroundRebalancing(workers int) Option {
+	return func(o *options) { o.rebalWorkers = workers }
 }
 
 // New builds an empty Rewired Memory Array.
 func New(opts ...Option) (*Array, error) {
-	cfg := core.DefaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	o := defaultOptions()
+	for _, fn := range opts {
+		fn(&o)
 	}
-	a, err := core.New(cfg)
+	a, err := core.New(o.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +269,12 @@ type Stats struct {
 	// Resizes, Grows, Shrinks count capacity changes.
 	Resizes, Grows, Shrinks uint64
 	BulkLoads               uint64
+	// DeferredWindows counts density violations handed to the
+	// background rebalancer instead of repaired on the write path;
+	// MaintenanceRuns counts the background passes that executed the
+	// deferred rebalance or resize. Both stay 0 without
+	// WithBackgroundRebalancing.
+	DeferredWindows, MaintenanceRuns uint64
 }
 
 // Stats returns the operation counters accumulated so far.
@@ -246,7 +286,8 @@ func (r *Array) Stats() Stats {
 		RebalancedElements: s.RebalancedElements, ElementCopies: s.ElementCopies,
 		PageSwaps: s.PageSwaps,
 		Resizes:   s.Resizes, Grows: s.Grows, Shrinks: s.Shrinks,
-		BulkLoads: s.BulkLoads,
+		BulkLoads:       s.BulkLoads,
+		DeferredWindows: s.DeferredWindows, MaintenanceRuns: s.MaintenanceRuns,
 	}
 }
 

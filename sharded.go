@@ -3,8 +3,9 @@ package rma
 import (
 	"fmt"
 	"iter"
+	"runtime"
 
-	"rma/internal/core"
+	"rma/internal/rebal"
 	"rma/internal/shard"
 )
 
@@ -22,8 +23,16 @@ import (
 // atomic per shard but not across shards — see CONCURRENCY.md for the
 // exact contract. Iterator and scan callbacks run holding the current
 // shard's lock and must not call back into the same Sharded map.
+//
+// With WithBackgroundRebalancing, a maintenance pool
+// (internal/rebal) executes deferred window rebalances and resizes off
+// the write path; call Close to drain it when done. Without the option,
+// Close is a no-op and the map needs no lifecycle management.
 type Sharded struct {
 	m *shard.Map
+	// pool is the background maintenance pool; nil when background
+	// rebalancing is off.
+	pool *rebal.Pool
 }
 
 // BatchOp is one operation of an ApplyBatch batch.
@@ -60,16 +69,56 @@ func NewShardedFromSample(shards int, sample []int64, opts ...Option) (*Sharded,
 }
 
 func newSharded(seps []int64, opts []Option) (*Sharded, error) {
-	cfg := core.DefaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	o := defaultOptions()
+	for _, fn := range opts {
+		fn(&o)
 	}
-	m, err := shard.New(cfg, seps)
+	m, err := shard.New(o.cfg, seps)
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{m: m}, nil
+	s := &Sharded{m: m}
+	if o.rebalWorkers != 0 {
+		workers := o.rebalWorkers
+		if workers < 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		s.pool = rebal.NewPool(m, workers)
+		// Order matters: deferred mode (and the notify hook) must be in
+		// place before the map is shared, and the pool must be running
+		// before the first write can defer work.
+		m.EnableDeferredRebalancing(s.pool.Notify)
+		s.pool.Start()
+	}
+	return s, nil
 }
+
+// Close stops the background rebalancer, draining every deferred window
+// first, and returns the shards to synchronous rebalancing — the map
+// stays fully usable afterwards. Idempotent and a no-op when background
+// rebalancing was never enabled. Do not call it concurrently with
+// writers that must observe the asynchronous contract; writes that race
+// a Close are still applied correctly, merely rebalanced synchronously.
+func (s *Sharded) Close() error {
+	if s.pool == nil {
+		return nil
+	}
+	err := s.pool.Close()
+	if derr := s.m.DisableDeferredRebalancing(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// Flush synchronously drains all deferred rebalance work, so subsequent
+// reads pay no flush-on-snapshot catch-up. A no-op when background
+// rebalancing is off or the backlog is empty.
+func (s *Sharded) Flush() error { return s.m.FlushAll() }
+
+// PendingWindows returns the number of deferred rebalance windows
+// currently queued across shards (0 without background rebalancing) —
+// a load diagnostic for the maintenance pool.
+func (s *Sharded) PendingWindows() int { return s.m.PendingWindows() }
 
 // NumShards returns the number of shards K.
 func (s *Sharded) NumShards() int { return s.m.NumShards() }
@@ -167,7 +216,8 @@ func (s *Sharded) Stats() Stats {
 		RebalancedElements: st.RebalancedElements, ElementCopies: st.ElementCopies,
 		PageSwaps: st.PageSwaps,
 		Resizes:   st.Resizes, Grows: st.Grows, Shrinks: st.Shrinks,
-		BulkLoads: st.BulkLoads,
+		BulkLoads:       st.BulkLoads,
+		DeferredWindows: st.DeferredWindows, MaintenanceRuns: st.MaintenanceRuns,
 	}
 }
 

@@ -1,7 +1,9 @@
 package rma
 
 import (
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -58,11 +60,23 @@ func (r *lockedRef) sortedKeys() []int64 {
 }
 
 const (
-	tortureG          = 8      // goroutines (>= 4 per the acceptance bar)
-	tortureOpsPerG    = 16_000 // 8 * 16k = 128k ops total (>= 100k)
-	tortureKeySpace   = 4_096  // small enough to hammer duplicates and boundaries
-	tortureCheckEvery = 1_000  // cross-surface probe cadence
+	tortureG          = 8     // goroutines (>= 4 per the acceptance bar)
+	tortureKeySpace   = 4_096 // small enough to hammer duplicates and boundaries
+	tortureCheckEvery = 1_000 // cross-surface probe cadence
 )
+
+// tortureOpsPerG is 16k by default (8 * 16k = 128k ops total); the
+// nightly CI workflow multiplies it via RMA_TORTURE_SCALE (4x there).
+var tortureOpsPerG = 16_000 * tortureScale()
+
+func tortureScale() int {
+	if s := os.Getenv("RMA_TORTURE_SCALE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
 
 // tortureStripeKey maps a per-goroutine draw to the goroutine's stripe.
 func tortureStripeKey(g int, raw uint64) int64 {
@@ -76,10 +90,20 @@ func TestShardedConcurrentDifferential(t *testing.T) {
 	for i := range sample {
 		sample[i] = int64(i) * tortureKeySpace / int64(len(sample))
 	}
-	s, err := NewShardedFromSample(7, sample, WithSegmentCapacity(16), WithPageCapacity(64))
+	// The background rebalancer runs throughout: writers defer their
+	// policy rebalances to the maintenance pool while the differential
+	// checks assert exactness mid-flight (flush-on-snapshot covers the
+	// merged scans the probes issue).
+	s, err := NewShardedFromSample(7, sample, WithSegmentCapacity(16), WithPageCapacity(64),
+		WithBackgroundRebalancing(2))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
 	ref := &lockedRef{counts: make(map[int64]int)}
 
 	var wg sync.WaitGroup
@@ -239,10 +263,16 @@ func TestShardedConcurrentBatches(t *testing.T) {
 	for i := range sample {
 		sample[i] = int64(i) * tortureKeySpace / int64(len(sample))
 	}
-	s, err := NewShardedFromSample(8, sample, WithSegmentCapacity(16), WithPageCapacity(64))
+	s, err := NewShardedFromSample(8, sample, WithSegmentCapacity(16), WithPageCapacity(64),
+		WithBackgroundRebalancing(2))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
 	ref := &lockedRef{counts: make(map[int64]int)}
 
 	const (
