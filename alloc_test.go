@@ -113,6 +113,50 @@ func TestIteratorAllocations(t *testing.T) {
 	}
 }
 
+// TestGetBatchAllocations pins the batched-lookup surface at zero
+// steady-state allocations: the probe ordering lives in persistent
+// scratch on the array, the sharded grouping scratch is pooled, and the
+// caller-provided out slice is reused.
+func TestGetBatchAllocations(t *testing.T) {
+	a := allocFixture()
+	probes := make([]int64, 1024)
+	for i := range probes {
+		probes[i] = int64((i * 2654435761) % (2 * allocN)) // mixed hits/misses, unsorted
+	}
+
+	t.Run("array", func(t *testing.T) {
+		out := a.GetBatch(probes, nil) // warm scratch and output once
+		allocs := testing.AllocsPerRun(10, func() {
+			out = a.GetBatch(probes, out)
+		})
+		if allocs > 0 {
+			t.Errorf("steady-state Array.GetBatch allocates %.1f per run, want 0", allocs)
+		}
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		if raceEnabled {
+			t.Skip("sync.Pool allocates under the race detector")
+		}
+		s, err := NewSharded(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1<<15; i++ {
+			if err := s.Insert(int64(i)*3, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := s.GetBatch(probes, nil)
+		allocs := testing.AllocsPerRun(10, func() {
+			out = s.GetBatch(probes, out)
+		})
+		if allocs > 0 {
+			t.Errorf("steady-state Sharded.GetBatch allocates %.1f per run, want 0", allocs)
+		}
+	})
+}
+
 func TestNavigationAllocations(t *testing.T) {
 	a := allocFixture()
 	allocs := testing.AllocsPerRun(10, func() {

@@ -22,6 +22,11 @@ import (
 // tree baselines hop their leaf chains in O(n/B).
 type OrderedMap interface {
 	Find(key int64) (int64, bool)
+	// GetBatch resolves a batch of point lookups, writing into out
+	// (grown to len(keys), reused when capacity suffices); out[i]
+	// answers keys[i]. The RMA backends amortize index descents across
+	// the sorted probe set; tree baselines answer probe by probe.
+	GetBatch(keys []int64, out []Lookup) []Lookup
 	Min() (int64, bool)
 	Max() (int64, bool)
 
@@ -81,6 +86,11 @@ func (b *ABTree) Delete(key int64) bool { return b.t.Delete(key) }
 
 // Find returns a value stored under key.
 func (b *ABTree) Find(key int64) (int64, bool) { return b.t.Find(key) }
+
+// GetBatch resolves a batch of point lookups, probe by probe.
+func (b *ABTree) GetBatch(keys []int64, out []Lookup) []Lookup {
+	return findBatchLoop(b.t.Find, keys, out)
+}
 
 // Min returns the smallest stored key.
 func (b *ABTree) Min() (int64, bool) { return b.t.Min() }
@@ -160,6 +170,11 @@ func (b *ARTTree) Delete(key int64) bool { return b.t.Delete(key) }
 // Find returns a value stored under key.
 func (b *ARTTree) Find(key int64) (int64, bool) { return b.t.Find(key) }
 
+// GetBatch resolves a batch of point lookups, probe by probe.
+func (b *ARTTree) GetBatch(keys []int64, out []Lookup) []Lookup {
+	return findBatchLoop(b.t.Find, keys, out)
+}
+
 // Min returns the smallest stored key.
 func (b *ARTTree) Min() (int64, bool) { return b.t.Min() }
 
@@ -231,6 +246,11 @@ func NewDense(keys, vals []int64) *Dense { return &Dense{a: dense.FromSorted(key
 // Find returns a value stored under key.
 func (d *Dense) Find(key int64) (int64, bool) { return d.a.Find(key) }
 
+// GetBatch resolves a batch of point lookups, probe by probe.
+func (d *Dense) GetBatch(keys []int64, out []Lookup) []Lookup {
+	return findBatchLoop(d.a.Find, keys, out)
+}
+
 // Min returns the smallest key.
 func (d *Dense) Min() (int64, bool) { return d.a.Min() }
 
@@ -299,6 +319,11 @@ func NewStaticIndexed(keys, vals []int64, block int) *StaticIndexed {
 // Find returns a value stored under key.
 func (s *StaticIndexed) Find(key int64) (int64, bool) { return s.c.Find(key) }
 
+// GetBatch resolves a batch of point lookups, probe by probe.
+func (s *StaticIndexed) GetBatch(keys []int64, out []Lookup) []Lookup {
+	return findBatchLoop(s.c.Find, keys, out)
+}
+
 // Min returns the smallest key.
 func (s *StaticIndexed) Min() (int64, bool) { return s.c.Min() }
 
@@ -352,6 +377,21 @@ func (s *StaticIndexed) Size() int { return s.c.Size() }
 
 // FootprintBytes returns the column's memory including the index.
 func (s *StaticIndexed) FootprintBytes() int64 { return s.c.FootprintBytes() }
+
+// findBatchLoop answers a probe batch with per-key Find: the baseline
+// GetBatch shared by the tree and column backends (only the RMA engines
+// amortize descents across the batch).
+func findBatchLoop(find func(int64) (int64, bool), keys []int64, out []Lookup) []Lookup {
+	if cap(out) < len(keys) {
+		out = make([]Lookup, len(keys))
+	}
+	out = out[:len(keys)]
+	for i, k := range keys {
+		v, ok := find(k)
+		out[i] = Lookup{Val: v, OK: ok}
+	}
+	return out
+}
 
 // Interface conformance.
 var (

@@ -1,0 +1,10 @@
+package main
+
+import "rma/internal/exp"
+
+// lookup runs the read-path experiment (point-get, miss-get, GetBatch,
+// seek-then-scan over the layout × size matrix) and, when -json is set,
+// appends the snapshot to the shared BENCH_hotpath.json trajectory.
+func lookup(p exp.Params) {
+	appendSnapshot(p, exp.Lookup(p))
+}

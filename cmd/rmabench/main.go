@@ -15,7 +15,9 @@
 // inserts, lookups, lazy iteration, navigation and order statistics — to
 // compare the full ordered-map surface across backends. The "hotpath"
 // experiment tracks the repo's own perf trajectory (insert/lookup/scan
-// ns/op and allocs/op on every layout x rebalance corner); the "shards"
+// ns/op and allocs/op on every layout x rebalance corner); the "lookup"
+// experiment tracks the read path specifically (point-get, miss-get,
+// GetBatch and seek-then-scan over a layout x size matrix); the "shards"
 // experiment tracks the concurrent serving layer (aggregate put/batched
 // put/get/merged-scan throughput over a goroutines x shard-count
 // matrix, capped by -shardmax). With -json FILE -label NAME both append
@@ -46,6 +48,7 @@ var experiments = map[string]func(exp.Params){
 	"fig14":    exp.Fig14,
 	"backends": backends,
 	"hotpath":  hotpath,
+	"lookup":   lookup,
 	"shards":   shards,
 	"putasync": putasync,
 }

@@ -69,6 +69,11 @@ type Array struct {
 	ivBuf     []interval
 	ivSplit   [][2][]interval
 	markedBuf []bool
+	// Reusable probe-ordering scratch for FindBatch (steady-state
+	// batched lookups must not allocate; same pattern as the rebalance
+	// scratch above). probeTmp is the radix sort's ping-pong buffer.
+	probeBuf  []probe
+	probeTmp  []probe
 	pageShift uint // log2(PageSlots)
 
 	// Deferred rebalancing (see pending.go): when deferred is on, an
@@ -183,8 +188,10 @@ func (a *Array) buildIndex(mins []int64) {
 	switch a.cfg.Index {
 	case IndexStatic:
 		a.ix = staticindex.NewStatic(mins, a.cfg.IndexFanout)
-	default:
+	case IndexDynamic:
 		a.ix = staticindex.NewDynamic(mins)
+	default:
+		a.ix = staticindex.NewEytzinger(mins)
 	}
 }
 
@@ -226,6 +233,7 @@ func (a *Array) FootprintBytes() int64 {
 	f += int64(cap(a.scratchK)+cap(a.scratchV))*8 + int64(cap(a.scratchC))*4
 	f += int64(cap(a.targetsBuf))*8 + int64(cap(a.srcSpans)+cap(a.dstSpans))*48
 	f += int64(cap(a.prefixBuf))*8 + int64(cap(a.ivBuf))*24 + int64(cap(a.markedBuf))
+	f += int64(cap(a.probeBuf)+cap(a.probeTmp)) * 16
 	for _, p := range a.ivSplit {
 		f += int64(cap(p[0])+cap(p[1])) * 24
 	}
@@ -383,10 +391,11 @@ func logSegSize(capSlots, pageSlots int) int {
 	return b
 }
 
-// checkInterface guards that both index kinds satisfy segIndex.
+// checkInterface guards that every index kind satisfies segIndex.
 var (
 	_ segIndex = (*staticindex.Static)(nil)
 	_ segIndex = (*staticindex.Dynamic)(nil)
+	_ segIndex = (*staticindex.Eytzinger)(nil)
 )
 
 func (a *Array) String() string {

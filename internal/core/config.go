@@ -55,6 +55,13 @@ const (
 	// IndexDynamic is the flat sorted array of segment minima that
 	// traditional PMAs keep on the side, binary searched on every lookup.
 	IndexDynamic
+	// IndexEytzinger is the branchless evolution of the static index:
+	// separators in BFS (Eytzinger) order, descended with one compare
+	// and one shift-or per level — no inner binary search — with the
+	// grandchild cache lines touched ahead of the compare chain, plus a
+	// linear fast path for shallow arrays. Same O(1) separator updates
+	// and resize-only rebuilds as IndexStatic; the default.
+	IndexEytzinger
 )
 
 // RebalanceMode selects the physical redistribution mechanism.
@@ -113,16 +120,18 @@ type Config struct {
 	Detector detector.Config
 }
 
-// DefaultConfig returns the paper's RMA configuration: B=128 clustered
-// fixed-size segments, static fanout-65 index, rewired rebalances on
-// 2048-slot (16 KB) pages, adaptive rebalancing, update-oriented
-// thresholds (the defaults of Section V).
+// DefaultConfig returns the paper's RMA configuration — B=128 clustered
+// fixed-size segments, rewired rebalances on 2048-slot (16 KB) pages,
+// adaptive rebalancing, update-oriented thresholds (the defaults of
+// Section V) — with one upgrade over the paper: the segment index
+// defaults to the branchless Eytzinger descent (IndexEytzinger). Set
+// Index to IndexStatic for the paper's exact Fig 5 structure.
 func DefaultConfig() Config {
 	return Config{
 		SegmentSlots: 128,
 		Sizing:       SizingFixed,
 		Layout:       LayoutClustered,
-		Index:        IndexStatic,
+		Index:        IndexEytzinger,
 		Rebalance:    RebalanceRewired,
 		Adaptive:     AdaptiveRMA,
 		Thresholds:   calibrator.UpdateOriented(),

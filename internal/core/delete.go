@@ -89,23 +89,18 @@ func (a *Array) deleteClustered(seg int, key int64) int {
 }
 
 // deleteInterleaved removes one occurrence of key from an interleaved
-// segment, returning its former rank or -1.
+// segment, returning its former rank or -1. The probe is the same SWAR
+// comparator as Find; the rank falls out of a word-parallel occupancy
+// rank over the slots before the hit.
 func (a *Array) deleteInterleaved(seg int, key int64) int {
 	base := seg * a.segSlots
-	end := base + a.segSlots
 	kpg, off := a.segPage(a.keys, seg)
-	rank := 0
-	for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
-		k := kpg[off+s-base]
-		if k == key {
-			a.setOccupied(s, false)
-			a.cardAdd(seg, -1)
-			return rank
-		}
-		if k > key {
-			return -1
-		}
-		rank++
+	s := swarFindEq(kpg[off:off+a.segSlots], a.bitmap, base, key)
+	if s < 0 {
+		return -1
 	}
-	return -1
+	rank := bmRank(a.bitmap, base, s)
+	a.setOccupied(s, false)
+	a.cardAdd(seg, -1)
+	return rank
 }

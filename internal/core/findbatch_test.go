@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"rma/internal/workload"
+)
+
+// findBatchConfigs covers both layouts on every index kind at small
+// segment sizes, so batches cross many segments and the memoized
+// descent, the galloping advance and the SWAR probes all fire.
+func findBatchConfigs() []Config {
+	var out []Config
+	for _, layout := range []Layout{LayoutClustered, LayoutInterleaved} {
+		for _, ix := range []IndexKind{IndexEytzinger, IndexStatic, IndexDynamic} {
+			cfg := DefaultConfig()
+			cfg.Adaptive = AdaptiveOff
+			cfg.SegmentSlots = 8
+			cfg.PageSlots = 32
+			cfg.Layout = layout
+			cfg.Index = ix
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// TestFindBatchMatchesFind is the batched-lookup differential: on every
+// layout × index corner, FindBatch over unsorted, sorted, reversed and
+// duplicate-laden probe sets (hits and misses) must answer exactly like
+// per-key Find, at every batch size around the sort cutoffs.
+func TestFindBatchMatchesFind(t *testing.T) {
+	for _, cfg := range findBatchConfigs() {
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := workload.NewRNG(99)
+		keys := make([]int64, 4096)
+		for i := range keys {
+			keys[i] = int64(g.Uint64n(1<<40))&^1 + 42
+		}
+		for _, k := range keys {
+			if err := a.Insert(k, workload.ValueFor(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var out []Lookup
+		for _, size := range []int{0, 1, 7, 8, 9, 63, 64, 65, 1024} {
+			probes := make([]int64, size)
+			for i := range probes {
+				switch g.Uint64n(4) {
+				case 0: // guaranteed miss (loaded keys are even+42, so odd misses)
+					probes[i] = keys[g.Uint64n(uint64(len(keys)))] | 1
+				case 1: // duplicate of an earlier probe
+					if i > 0 {
+						probes[i] = probes[g.Uint64n(uint64(i))]
+						break
+					}
+					fallthrough
+				default: // hit
+					probes[i] = keys[g.Uint64n(uint64(len(keys)))]
+				}
+			}
+			for _, order := range []string{"random", "sorted", "reversed"} {
+				set := append([]int64(nil), probes...)
+				switch order {
+				case "sorted":
+					sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+				case "reversed":
+					sort.Slice(set, func(i, j int) bool { return set[i] > set[j] })
+				}
+				out = a.FindBatch(set, out)
+				if len(out) != len(set) {
+					t.Fatalf("cfg=%+v size=%d %s: len(out) = %d", cfg.Index, size, order, len(out))
+				}
+				for i, k := range set {
+					v, ok := a.Find(k)
+					if out[i].Val != v || out[i].OK != ok {
+						t.Fatalf("layout=%d index=%d size=%d %s: FindBatch[%d] key %d = (%d,%v), Find = (%d,%v)",
+							cfg.Layout, cfg.Index, size, order, i, k, out[i].Val, out[i].OK, v, ok)
+					}
+				}
+			}
+		}
+
+		// An empty array answers all-miss at every batch size.
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = e.FindBatch(keys[:100], out)
+		for i := range out {
+			if out[i].OK {
+				t.Fatal("FindBatch on empty array reported a hit")
+			}
+		}
+	}
+}
+
+// TestFindBatchCountsLookups pins the stats contract: one Lookups tick
+// per probed key.
+func TestFindBatchCountsLookups(t *testing.T) {
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := a.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probes := make([]int64, 37)
+	a.FindBatch(probes, nil)
+	if got := a.Stats().Lookups; got != 37 {
+		t.Fatalf("Lookups = %d after a 37-key batch, want 37", got)
+	}
+}
+
+// TestFindBatchAllocationFree proves the satellite acceptance: once the
+// probe scratch has seen the batch size, FindBatch performs zero heap
+// allocations per call on both layouts — including the radix sort and
+// the output reuse.
+func TestFindBatchAllocationFree(t *testing.T) {
+	for _, layout := range []struct {
+		name string
+		l    Layout
+	}{{"clustered", LayoutClustered}, {"interleaved", LayoutInterleaved}} {
+		t.Run(layout.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Adaptive = AdaptiveOff
+			cfg.Layout = layout.l
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := workload.NewRNG(5)
+			keys := make([]int64, 1<<15)
+			for i := range keys {
+				keys[i] = int64(g.Uint64())
+				if err := a.Insert(keys[i], int64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			probes := make([]int64, 1024)
+			for i := range probes {
+				probes[i] = keys[g.Uint64n(uint64(len(keys)))]
+			}
+			out := a.FindBatch(probes, nil) // warm scratch and output once
+			allocs := testing.AllocsPerRun(10, func() {
+				out = a.FindBatch(probes, out)
+				out = a.FindBatch(probes[:100], out) // smaller batches reuse too
+			})
+			if allocs > 0 {
+				t.Errorf("steady-state FindBatch allocates %.1f per run, want 0", allocs)
+			}
+		})
+	}
+}

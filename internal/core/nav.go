@@ -14,16 +14,8 @@ func (a *Array) segLowerBound(seg int, x int64) int {
 		return lowerBoundRun(runK, x)
 	}
 	base := seg * a.segSlots
-	end := base + a.segSlots
 	kpg, off := a.segPage(a.keys, seg)
-	n := 0
-	for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
-		if kpg[off+s-base] >= x {
-			break
-		}
-		n++
-	}
-	return n
+	return swarLowerBound(kpg[off:off+a.segSlots], a.bitmap, base, x)
 }
 
 // segUpperBound returns the number of elements of segment seg with key
@@ -34,16 +26,8 @@ func (a *Array) segUpperBound(seg int, x int64) int {
 		return upperBoundRun(runK, x)
 	}
 	base := seg * a.segSlots
-	end := base + a.segSlots
 	kpg, off := a.segPage(a.keys, seg)
-	n := 0
-	for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
-		if kpg[off+s-base] > x {
-			break
-		}
-		n++
-	}
-	return n
+	return swarUpperBound(kpg[off:off+a.segSlots], a.bitmap, base, x)
 }
 
 // rankOf counts stored elements with key < x (inclusive=false) or

@@ -42,11 +42,14 @@ func (a *Array) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
 
 // scanRangeInterleaved walks occupied slots word-parallel, holding the
 // current page's key and value slices across every slot it contains.
+// The scan enters at the start segment's SWAR-probed first in-range
+// slot, so the loop body never re-tests the lower bound: every slot
+// from the entry point on holds a key >= lo (later segments' separators
+// are >= lo by the index routing).
 func (a *Array) scanRangeInterleaved(lo, hi int64, yield func(key, val int64) bool) {
-	startSeg := a.ix.FindLB(lo)
 	capSlots := a.Capacity()
 	mask := a.cfg.PageSlots - 1
-	s := bmNext(a.bitmap, startSeg*a.segSlots, capSlots)
+	s := a.seekSlotGE(a.ix.FindLB(lo), lo)
 	for s != -1 {
 		page := s >> a.pageShift
 		kpg, vpg := a.keys.Page(page), a.vals.Page(page)
@@ -56,12 +59,25 @@ func (a *Array) scanRangeInterleaved(lo, hi int64, yield func(key, val int64) bo
 			if k > hi {
 				return
 			}
-			if k >= lo && !yield(k, vpg[s&mask]) {
+			if !yield(k, vpg[s&mask]) {
 				return
 			}
 			s = bmNext(a.bitmap, s+1, capSlots)
 		}
 	}
+}
+
+// seekSlotGE returns the first occupied slot at or after segment
+// startSeg whose key is >= lo, assuming every element right of startSeg
+// already satisfies the bound (startSeg = FindLB(lo)): one SWAR probe
+// of the start segment, then the next occupied slot after it.
+func (a *Array) seekSlotGE(startSeg int, lo int64) int {
+	base := startSeg * a.segSlots
+	kpg, off := a.segPage(a.keys, startSeg)
+	if s := swarSeekGE(kpg[off:off+a.segSlots], a.bitmap, base, lo); s != -1 {
+		return s
+	}
+	return bmNext(a.bitmap, base+a.segSlots, a.Capacity())
 }
 
 // Scan iterates every element in key order.
@@ -118,10 +134,9 @@ func (a *Array) Sum(lo, hi int64) (count int, sum int64) {
 }
 
 func (a *Array) sumInterleaved(lo, hi int64) (count int, sum int64) {
-	startSeg := a.ix.FindLB(lo)
 	capSlots := a.Capacity()
 	mask := a.cfg.PageSlots - 1
-	s := bmNext(a.bitmap, startSeg*a.segSlots, capSlots)
+	s := a.seekSlotGE(a.ix.FindLB(lo), lo)
 	for s != -1 {
 		page := s >> a.pageShift
 		kpg, vpg := a.keys.Page(page), a.vals.Page(page)
@@ -131,10 +146,8 @@ func (a *Array) sumInterleaved(lo, hi int64) (count int, sum int64) {
 			if k > hi {
 				return count, sum
 			}
-			if k >= lo {
-				sum += vpg[s&mask]
-				count++
-			}
+			sum += vpg[s&mask]
+			count++
 			s = bmNext(a.bitmap, s+1, capSlots)
 		}
 	}

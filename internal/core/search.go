@@ -1,5 +1,7 @@
 package core
 
+import "rma/internal/staticindex"
+
 // Find returns the value stored under key and whether it exists. With
 // duplicate keys any one match is returned. Cost: one index descent plus
 // one in-segment search, exactly the paper's point-lookup path.
@@ -8,7 +10,13 @@ func (a *Array) Find(key int64) (int64, bool) {
 	if a.n == 0 {
 		return 0, false
 	}
-	seg := a.ix.FindUB(key)
+	return a.segFind(a.ix.FindUB(key), key)
+}
+
+// segFind probes segment seg for key: the in-segment half of a point
+// lookup, shared by Find and the batched FindBatch (which amortizes the
+// index-descent half across sorted probes).
+func (a *Array) segFind(seg int, key int64) (int64, bool) {
 	switch a.cfg.Layout {
 	case LayoutClustered:
 		kpg, off := a.segPage(a.keys, seg)
@@ -20,17 +28,11 @@ func (a *Array) Find(key int64) (int64, bool) {
 		}
 	default:
 		base := seg * a.segSlots
-		end := base + a.segSlots
 		kpg, off := a.segPage(a.keys, seg)
-		for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
-			k := kpg[off+s-base]
-			if k == key {
-				vpg, voff := a.segPage(a.vals, seg)
-				return vpg[voff+s-base], true
-			}
-			if k > key {
-				break
-			}
+		s := swarFindEq(kpg[off:off+a.segSlots], a.bitmap, base, key)
+		if s >= 0 {
+			vpg, voff := a.segPage(a.vals, seg)
+			return vpg[voff+s-base], true
 		}
 	}
 	return 0, false
@@ -42,52 +44,32 @@ func (a *Array) Contains(key int64) bool {
 	return ok
 }
 
-// searchRun binary-searches a sorted dense run for key, returning the
-// index of one occurrence or -1.
+// lowerBoundRun returns the first index in the sorted run with
+// run[i] >= key (== len(run) if none). It is the one in-run search
+// primitive — searchRun and upperBoundRun are thin derivations — and it
+// is the branchless conditional-move halving shared with the Dynamic
+// index's routing (staticindex.LowerBound).
+func lowerBoundRun(run []int64, key int64) int {
+	return staticindex.LowerBound(run, key)
+}
+
+// searchRun returns the index of one occurrence of key in the sorted
+// run (the first, with duplicates), or -1.
 func searchRun(run []int64, key int64) int {
-	lo, hi := 0, len(run)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if run[mid] < key {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(run) && run[lo] == key {
-		return lo
+	if i := lowerBoundRun(run, key); i < len(run) && run[i] == key {
+		return i
 	}
 	return -1
 }
 
-// lowerBoundRun returns the first index in the sorted run with
-// run[i] >= key (== len(run) if none).
-func lowerBoundRun(run []int64, key int64) int {
-	lo, hi := 0, len(run)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if run[mid] < key {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
 // upperBoundRun returns the first index in the sorted run with
-// run[i] > key.
+// run[i] > key: the lower bound of the next key up (every key > K is
+// >= K+1 on int64), saturating at the domain maximum.
 func upperBoundRun(run []int64, key int64) int {
-	lo, hi := 0, len(run)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if run[mid] <= key {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	if key == maxInt64 {
+		return len(run)
 	}
-	return lo
+	return lowerBoundRun(run, key+1)
 }
 
 // Min returns the smallest key, or ok=false when empty.

@@ -1,0 +1,153 @@
+package core
+
+import "math/bits"
+
+// Word-parallel key probes over the interleaved layout, the companion
+// of bitmap.go: where the bm* helpers make occupancy word-parallel,
+// these make the key comparisons themselves word-parallel. Each logical
+// step covers four slots — 256 bits of key data — comparing all four
+// keys branchlessly and merging the per-key result bits through two
+// uint64 lanes (equality via the XOR + nonzero-sign trick, the 64-bit
+// analogue of the zero-byte trick) before a single masked test against
+// the occupancy nibble decides the step. Gap slots hold stale keys;
+// masking with occupancy is what makes reading them safe.
+//
+// All helpers take the segment's key slice kseg (kseg[j] is slot
+// base+j), the occupancy bitmap and the segment's absolute base slot,
+// which callers guarantee is 4-aligned (segments are power-of-two sized
+// and aligned, B >= 4). Occupied keys ascend with slot order within a
+// segment — the invariant behind every early exit here.
+
+// occNibble returns the four occupancy bits of slots s..s+3 (s must be
+// 4-aligned, so the nibble never straddles a bitmap word).
+func occNibble(bm []uint64, s int) uint {
+	return uint(bm[s>>6]>>(uint(s)&63)) & 0xF
+}
+
+// occBit returns slot s's occupancy bit.
+func occBit(bm []uint64, s int) uint {
+	return uint(bm[s>>6]>>(uint(s)&63)) & 1
+}
+
+// b2u converts a comparison to its SWAR lane bit without a branch (the
+// compiler lowers this to a flag materialization, not a jump).
+func b2u(b bool) uint {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// swarFindEq returns the first occupied slot in the segment holding
+// exactly key, or -1. A quad with no occupied slot costs one nibble
+// test; otherwise the four XOR words decide equality and the
+// greater-than lane ends the probe as soon as an occupied key passes
+// the target.
+func swarFindEq(kseg []int64, bm []uint64, base int, key int64) int {
+	n := len(kseg)
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		occ := occNibble(bm, base+j)
+		if occ == 0 {
+			continue
+		}
+		x0 := uint64(kseg[j] ^ key)
+		x1 := uint64(kseg[j+1] ^ key)
+		x2 := uint64(kseg[j+2] ^ key)
+		x3 := uint64(kseg[j+3] ^ key)
+		lane0 := (x0|-x0)>>63 | (x1|-x1)>>63<<1 // nonzero bits of keys 0,1
+		lane1 := (x2|-x2)>>63 | (x3|-x3)>>63<<1 // nonzero bits of keys 2,3
+		ne := uint(lane0 | lane1<<2)
+		if hit := ^ne & occ; hit != 0 {
+			return base + j + bits.TrailingZeros(hit)
+		}
+		gt := b2u(kseg[j] > key) | b2u(kseg[j+1] > key)<<1 |
+			b2u(kseg[j+2] > key)<<2 | b2u(kseg[j+3] > key)<<3
+		if gt&occ != 0 {
+			return -1
+		}
+	}
+	for ; j < n; j++ {
+		if occBit(bm, base+j) == 0 {
+			continue
+		}
+		if kseg[j] == key {
+			return base + j
+		}
+		if kseg[j] > key {
+			return -1
+		}
+	}
+	return -1
+}
+
+// swarLowerBound returns the number of occupied slots in the segment
+// holding keys strictly below x.
+func swarLowerBound(kseg []int64, bm []uint64, base int, x int64) int {
+	return swarBound(kseg, bm, base, x, false)
+}
+
+// swarUpperBound returns the number of occupied slots in the segment
+// holding keys at most x.
+func swarUpperBound(kseg []int64, bm []uint64, base int, x int64) int {
+	return swarBound(kseg, bm, base, x, true)
+}
+
+func swarBound(kseg []int64, bm []uint64, base int, x int64, inclusive bool) int {
+	n := len(kseg)
+	cnt := 0
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		occ := occNibble(bm, base+j)
+		if occ == 0 {
+			continue
+		}
+		var in uint
+		if inclusive {
+			in = b2u(kseg[j] <= x) | b2u(kseg[j+1] <= x)<<1 |
+				b2u(kseg[j+2] <= x)<<2 | b2u(kseg[j+3] <= x)<<3
+		} else {
+			in = b2u(kseg[j] < x) | b2u(kseg[j+1] < x)<<1 |
+				b2u(kseg[j+2] < x)<<2 | b2u(kseg[j+3] < x)<<3
+		}
+		cnt += bits.OnesCount(in & occ)
+		if ^in&occ != 0 {
+			return cnt // an occupied key past the bound: the rest are too
+		}
+	}
+	for ; j < n; j++ {
+		if occBit(bm, base+j) == 0 {
+			continue
+		}
+		if kseg[j] < x || (inclusive && kseg[j] == x) {
+			cnt++
+		} else {
+			break
+		}
+	}
+	return cnt
+}
+
+// swarSeekGE returns the first occupied slot in the segment holding a
+// key >= x, or -1: the range-scan entry probe.
+func swarSeekGE(kseg []int64, bm []uint64, base int, x int64) int {
+	n := len(kseg)
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		occ := occNibble(bm, base+j)
+		if occ == 0 {
+			continue
+		}
+		ge := b2u(kseg[j] >= x) | b2u(kseg[j+1] >= x)<<1 |
+			b2u(kseg[j+2] >= x)<<2 | b2u(kseg[j+3] >= x)<<3
+		if m := ge & occ; m != 0 {
+			return base + j + bits.TrailingZeros(m)
+		}
+	}
+	for ; j < n; j++ {
+		if occBit(bm, base+j) == 1 && kseg[j] >= x {
+			return base + j
+		}
+	}
+	return -1
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rma/internal/workload"
+)
+
+// Naive scalar references for the SWAR probes: the element-at-a-time
+// loops the word-parallel comparators replaced.
+
+func naiveFindEq(kseg []int64, bm []uint64, base int, key int64) int {
+	for j := range kseg {
+		if occBit(bm, base+j) == 0 {
+			continue
+		}
+		if kseg[j] == key {
+			return base + j
+		}
+		if kseg[j] > key {
+			return -1
+		}
+	}
+	return -1
+}
+
+func naiveBound(kseg []int64, bm []uint64, base int, x int64, inclusive bool) int {
+	n := 0
+	for j := range kseg {
+		if occBit(bm, base+j) == 0 {
+			continue
+		}
+		if kseg[j] < x || (inclusive && kseg[j] == x) {
+			n++
+		} else {
+			break
+		}
+	}
+	return n
+}
+
+func naiveSeekGE(kseg []int64, bm []uint64, base int, x int64) int {
+	for j := range kseg {
+		if occBit(bm, base+j) == 1 && kseg[j] >= x {
+			return base + j
+		}
+	}
+	return -1
+}
+
+// buildSwarSeg materializes a fuzzed segment: occupancy from the word
+// pattern, sorted keys in occupied slots, arbitrary stale garbage in the
+// gaps (gap contents must never influence a probe).
+func buildSwarSeg(seed uint64, occPattern uint64, n, base int) (kseg []int64, bm []uint64) {
+	g := workload.NewRNG(seed)
+	bm = make([]uint64, (base+n+63)/64)
+	kseg = make([]int64, n)
+	acc := int64(g.Uint64n(64)) - 32
+	for j := 0; j < n; j++ {
+		if occPattern>>(uint(j)&63)&1 == 1 {
+			s := base + j
+			bm[s>>6] |= 1 << (uint(s) & 63)
+			acc += int64(g.Uint64n(3)) // duplicates when the step is 0
+			kseg[j] = acc
+		} else {
+			switch g.Uint64n(4) {
+			case 0:
+				kseg[j] = math.MaxInt64
+			case 1:
+				kseg[j] = math.MinInt64
+			default:
+				kseg[j] = int64(g.Uint64())
+			}
+		}
+	}
+	return kseg, bm
+}
+
+func checkSwarSeg(t *testing.T, kseg []int64, bm []uint64, base int, key int64) {
+	t.Helper()
+	if got, want := swarFindEq(kseg, bm, base, key), naiveFindEq(kseg, bm, base, key); got != want {
+		t.Fatalf("swarFindEq(base=%d, key=%d) = %d, want %d (occ=%x keys=%v)",
+			base, key, got, want, bm, kseg)
+	}
+	if got, want := swarLowerBound(kseg, bm, base, key), naiveBound(kseg, bm, base, key, false); got != want {
+		t.Fatalf("swarLowerBound(base=%d, key=%d) = %d, want %d", base, key, got, want)
+	}
+	if got, want := swarUpperBound(kseg, bm, base, key), naiveBound(kseg, bm, base, key, true); got != want {
+		t.Fatalf("swarUpperBound(base=%d, key=%d) = %d, want %d", base, key, got, want)
+	}
+	if got, want := swarSeekGE(kseg, bm, base, key), naiveSeekGE(kseg, bm, base, key); got != want {
+		t.Fatalf("swarSeekGE(base=%d, key=%d) = %d, want %d", base, key, got, want)
+	}
+}
+
+// TestSwarProbesProperty drives the comparators against the scalar
+// loops over random occupancy patterns, bases and probe keys, including
+// segment lengths that are not quad multiples (the scalar tail).
+func TestSwarProbesProperty(t *testing.T) {
+	f := func(seed, occPattern uint64, nRaw, baseRaw uint8, probeRaw uint16) bool {
+		n := int(nRaw) % 97           // 0..96: covers empty, tails, full quads
+		base := int(baseRaw) % 16 * 4 // 4-aligned, crossing word boundaries
+		kseg, bm := buildSwarSeg(seed, occPattern, n, base)
+		g := workload.NewRNG(uint64(probeRaw) ^ seed)
+		probes := []int64{math.MinInt64, math.MaxInt64, int64(g.Uint64())}
+		for j := 0; j < n; j++ {
+			if occBit(bm, base+j) == 1 {
+				probes = append(probes, kseg[j], kseg[j]-1, kseg[j]+1)
+			}
+		}
+		for _, key := range probes {
+			if swarFindEq(kseg, bm, base, key) != naiveFindEq(kseg, bm, base, key) ||
+				swarLowerBound(kseg, bm, base, key) != naiveBound(kseg, bm, base, key, false) ||
+				swarUpperBound(kseg, bm, base, key) != naiveBound(kseg, bm, base, key, true) ||
+				swarSeekGE(kseg, bm, base, key) != naiveSeekGE(kseg, bm, base, key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwarGapGarbageIgnored pins the masking contract directly: a gap
+// slot holding exactly the probed key (or a larger key) must not
+// produce a hit or an early exit.
+func TestSwarGapGarbageIgnored(t *testing.T) {
+	// Slots: [gap=42, occ=10, gap=MaxInt64, occ=42]
+	kseg := []int64{42, 10, math.MaxInt64, 42}
+	bm := []uint64{0b1010}
+	if got := swarFindEq(kseg, bm, 0, 42); got != 3 {
+		t.Fatalf("swarFindEq hit the gap decoy: got %d, want 3", got)
+	}
+	if got := swarLowerBound(kseg, bm, 0, 42); got != 1 {
+		t.Fatalf("swarLowerBound counted a gap: got %d, want 1", got)
+	}
+	if got := swarSeekGE(kseg, bm, 0, 11); got != 3 {
+		t.Fatalf("swarSeekGE landed on a gap: got %d, want 3", got)
+	}
+}
+
+// TestRunBoundPrimitives pins the collapsed branchless triplet against
+// the textbook definitions on random sorted runs.
+func TestRunBoundPrimitives(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw) % 130
+		g := workload.NewRNG(seed)
+		run := make([]int64, n)
+		acc := int64(0)
+		for i := range run {
+			acc += int64(g.Uint64n(3))
+			run[i] = acc
+		}
+		probes := []int64{-1, 0, acc, acc + 1, math.MaxInt64, math.MinInt64}
+		for i := 0; i < n; i += 7 {
+			probes = append(probes, run[i], run[i]-1, run[i]+1)
+		}
+		for _, key := range probes {
+			lb := 0
+			for lb < n && run[lb] < key {
+				lb++
+			}
+			ub := lb
+			for ub < n && run[ub] == key {
+				ub++
+			}
+			if lowerBoundRun(run, key) != lb || upperBoundRun(run, key) != ub {
+				return false
+			}
+			wantEq := -1
+			if lb < n && run[lb] == key {
+				wantEq = lb
+			}
+			if searchRun(run, key) != wantEq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzSwarProbes is the fuzz-shaped variant of the property test.
+func FuzzSwarProbes(f *testing.F) {
+	f.Add(uint64(1), uint64(0xffffffffffffffff), uint8(64), uint8(0), int64(0))
+	f.Add(uint64(2), uint64(0xaaaaaaaaaaaaaaaa), uint8(96), uint8(15), int64(33))
+	f.Add(uint64(3), uint64(0), uint8(17), uint8(3), int64(-5))
+	f.Add(uint64(4), uint64(0x8000000000000001), uint8(13), uint8(7), int64(9223372036854775807))
+	f.Fuzz(func(t *testing.T, seed, occPattern uint64, nRaw, baseRaw uint8, key int64) {
+		n := int(nRaw) % 97
+		base := int(baseRaw) % 16 * 4
+		kseg, bm := buildSwarSeg(seed, occPattern, n, base)
+		checkSwarSeg(t, kseg, bm, base, key)
+		for j := 0; j < n; j++ {
+			if occBit(bm, base+j) == 1 {
+				checkSwarSeg(t, kseg, bm, base, kseg[j])
+				checkSwarSeg(t, kseg, bm, base, kseg[j]-1)
+				checkSwarSeg(t, kseg, bm, base, kseg[j]+1)
+			}
+		}
+	})
+}

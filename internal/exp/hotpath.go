@@ -14,10 +14,15 @@ const maxInt64 = 1<<63 - 1
 // machine-readable so cmd/rmabench can emit a BENCH_hotpath.json
 // artifact and successive PRs can be held to the recorded trajectory.
 type HotpathResult struct {
-	Series        string  `json:"series"` // e.g. "insert-uniform"
-	Layout        string  `json:"layout"` // "clustered" | "interleaved"
-	Rebalance     string  `json:"rebal"`  // "rewired" | "twopass" | "sync" | "async"
-	Ops           int     `json:"ops"`    // operations measured
+	Series    string `json:"series"` // e.g. "insert-uniform"
+	Layout    string `json:"layout"` // "clustered" | "interleaved"
+	Rebalance string `json:"rebal"`  // "rewired" | "twopass" | "sync" | "async"
+	// Index and Size are recorded by the lookup experiment: the segment
+	// index kind behind the measured reads and the fixture cardinality
+	// of the layout × size matrix.
+	Index         string  `json:"index,omitempty"`
+	Size          int     `json:"size,omitempty"`
+	Ops           int     `json:"ops"` // operations measured
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
 	ElementCopies uint64  `json:"element_copies"` // total, from core.Stats

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"sort"
+
+	"rma/internal/core"
+	"rma/internal/workload"
+)
+
+// The lookup experiment tracks the read path the same way hotpath
+// tracks the write path: point gets (hits, sorted hits, guaranteed
+// misses), the batched GetBatch surface (random and sorted probe sets)
+// and seek-then-scan, over a layout × fixture-size matrix. Every series
+// is one index descent plus one in-segment probe — exactly the paper's
+// point-lookup decomposition — so the trajectory attributes read-path
+// work to the index half (size sweep: deeper descents) and the probe
+// half (layout sweep: dense runs vs occupancy-masked slots).
+
+// lookupBatch is the GetBatch probe-group size the experiment measures.
+const lookupBatch = 1024
+
+// lookupReps repeats every series and keeps the fastest run, like the
+// scan experiments: read series are short, so single runs are noisy.
+const lookupReps = 5
+
+// measureBest runs f lookupReps times and returns the fastest ns/op
+// with its allocs/op.
+func measureBest(ops int, f func()) (nsPerOp, allocsPerOp float64) {
+	best := -1.0
+	var bestAllocs float64
+	for r := 0; r < lookupReps; r++ {
+		ns, allocs := measure(ops, f)
+		if best < 0 || ns < best {
+			best, bestAllocs = ns, allocs
+		}
+	}
+	return best, bestAllocs
+}
+
+// indexLabel names a segment-index kind for the trajectory.
+func indexLabel(k core.IndexKind) string {
+	switch k {
+	case core.IndexStatic:
+		return "static"
+	case core.IndexDynamic:
+		return "dynamic"
+	case core.IndexEytzinger:
+		return "eytzinger"
+	default:
+		return "unknown"
+	}
+}
+
+// Lookup measures the read path on both layouts at two fixture sizes
+// and returns the machine-readable series. Loaded keys are even, so
+// the odd miss probes never hit; probe sets are drawn uniformly from
+// the loaded keys.
+func Lookup(p Params) []HotpathResult {
+	p.printf("## lookup: read-path trajectory (point/miss/batch/seek-scan), N=%d\n", p.N)
+	p.printf("# series\tlayout\tindex\tsize\tns/op\tallocs/op\n")
+
+	var results []HotpathResult
+	sizes := []int{p.N >> 2, p.N}
+	if sizes[0] < 1024 {
+		sizes = sizes[1:]
+	}
+
+	for _, lay := range []struct {
+		name string
+		l    core.Layout
+	}{{"clustered", core.LayoutClustered}, {"interleaved", core.LayoutInterleaved}} {
+		for _, size := range sizes {
+			cfg := core.DefaultConfig()
+			cfg.Adaptive = core.AdaptiveOff
+			cfg.Layout = lay.l
+			a := newCore(cfg)
+			keys := workload.Keys(workload.NewUniform(p.Seed, 0), size)
+			for i := range keys {
+				keys[i] &^= 1
+			}
+			for _, k := range keys {
+				if err := a.Insert(k, workload.ValueFor(k)); err != nil {
+					panic(err)
+				}
+			}
+
+			record := func(series string, ops int, ns, allocs float64) {
+				r := HotpathResult{
+					Series: series, Layout: lay.name, Rebalance: "rewired",
+					Index: indexLabel(cfg.Index), Size: size,
+					Ops: ops, NsPerOp: ns, AllocsPerOp: allocs,
+				}
+				results = append(results, r)
+				p.printf("%s\t%s\t%s\t%d\t%.1f\t%.4f\n",
+					series, lay.name, r.Index, size, ns, allocs)
+			}
+
+			rng := workload.NewRNG(p.Seed + 11)
+			nProbes := size / 2
+			probes := make([]int64, nProbes)
+			for i := range probes {
+				probes[i] = keys[rng.Uint64n(uint64(len(keys)))]
+			}
+			sortedProbes := append([]int64(nil), probes...)
+			sort.Slice(sortedProbes, func(i, j int) bool { return sortedProbes[i] < sortedProbes[j] })
+			misses := make([]int64, nProbes)
+			for i := range misses {
+				misses[i] = probes[i] | 1
+			}
+
+			// Point gets: random hits, sorted hits (the single-get
+			// baseline GetBatch must beat), guaranteed misses.
+			ns, allocs := measureBest(nProbes, func() {
+				for _, k := range probes {
+					v, _ := a.Find(k)
+					sink += v
+				}
+			})
+			record("point-get", nProbes, ns, allocs)
+
+			ns, allocs = measureBest(nProbes, func() {
+				for _, k := range sortedProbes {
+					v, _ := a.Find(k)
+					sink += v
+				}
+			})
+			record("point-get-sorted", nProbes, ns, allocs)
+
+			ns, allocs = measureBest(nProbes, func() {
+				for _, k := range misses {
+					v, _ := a.Find(k)
+					sink += v
+				}
+			})
+			record("miss-get", nProbes, ns, allocs)
+
+			// Batched gets over the same probe sets, ns attributed per
+			// probed key.
+			out := make([]core.Lookup, 0, lookupBatch)
+			for _, bs := range []struct {
+				series string
+				set    []int64
+			}{{"getbatch-random", probes}, {"getbatch-sorted", sortedProbes}} {
+				set := bs.set
+				ns, allocs = measureBest(len(set), func() {
+					for off := 0; off < len(set); off += lookupBatch {
+						end := min(off+lookupBatch, len(set))
+						out = a.FindBatch(set[off:end], out)
+						sink += out[0].Val
+					}
+				})
+				record(bs.series, len(set), ns, allocs)
+			}
+
+			// Seek-then-scan: one index-routed walker seek plus a short
+			// dense run — the pagination/merge-join shape.
+			const runLen = 64
+			nSeeks := max(nProbes/runLen, 1)
+			ns, allocs = measureBest(nSeeks, func() {
+				for i := 0; i < nSeeks; i++ {
+					w := a.NewWalker(probes[i%len(probes)], maxInt64)
+					for j := 0; j < runLen; j++ {
+						k, _, ok := w.Next()
+						if !ok {
+							break
+						}
+						sink += k
+					}
+				}
+			})
+			record("seek-scan", nSeeks, ns, allocs)
+		}
+	}
+	return results
+}

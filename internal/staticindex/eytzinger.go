@@ -1,0 +1,188 @@
+package staticindex
+
+// This file implements the Eytzinger index: the cache-optimal evolution
+// of the packed static index. Where Fig 5's layout packs each node's
+// keys contiguously and binary-searches inside the node, the Eytzinger
+// (BFS) layout places the j-th-level separators at array indices
+// 2^j..2^(j+1)-1, so a descent is a single branchless loop — one
+// compare, one shift-or per level, no inner binary search, no
+// arithmetic over subtree shapes — and the next level's candidates are
+// always at predictable indices that can be touched ahead of the
+// compare (software prefetch). Like Static it is rebuilt only at resize
+// points and supports O(1) single-separator updates through a position
+// map.
+
+import (
+	"math/bits"
+	"runtime"
+)
+
+// eytzLinearMax is the largest separator count served by the shallow
+// linear-probe fast path: small arrays fit their whole separator set in
+// a couple of cache lines, where a fixed branchless count beats even a
+// branchless descent.
+const eytzLinearMax = 16
+
+// Eytzinger indexes n segments through the n-1 separator keys
+// sep[1..n-1] (sep[j] = minimum key of segment j), stored in BFS order.
+type Eytzinger struct {
+	n int // number of indexed segments
+	m int // separators = n-1
+	// t is the 1-based Eytzinger array: t[0] unused, t[1..m] the
+	// separators in BFS order.
+	t []int64
+	// ord[k] is the 0-based sorted rank of the separator at Eytzinger
+	// slot k: the descent's exit slot maps back to a segment through it.
+	ord []int32
+	// pos[j] is the Eytzinger slot of separator ordinal j (1..m), for
+	// O(1) Update/Key.
+	pos []int32
+	// lin mirrors the separators in sorted order when m <= eytzLinearMax
+	// (nil otherwise): the linear fast path scans it branchlessly.
+	lin []int64
+}
+
+// NewEytzinger builds the index from segment minima (mins[0] is ignored,
+// as in a B+-tree the leftmost child needs no separator).
+func NewEytzinger(mins []int64) *Eytzinger {
+	n := len(mins)
+	if n == 0 {
+		panic("staticindex: no segments")
+	}
+	m := n - 1
+	e := &Eytzinger{
+		n:   n,
+		m:   m,
+		t:   make([]int64, m+1),
+		ord: make([]int32, m+1),
+		pos: make([]int32, n),
+	}
+	e.fill(mins, 1, 0)
+	if m <= eytzLinearMax {
+		e.lin = make([]int64, m)
+		copy(e.lin, mins[1:])
+	}
+	return e
+}
+
+// fill lays out the subtree rooted at Eytzinger slot k from the sorted
+// separators, consuming mins[1..] in order (in-order traversal of the
+// BFS-indexed tree visits slots in sorted-key order). It returns the
+// next sorted rank to place.
+func (e *Eytzinger) fill(mins []int64, k, next int) int {
+	if k > e.m {
+		return next
+	}
+	next = e.fill(mins, 2*k, next)
+	e.t[k] = mins[next+1] // separator ordinal next+1 has sorted rank next
+	e.ord[k] = int32(next)
+	e.pos[next+1] = int32(k)
+	next++
+	return e.fill(mins, 2*k+1, next)
+}
+
+// NumSegments returns the number of indexed segments.
+func (e *Eytzinger) NumSegments() int { return e.n }
+
+// FindUB returns the rightmost segment whose separator is <= key: the
+// segment where key must reside (for lookups) or be inserted.
+func (e *Eytzinger) FindUB(key int64) int {
+	if e.lin != nil {
+		c := 0
+		for _, s := range e.lin {
+			if s <= key {
+				c++
+			}
+		}
+		return c
+	}
+	return e.descend(key, false)
+}
+
+// FindLB returns the rightmost segment whose separator is < key. Range
+// scans start here so that duplicates of the range's lower bound sitting
+// in an earlier segment are not skipped.
+func (e *Eytzinger) FindLB(key int64) int {
+	if e.lin != nil {
+		c := 0
+		for _, s := range e.lin {
+			if s < key {
+				c++
+			}
+		}
+		return c
+	}
+	return e.descend(key, true)
+}
+
+// descend is the branchless Eytzinger search: at each level the next
+// slot is 2k (key routes left) or 2k+1 (right), encoded as a shift plus
+// the comparison bit — no branches, no node arithmetic. The exit slot's
+// trailing one-bits encode the last left turn; shifting them (plus one)
+// away recovers the slot of the first separator right of the key, whose
+// sorted rank is the answer. Before each compare the two cache lines
+// holding the grandchildren span (slots 4k..4k+3) are touched, so the
+// loads two levels down are in flight while the compare chain resolves;
+// runtime.KeepAlive makes the touch accumulator load-bearing without a
+// store, keeping the descent genuinely read-only (callers may share the
+// index across readers).
+func (e *Eytzinger) descend(key int64, strict bool) int {
+	t := e.t
+	m := uint(e.m)
+	k := uint(1)
+	var pf int64
+	if strict {
+		for k <= m {
+			if g := k << 2; g < uint(len(t)) {
+				pf += t[g]
+				if g3 := g | 3; g3 < uint(len(t)) {
+					pf += t[g3]
+				}
+			}
+			b := uint(0)
+			if t[k] < key {
+				b = 1
+			}
+			k = k<<1 | b
+		}
+	} else {
+		for k <= m {
+			if g := k << 2; g < uint(len(t)) {
+				pf += t[g]
+				if g3 := g | 3; g3 < uint(len(t)) {
+					pf += t[g3]
+				}
+			}
+			b := uint(0)
+			if t[k] <= key {
+				b = 1
+			}
+			k = k<<1 | b
+		}
+	}
+	runtime.KeepAlive(pf)
+	k >>= uint(bits.TrailingZeros(^k) + 1)
+	if k == 0 {
+		return int(m) // every separator routes left of the key
+	}
+	return int(e.ord[k])
+}
+
+// Update replaces the separator of segment j (1 <= j < n) in O(1).
+func (e *Eytzinger) Update(j int, newMin int64) {
+	if j <= 0 || j >= e.n {
+		panic("staticindex: Eytzinger Update out of range")
+	}
+	e.t[e.pos[j]] = newMin
+	if e.lin != nil {
+		e.lin[j-1] = newMin
+	}
+}
+
+// Key returns the current separator of segment j (1 <= j < n).
+func (e *Eytzinger) Key(j int) int64 { return e.t[e.pos[j]] }
+
+// FootprintBytes returns the memory held by the index.
+func (e *Eytzinger) FootprintBytes() int64 {
+	return int64(cap(e.t)+cap(e.lin))*8 + int64(cap(e.ord)+cap(e.pos))*4 + 64
+}

@@ -1,0 +1,192 @@
+package staticindex
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rma/internal/workload"
+)
+
+// dupMins builds a non-decreasing minima array with runs of duplicate
+// separators and, when tail > 0, a suffix of MaxInt64 sentinels — the
+// shape the engine hands the index when trailing segments are empty
+// (unset separators route everything left).
+func dupMins(n int, seed uint64, tail int) []int64 {
+	g := workload.NewRNG(seed)
+	mins := make([]int64, n)
+	var acc int64
+	for i := range mins {
+		acc += int64(g.Uint64n(3)) // 0 steps create duplicate runs
+		mins[i] = acc
+	}
+	for i := n - tail; i < n; i++ {
+		if i >= 0 {
+			mins[i] = math.MaxInt64
+		}
+	}
+	return mins
+}
+
+func TestEytzingerMatchesOracleAcrossShapes(t *testing.T) {
+	// Cover: the linear fast path (n-1 <= eytzLinearMax), the crossover,
+	// perfect trees (n-1 = 2^k - 1), and off-by-one shapes around them.
+	for _, n := range []int{1, 2, 3, 4, 15, 16, 17, 18, 31, 32, 33, 127, 128, 129, 518, 1024} {
+		for _, tail := range []int{0, 1, n / 2} {
+			mins := dupMins(n, uint64(n)*31+uint64(tail), tail)
+			e := NewEytzinger(mins)
+			if e.NumSegments() != n {
+				t.Fatalf("n=%d: NumSegments = %d", n, e.NumSegments())
+			}
+			probes := []int64{mins[0] - 10, mins[0], mins[n-1], math.MaxInt64, math.MinInt64}
+			for j := 0; j < n; j++ {
+				probes = append(probes, mins[j], mins[j]-1, mins[j]+1)
+			}
+			for _, key := range probes {
+				if got, want := e.FindUB(key), refUB(mins, key); got != want {
+					t.Fatalf("n=%d tail=%d FindUB(%d): got %d want %d", n, tail, key, got, want)
+				}
+				if got, want := e.FindLB(key), refLB(mins, key); got != want {
+					t.Fatalf("n=%d tail=%d FindLB(%d): got %d want %d", n, tail, key, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEytzingerKeysAndUpdate(t *testing.T) {
+	for _, n := range []int{2, 9, 17, 100, 518} { // both sides of the linear cutoff
+		mins := sortedMins(n, uint64(n))
+		e := NewEytzinger(mins)
+		for j := 1; j < n; j++ {
+			if e.Key(j) != mins[j] {
+				t.Fatalf("n=%d: Key(%d) = %d, want %d", n, j, e.Key(j), mins[j])
+			}
+		}
+		j := n / 2
+		if j == 0 {
+			j = 1
+		}
+		newMin := mins[j] + 1
+		e.Update(j, newMin)
+		mins[j] = newMin
+		if e.Key(j) != newMin {
+			t.Fatalf("n=%d: update not visible", n)
+		}
+		for _, key := range []int64{newMin - 1, newMin, newMin + 1} {
+			if got, want := e.FindUB(key), refUB(mins, key); got != want {
+				t.Fatalf("n=%d after update FindUB(%d): got %d want %d", n, key, got, want)
+			}
+			if got, want := e.FindLB(key), refLB(mins, key); got != want {
+				t.Fatalf("n=%d after update FindLB(%d): got %d want %d", n, key, got, want)
+			}
+		}
+	}
+}
+
+func TestEytzingerDuplicateSeparators(t *testing.T) {
+	mins := []int64{5, 10, 10, 10, 20}
+	// Both sides of the linear cutoff must agree on duplicate routing.
+	for _, force := range []bool{false, true} {
+		e := NewEytzinger(mins)
+		if force {
+			e.lin = nil // exercise the descent on the same shape
+		}
+		if got := e.FindUB(10); got != 3 {
+			t.Fatalf("force=%v FindUB(10) = %d, want 3", force, got)
+		}
+		if got := e.FindLB(10); got != 0 {
+			t.Fatalf("force=%v FindLB(10) = %d, want 0", force, got)
+		}
+		if got := e.FindLB(11); got != 3 {
+			t.Fatalf("force=%v FindLB(11) = %d, want 3", force, got)
+		}
+	}
+}
+
+func TestEytzingerPanicsOnBadArgs(t *testing.T) {
+	mins := sortedMins(4, 1)
+	for name, fn := range map[string]func(){
+		"empty":      func() { NewEytzinger(nil) },
+		"update0":    func() { NewEytzinger(mins).Update(0, 1) },
+		"updateHigh": func() { NewEytzinger(mins).Update(4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestEytzingerAgainstDescentsProperty pins the tentpole equivalence:
+// the Eytzinger descent answers exactly like the paper's static index
+// and the flat dynamic index on arbitrary shapes and probes.
+func TestEytzingerAgainstDescentsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, tailRaw, fRaw uint8) bool {
+		n := int(nRaw%1000) + 1
+		tail := int(tailRaw) % n
+		fanout := int(fRaw%63) + 2
+		mins := dupMins(n, seed, tail)
+		e := NewEytzinger(mins)
+		s := NewStatic(mins, fanout)
+		d := NewDynamic(mins)
+		g := workload.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+		for i := 0; i < 40; i++ {
+			key := int64(g.Uint64())
+			if i%4 == 0 {
+				key = mins[g.Uint64n(uint64(n))] + int64(g.Uint64n(3)) - 1
+			}
+			if e.FindUB(key) != s.FindUB(key) || e.FindLB(key) != s.FindLB(key) {
+				return false
+			}
+			if e.FindUB(key) != d.FindUB(key) || e.FindLB(key) != d.FindLB(key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzIndexDescent cross-checks all three index kinds and the naive
+// oracle on fuzzer-chosen shapes (duplicate runs, unset-separator
+// tails) and probe keys.
+func FuzzIndexDescent(f *testing.F) {
+	f.Add(uint64(1), uint16(1), uint8(0), int64(0))
+	f.Add(uint64(7), uint16(17), uint8(3), int64(math.MaxInt64))
+	f.Add(uint64(42), uint16(518), uint8(0), int64(-1))
+	f.Add(uint64(3), uint16(64), uint8(63), int64(12))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16, tailRaw uint8, key int64) {
+		n := int(nRaw%1024) + 1
+		tail := int(tailRaw) % n
+		mins := dupMins(n, seed, tail)
+		e := NewEytzinger(mins)
+		s := NewStatic(mins, 65)
+		d := NewDynamic(mins)
+		wantUB, wantLB := refUB(mins, key), refLB(mins, key)
+		if got := e.FindUB(key); got != wantUB {
+			t.Fatalf("eytzinger FindUB(%d) = %d, want %d (n=%d tail=%d)", key, got, wantUB, n, tail)
+		}
+		if got := e.FindLB(key); got != wantLB {
+			t.Fatalf("eytzinger FindLB(%d) = %d, want %d (n=%d tail=%d)", key, got, wantLB, n, tail)
+		}
+		if got := s.FindUB(key); got != wantUB {
+			t.Fatalf("static FindUB(%d) = %d, want %d", key, got, wantUB)
+		}
+		if got := d.FindUB(key); got != wantUB {
+			t.Fatalf("dynamic FindUB(%d) = %d, want %d", key, got, wantUB)
+		}
+		if got := s.FindLB(key); got != wantLB {
+			t.Fatalf("static FindLB(%d) = %d, want %d", key, got, wantLB)
+		}
+		if got := d.FindLB(key); got != wantLB {
+			t.Fatalf("dynamic FindLB(%d) = %d, want %d", key, got, wantLB)
+		}
+	})
+}

@@ -163,32 +163,39 @@ func NewDynamic(mins []int64) *Dynamic {
 // NumSegments returns the number of indexed segments.
 func (d *Dynamic) NumSegments() int { return len(d.mins) }
 
-// FindUB returns the rightmost segment whose separator is <= key.
+// FindUB returns the rightmost segment whose separator is <= key: the
+// strict bound of the next key up, saturating at the domain maximum
+// (every separator is <= MaxInt64).
 func (d *Dynamic) FindUB(key int64) int {
-	lo, hi := 1, len(d.mins) // search in mins[1..n)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if d.mins[mid] <= key {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	if key == int64(^uint64(0)>>1) {
+		return len(d.mins) - 1
 	}
-	return lo - 1
+	return LowerBound(d.mins[1:], key+1)
 }
 
 // FindLB returns the rightmost segment whose separator is < key.
-func (d *Dynamic) FindLB(key int64) int {
-	lo, hi := 1, len(d.mins)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if d.mins[mid] < key {
-			lo = mid + 1
-		} else {
-			hi = mid
+func (d *Dynamic) FindLB(key int64) int { return LowerBound(d.mins[1:], key) }
+
+// LowerBound returns the number of elements of the sorted slice
+// strictly below x — equivalently the first index holding a value
+// >= x. It is the one branchless search primitive shared by the
+// Dynamic index routings and the engine's in-segment run probes:
+// fixed-iteration halving where each step's decision is a conditional
+// move, never a mispredictable jump, so a w-element search always
+// costs exactly ceil(log2 w) predictable steps.
+func LowerBound(sorted []int64, x int64) int {
+	base, n := 0, len(sorted)
+	for n > 1 {
+		half := n >> 1
+		if sorted[base+half-1] < x {
+			base += half
 		}
+		n -= half
 	}
-	return lo - 1
+	if n == 1 && sorted[base] < x {
+		base++
+	}
+	return base
 }
 
 // Update replaces the separator of segment j.

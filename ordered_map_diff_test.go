@@ -124,6 +124,21 @@ func checkQueries(t *testing.T, om OrderedMap, m *refModel, probes []int64) {
 		}
 	}
 
+	// GetBatch must answer the probe set exactly like per-probe Find
+	// (probes arrive unsorted, with duplicates across iterations).
+	batch := om.GetBatch(probes, nil)
+	if len(batch) != len(probes) {
+		t.Fatalf("GetBatch returned %d results for %d probes", len(batch), len(probes))
+	}
+	for i, x := range probes {
+		wantIdx := lbSlice(m.keys, x)
+		wantFound := wantIdx < n && m.keys[wantIdx] == x
+		if batch[i].OK != wantFound || (wantFound && batch[i].Val != diffVal(x)) {
+			t.Fatalf("GetBatch[%d] key %d = (%d,%v), want found=%v",
+				i, x, batch[i].Val, batch[i].OK, wantFound)
+		}
+	}
+
 	// Select over the full index range plus out-of-range probes.
 	for _, i := range []int{-1, 0, n / 3, n / 2, n - 1, n} {
 		k, v, ok := om.Select(i)

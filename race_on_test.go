@@ -1,0 +1,9 @@
+//go:build race
+
+package rma
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build: allocation-regression tests that pin sync.Pool-backed paths at
+// zero skip under -race, where the pool intentionally allocates to
+// randomize scheduling.
+const raceEnabled = true

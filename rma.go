@@ -13,7 +13,9 @@
 //   - clustering: segment contents pack toward alternating segment ends,
 //     so each segment pair exposes one contiguous run and scans pay no
 //     per-slot gap checks;
-//   - a static, pointer-free index routing keys to segments;
+//   - a static, pointer-free index routing keys to segments — upgraded
+//     here to a branchless Eytzinger-layout descent by default, with
+//     the paper's exact Fig 5 index behind WithIndexKind;
 //   - memory rewiring: rebalances write each element once into spare
 //     pages and swap virtual page-table entries instead of copying twice;
 //   - adaptive rebalancing: a Detector recognizes skewed ("hammered")
@@ -44,6 +46,16 @@
 // Value, SeekGE repositioning via the static index) for merge joins and
 // pagination. Iterators and cursors are snapshot-free: mutating the
 // array invalidates them.
+//
+// # Batched lookups
+//
+// GetBatch resolves many point lookups in one call: the probe set is
+// sorted once (an allocation-free radix sort) and adjacent probes share
+// index descents through last-segment memoization and a galloping
+// separator advance, so a batch beats the equivalent loop of Find calls
+// on sorted and random probe sets alike. Every backend implements it;
+// the Sharded form groups probes per shard first and locks each shard
+// exactly once.
 //
 // # Navigation and order statistics
 //
@@ -141,6 +153,29 @@ func WithMemoryRewiring(on bool) Option {
 	}
 }
 
+// IndexKind selects the structure that routes keys to segments; see the
+// core kinds re-exported below.
+type IndexKind = core.IndexKind
+
+// The segment-index kinds accepted by WithIndexKind.
+const (
+	// IndexEytzinger (the default) stores separators in BFS order and
+	// descends branchlessly with software prefetch of the levels ahead.
+	IndexEytzinger = core.IndexEytzinger
+	// IndexStatic is the paper's pointer-free packed index (Fig 5).
+	IndexStatic = core.IndexStatic
+	// IndexDynamic is the traditional flat sorted side index.
+	IndexDynamic = core.IndexDynamic
+)
+
+// WithIndexKind selects the segment-index structure — the escape hatch
+// back to the paper's exact Fig 5 index (IndexStatic) or the
+// traditional side index (IndexDynamic) from the default branchless
+// Eytzinger descent.
+func WithIndexKind(k IndexKind) Option {
+	return func(o *options) { o.cfg.Index = k }
+}
+
 // WithPageCapacity sets the rewiring page size in slots (power of two,
 // >= 2*B; default 2048 slots = 16 KB per page and array). Smaller pages
 // rewire more often; larger pages amortize swaps over more data.
@@ -201,6 +236,18 @@ func (r *Array) Delete(key int64) (bool, error) { return r.a.Delete(key) }
 
 // Find returns a value stored under key.
 func (r *Array) Find(key int64) (int64, bool) { return r.a.Find(key) }
+
+// Lookup is one GetBatch result: the value found under the probed key
+// and whether the key was present.
+type Lookup = core.Lookup
+
+// GetBatch resolves a batch of point lookups at once: out is grown to
+// len(keys) (reused when its capacity suffices) and out[i] answers
+// keys[i]. The batch sorts its probe set once and amortizes index
+// descents across adjacent keys, so it beats len(keys) individual Find
+// calls on both sorted and random probe sets; steady-state calls are
+// allocation-free.
+func (r *Array) GetBatch(keys []int64, out []Lookup) []Lookup { return r.a.FindBatch(keys, out) }
 
 // Contains reports whether key is stored.
 func (r *Array) Contains(key int64) bool { return r.a.Contains(key) }

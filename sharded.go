@@ -147,6 +147,14 @@ func (s *Sharded) ApplyBatch(ops []BatchOp) (deleted int, err error) {
 // Find returns a value stored under key.
 func (s *Sharded) Find(key int64) (int64, bool) { return s.m.Find(key) }
 
+// GetBatch resolves a batch of point lookups: out is grown to
+// len(keys) (reused when its capacity suffices) and out[i] answers
+// keys[i]. Probes are grouped per shard in one counting-sort pass, so
+// each shard is locked exactly once and its group rides the engine's
+// descent-amortizing batch path. Like every multi-shard operation the
+// batch is consistent per shard, not across shards.
+func (s *Sharded) GetBatch(keys []int64, out []Lookup) []Lookup { return s.m.GetBatch(keys, out) }
+
 // Contains reports whether key is stored.
 func (s *Sharded) Contains(key int64) bool { return s.m.Contains(key) }
 

@@ -189,6 +189,25 @@ func tortureProbe(t *testing.T, g int, s *Sharded, local *refModel, rng *workloa
 		}
 	}
 
+	// Batched point lookups on the own stripe: GetBatch (per-shard
+	// grouping, pooled scratch, engine batch path under each shard
+	// lock) must agree with the exact own-stripe expectation while
+	// every other stripe mutates concurrently.
+	batch := make([]int64, 32)
+	for i := range batch {
+		batch[i] = tortureStripeKey(g, rng.Uint64())
+	}
+	res := s.GetBatch(batch, nil)
+	for i, k := range batch {
+		wantIdx := lbSlice(local.keys, k)
+		want := wantIdx < len(local.keys) && local.keys[wantIdx] == k
+		if res[i].OK != want || (want && res[i].Val != diffVal(k)) {
+			t.Errorf("g%d: GetBatch[%d] key %d = (%d,%v), want found=%v",
+				g, i, k, res[i].Val, res[i].OK, want)
+			return
+		}
+	}
+
 	// Floor/Ceiling bounds: the global answer can only be tighter than
 	// the own-stripe answer, never on the wrong side of the probe.
 	x := tortureStripeKey(g, rng.Uint64())
@@ -287,6 +306,9 @@ func TestShardedConcurrentBatches(t *testing.T) {
 		readers.Add(1)
 		go func(g int) {
 			defer readers.Done()
+			rng := workload.NewRNG(uint64(8000 + g))
+			probes := make([]int64, 48)
+			var res []Lookup
 			for {
 				select {
 				case <-stop:
@@ -306,6 +328,19 @@ func TestShardedConcurrentBatches(t *testing.T) {
 				if cnt := s.CountRange(minInt64, maxInt64); cnt < 0 {
 					t.Errorf("reader %d: negative CountRange %d", g, cnt)
 					return
+				}
+				// Batched lookups race the batch writers: any hit must
+				// carry the key's one true value (writers only ever
+				// store diffVal(k)).
+				for i := range probes {
+					probes[i] = int64(rng.Uint64n(tortureKeySpace + 100))
+				}
+				res = s.GetBatch(probes, res)
+				for i, k := range probes {
+					if res[i].OK && res[i].Val != diffVal(k) {
+						t.Errorf("reader %d: GetBatch key %d = %d, want %d", g, k, res[i].Val, diffVal(k))
+						return
+					}
 				}
 			}
 		}(g)
