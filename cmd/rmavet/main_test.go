@@ -1,0 +1,87 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rma/internal/analyzers/noalloc"
+	"rma/internal/analyzers/rig"
+)
+
+// loadRepo loads the real module once per test binary.
+func loadRepo(t *testing.T) (string, *rig.Module) {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rig.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, m
+}
+
+// TestRepoClean runs the full analyzer suite over this repository and
+// demands zero findings: the contracts rmavet enforces must hold on the
+// code that ships. A failure here is either a real contract violation
+// or a missing //rma: annotation — both belong in the diff that caused
+// them.
+func TestRepoClean(t *testing.T) {
+	_, m := loadRepo(t)
+	diags, err := rig.Run(m, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", m.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// TestNoallocClosure pins the shape of the //rma:noalloc closure: the
+// roots named in PERFORMANCE.md must be present, and the closure must
+// stay big enough that an accidentally-dropped directive (a doc-comment
+// rewrite eating the annotation) is caught even while the analyzers
+// themselves keep passing vacuously.
+func TestNoallocClosure(t *testing.T) {
+	_, m := loadRepo(t)
+	closure := noalloc.Closure(m)
+	byName := make(map[string]bool, len(closure))
+	for _, cf := range closure {
+		byName[cf.Name] = true
+	}
+	for _, want := range []string{
+		"(*rma/internal/core.Array).Insert",
+		"(*rma/internal/core.Array).Delete",
+		"(*rma/internal/core.Array).FindBatch",
+		"(*rma/internal/core.Walker).SeekGE",
+		"(*rma/internal/core.Walker).Next",
+		"(*rma/internal/detector.Detector).Marks",
+		"rma/internal/core.swarFindEq",
+	} {
+		if !byName[want] {
+			t.Errorf("%s missing from the //rma:noalloc closure", want)
+		}
+	}
+	if len(closure) < 50 {
+		t.Errorf("closure has %d functions, expected at least 50 — did a //rma:noalloc directive go missing?", len(closure))
+	}
+}
+
+// TestEscapeGateClean runs the compiler-backed escape gate over the
+// repository: no heap escape may land in the //rma:noalloc closure on a
+// line the annotations do not excuse. The diagnostics replay from the
+// build cache, so repeat runs are cheap.
+func TestEscapeGateClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("escape gate rebuilds the module with -gcflags=-m -l")
+	}
+	root, m := loadRepo(t)
+	n, err := escapeGate(root, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 {
+		t.Errorf("escape gate reported %d finding(s); run `go run ./cmd/rmavet -escapes` for details", n)
+	}
+}

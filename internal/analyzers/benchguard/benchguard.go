@@ -1,0 +1,216 @@
+// Package benchguard pins the BENCH_hotpath.json schema: the repo's
+// benchmark history is only comparable across commits if every
+// experiment records the same identifying fields, and nothing checks
+// that at run time — a field silently dropped from one experiment's
+// result literal shows up months later as an unplottable hole.
+//
+// Two rules, anchored on exp.HotpathResult (any package ending
+// internal/exp) and on snapshot structs (any struct with a
+// []HotpathResult field — cmd/rmabench's hotpathSnapshot):
+//
+//   - Every field of these structs must carry a json tag, so renames
+//     are deliberate schema changes, not Go-side identifier drift.
+//   - Every keyed HotpathResult composite literal must set the
+//     identifying fields Series, Layout, Rebalance, Ops, NsPerOp; a
+//     snapshot literal must set every one of its fields. (Positional
+//     literals set everything by construction.)
+package benchguard
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"rma/internal/analyzers/rig"
+)
+
+// Analyzer is the benchguard analysis.
+var Analyzer = &rig.Analyzer{
+	Name: "benchguard",
+	Doc:  "pin the BENCH_hotpath.json schema: json tags and required result fields",
+	Run:  run,
+}
+
+// requiredResult are the identifying fields every experiment's
+// HotpathResult must record.
+var requiredResult = []string{"Series", "Layout", "Rebalance", "Ops", "NsPerOp"}
+
+func run(pass *rig.Pass) error {
+	result := findHotpathResult(pass.Module)
+	if result == nil {
+		return nil // nothing to guard (fixture without the anchor type)
+	}
+	snapshots := findSnapshotStructs(pass.Module, result)
+
+	required := map[*types.TypeName][]string{result: requiredResult}
+	for _, tn := range snapshots {
+		required[tn] = allFields(tn)
+	}
+	for tn := range required {
+		checkTags(pass, tn)
+	}
+	checkLiterals(pass, required)
+	return nil
+}
+
+// findHotpathResult locates the schema anchor type.
+func findHotpathResult(m *rig.Module) *types.TypeName {
+	for _, pkg := range m.Sorted {
+		if !strings.HasSuffix(pkg.Path, "internal/exp") {
+			continue
+		}
+		if tn, ok := pkg.Types.Scope().Lookup("HotpathResult").(*types.TypeName); ok {
+			return tn
+		}
+	}
+	return nil
+}
+
+// findSnapshotStructs returns every named struct with a []HotpathResult
+// field — the file-level envelope types that embed result slices.
+func findSnapshotStructs(m *rig.Module, result *types.TypeName) []*types.TypeName {
+	var out []*types.TypeName
+	for _, pkg := range m.Sorted {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn == result {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				sl, ok := st.Field(i).Type().Underlying().(*types.Slice)
+				if !ok {
+					continue
+				}
+				if named, ok := sl.Elem().(*types.Named); ok && named.Obj() == result {
+					out = append(out, tn)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func allFields(tn *types.TypeName) []string {
+	st := tn.Type().Underlying().(*types.Struct)
+	fields := make([]string, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields = append(fields, st.Field(i).Name())
+	}
+	return fields
+}
+
+// checkTags requires a json tag on every field of the schema struct,
+// reporting at the field's declaration.
+func checkTags(pass *rig.Pass, tn *types.TypeName) {
+	spec := findTypeSpec(pass.Module, tn)
+	if spec == nil {
+		return
+	}
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, fld := range st.Fields.List {
+		tagged := false
+		if fld.Tag != nil {
+			tag := strings.Trim(fld.Tag.Value, "`")
+			if _, ok := reflect.StructTag(tag).Lookup("json"); ok {
+				tagged = true
+			}
+		}
+		if !tagged {
+			for _, name := range fld.Names {
+				pass.Reportf(name.Pos(),
+					"benchmark schema field %s.%s has no json tag (BENCH_hotpath.json schema drift)",
+					tn.Name(), name.Name)
+			}
+		}
+	}
+}
+
+func findTypeSpec(m *rig.Module, tn *types.TypeName) *ast.TypeSpec {
+	for _, pkg := range m.Sorted {
+		if pkg.Types != tn.Pkg() {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if ok && pkg.Info.Defs[ts.Name] == tn {
+						return ts
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkLiterals flags keyed composite literals of schema structs that
+// omit required fields.
+func checkLiterals(pass *rig.Pass, required map[*types.TypeName][]string) {
+	for _, pkg := range pass.Module.Sorted {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[lit]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				t := tv.Type
+				if p, ok := t.Underlying().(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				named, ok := t.(*types.Named)
+				if !ok {
+					return true
+				}
+				req, ok := required[named.Obj()]
+				if !ok {
+					return true
+				}
+				// Positional literals set every field by construction.
+				if len(lit.Elts) > 0 {
+					if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+						return true
+					}
+				}
+				set := make(map[string]bool, len(lit.Elts))
+				for _, elt := range lit.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							set[id.Name] = true
+						}
+					}
+				}
+				var missing []string
+				for _, f := range req {
+					if !set[f] {
+						missing = append(missing, f)
+					}
+				}
+				if len(missing) > 0 {
+					pass.Reportf(lit.Pos(),
+						"%s literal missing required schema field(s) %s (BENCH_hotpath.json records would drift)",
+						named.Obj().Name(), strings.Join(missing, ", "))
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package benchguard_test
+
+import (
+	"testing"
+
+	"rma/internal/analyzers/benchguard"
+	"rma/internal/analyzers/rigtest"
+)
+
+func TestBenchguard(t *testing.T) {
+	rigtest.Run(t, "testdata/src/fixture", "fix/internal/exp", benchguard.Analyzer)
+}

@@ -1,0 +1,51 @@
+// Package fixture is benchguard's golden test: a miniature of the
+// BENCH_hotpath.json schema types with seeded drift.
+package fixture
+
+// HotpathResult mirrors exp.HotpathResult (the fixture package path
+// ends internal/exp, so it anchors the schema).
+type HotpathResult struct {
+	Series    string  `json:"series"`
+	Layout    string  `json:"layout"`
+	Rebalance string  `json:"rebalance"`
+	Ops       int     `json:"ops"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	P99Ns     float64 // want `benchmark schema field HotpathResult\.P99Ns has no json tag`
+}
+
+// snapshot mirrors rmabench's hotpathSnapshot envelope.
+type snapshot struct {
+	Label   string          `json:"label"`
+	Seed    int64           // want `benchmark schema field snapshot\.Seed has no json tag`
+	Results []HotpathResult `json:"results"`
+}
+
+func good() snapshot {
+	r := HotpathResult{Series: "put", Layout: "interleaved", Rebalance: "rewired", Ops: 1, NsPerOp: 2}
+	return snapshot{Label: "x", Seed: 1, Results: []HotpathResult{r}}
+}
+
+func badResult() HotpathResult {
+	return HotpathResult{ // want `HotpathResult literal missing required schema field\(s\) Layout`
+		Series:    "put",
+		Rebalance: "rewired",
+		Ops:       1,
+		NsPerOp:   2,
+	}
+}
+
+func badSnapshot() snapshot {
+	return snapshot{Label: "x"} // want `snapshot literal missing required schema field\(s\) Seed, Results`
+}
+
+// positional literals set every field by construction.
+func positional() HotpathResult {
+	return HotpathResult{"put", "interleaved", "rewired", 1, 2, 3}
+}
+
+var (
+	_ = good
+	_ = badResult
+	_ = badSnapshot
+	_ = positional
+)

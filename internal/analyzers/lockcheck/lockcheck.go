@@ -1,0 +1,614 @@
+// Package lockcheck enforces the shard layer's locking discipline (the
+// contract CONCURRENCY.md states in prose):
+//
+//   - Guarded state — any field of a struct that pairs a mutex named mu
+//     with the data it protects (internal/shard's cell) — may only be
+//     touched while that struct's mu is held. Taking the struct's
+//     address and locking its mu are, of course, allowed first.
+//   - A guarded struct passed to a helper function must already be
+//     locked by the caller; inside the helper the parameter is assumed
+//     locked (the flushDeferred(s *cell) convention).
+//   - Nested acquisition of two shard locks must be provably in
+//     ascending shard-index order; anything the analyzer cannot prove
+//     ascending is reported (the repo's contract is stronger still:
+//     current code never holds two shard locks at once).
+//   - Ordered snapshot reads (IterAscend, IterDescend, ScanRange, Sum)
+//     on a guarded engine must be preceded, in the same critical
+//     section, by a flush of deferred rebalance work — either a direct
+//     FlushPending call or a helper like flushDeferred that performs
+//     one (flush-on-snapshot).
+//
+// Constructors that fill guarded state before the value is shared carry
+// the //rma:init directive and are skipped.
+//
+// The analysis is a linear, statement-ordered scan per function — not a
+// full dataflow lattice. Branches whose body ends in return/break/
+// continue/panic do not leak their lock-state changes into the
+// fall-through path, which is exactly enough precision for the shard
+// package's lock/unlock shapes.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"rma/internal/analyzers/rig"
+)
+
+// Analyzer is the lockcheck analysis.
+var Analyzer = &rig.Analyzer{
+	Name: "lockcheck",
+	Doc:  "enforce per-shard lock discipline, ascending lock order, and flush-on-snapshot",
+	Run:  run,
+}
+
+// snapshotMethods are the ordered reads that require a preceding flush
+// of deferred rebalance work in the same critical section.
+var snapshotMethods = map[string]bool{
+	"IterAscend":  true,
+	"IterDescend": true,
+	"ScanRange":   true,
+	"Sum":         true,
+}
+
+func run(pass *rig.Pass) error {
+	guarded := collectGuarded(pass.Module)
+	if len(guarded) == 0 {
+		return nil
+	}
+	c := &checker{
+		pass:      pass,
+		guarded:   guarded,
+		flushMemo: make(map[*types.Func]map[int]bool),
+	}
+	for _, pkg := range pass.Module.Sorted {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if rig.HasDirective(fd, rig.DirInit) {
+					continue
+				}
+				c.checkFunc(pkg, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// collectGuarded finds every named struct type in the module with a
+// field named exactly "mu" of type sync.Mutex.
+func collectGuarded(m *rig.Module) map[*types.TypeName]bool {
+	guarded := make(map[*types.TypeName]bool)
+	for _, pkg := range m.Sorted {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if f.Name() != "mu" {
+					continue
+				}
+				ft, ok := f.Type().(*types.Named)
+				if ok && ft.Obj().Name() == "Mutex" &&
+					ft.Obj().Pkg() != nil && ft.Obj().Pkg().Path() == "sync" {
+					guarded[tn] = true
+				}
+			}
+		}
+	}
+	return guarded
+}
+
+// heldLock is one currently-held shard lock, with its container and
+// index expression when the base was formed as &container[index].
+type heldLock struct {
+	base      string
+	container string
+	index     ast.Expr
+}
+
+// aliasInfo records that a local variable was bound to &container[index].
+type aliasInfo struct {
+	container string
+	index     ast.Expr
+}
+
+// funcState is the linear scan's lock state at one program point.
+type funcState struct {
+	locked  map[string]bool
+	flushed map[string]bool
+	held    []heldLock
+	alias   map[string]aliasInfo
+}
+
+func newState() *funcState {
+	return &funcState{
+		locked:  make(map[string]bool),
+		flushed: make(map[string]bool),
+		alias:   make(map[string]aliasInfo),
+	}
+}
+
+func (st *funcState) clone() *funcState {
+	c := newState()
+	for k, v := range st.locked {
+		c.locked[k] = v
+	}
+	for k, v := range st.flushed {
+		c.flushed[k] = v
+	}
+	for k, v := range st.alias {
+		c.alias[k] = v
+	}
+	c.held = append(c.held, st.held...)
+	return c
+}
+
+type checker struct {
+	pass      *rig.Pass
+	guarded   map[*types.TypeName]bool
+	flushMemo map[*types.Func]map[int]bool
+
+	pkg *rig.Package
+	st  *funcState
+}
+
+// checkFunc scans one function. Parameters (and a receiver) of
+// pointer-to-guarded type are assumed locked by the caller — the
+// flushDeferred(s *cell) convention; the matching caller-side rule
+// requires the lock at every call site.
+func (c *checker) checkFunc(pkg *rig.Package, fd *ast.FuncDecl) {
+	c.pkg = pkg
+	c.st = newState()
+	fields := []*ast.Field{}
+	if fd.Recv != nil {
+		fields = append(fields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		fields = append(fields, fd.Type.Params.List...)
+	}
+	for _, fld := range fields {
+		for _, name := range fld.Names {
+			obj := pkg.Info.Defs[name]
+			if obj != nil && c.isGuarded(obj.Type()) {
+				c.st.locked[name.Name] = true
+			}
+		}
+	}
+	c.stmts(fd.Body.List)
+}
+
+// isGuarded reports whether t (possibly behind a pointer) is a guarded
+// struct type.
+func (c *checker) isGuarded(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return c.guarded[named.Obj()]
+}
+
+func (c *checker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.expr(r)
+		}
+		c.recordAliases(s)
+		for _, l := range s.Lhs {
+			c.expr(l)
+		}
+	case *ast.DeferStmt:
+		if base, op := c.lockOp(s.Call); base != nil && op == "Unlock" {
+			return // deferred unlock: the lock stays held to function end
+		}
+		c.expr(s.Call)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.expr(s.Cond)
+		saved := c.st.clone()
+		c.stmts(s.Body.List)
+		if terminates(s.Body) {
+			c.st = saved
+		}
+		if s.Else != nil {
+			savedElse := c.st.clone()
+			c.stmt(s.Else)
+			if b, ok := s.Else.(*ast.BlockStmt); ok && terminates(b) {
+				c.st = savedElse
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		c.stmts(s.Body.List)
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.stmts(s.Body.List)
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		c.clauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.clauses(s.Body)
+	case *ast.SelectStmt:
+		c.clauses(s.Body)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		c.expr(s.Call)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	}
+}
+
+// clauses scans switch/select clause bodies as alternatives: state
+// changes inside one clause never leak into the next or the fall-through.
+func (c *checker) clauses(body *ast.BlockStmt) {
+	for _, cl := range body.List {
+		saved := c.st.clone()
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.expr(e)
+			}
+			c.stmts(cl.Body)
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.stmt(cl.Comm)
+			}
+			c.stmts(cl.Body)
+		}
+		c.st = saved
+	}
+}
+
+// terminates reports whether a block always leaves the enclosing path
+// (return, break/continue/goto, or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recordAliases tracks s := &container[index] bindings so lock-order
+// checks can compare shard indices. Rebinding a name discards any lock
+// state the old binding carried.
+func (c *checker) recordAliases(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		un, ok := ast.Unparen(as.Rhs[i]).(*ast.UnaryExpr)
+		if !ok || un.Op.String() != "&" {
+			continue
+		}
+		ix, ok := ast.Unparen(un.X).(*ast.IndexExpr)
+		if !ok || !c.isGuarded(c.typeOf(un.X)) {
+			continue
+		}
+		c.st.alias[id.Name] = aliasInfo{
+			container: types.ExprString(ix.X),
+			index:     ix.Index,
+		}
+		delete(c.st.locked, id.Name)
+		delete(c.st.flushed, id.Name)
+		c.dropHeld(id.Name)
+	}
+}
+
+func (c *checker) dropHeld(base string) {
+	held := c.st.held[:0]
+	for _, h := range c.st.held {
+		if h.base != base {
+			held = append(held, h)
+		}
+	}
+	c.st.held = held
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// expr scans one expression in syntax order, firing lock events and
+// access checks.
+func (c *checker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.SelectorExpr:
+			c.access(n)
+		case *ast.FuncLit:
+			// A function literal's body runs at some later time; analyze
+			// it with no locks assumed held.
+			saved := c.st
+			c.st = newState()
+			c.stmts(n.Body.List)
+			c.st = saved
+			return false
+		}
+		return true
+	})
+}
+
+// lockOp matches <base>.mu.Lock() / <base>.mu.Unlock() on a guarded
+// base, returning the base expression and the operation name.
+func (c *checker) lockOp(call *ast.CallExpr) (ast.Expr, string) {
+	outer, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (outer.Sel.Name != "Lock" && outer.Sel.Name != "Unlock") {
+		return nil, ""
+	}
+	inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "mu" || !c.isGuarded(c.typeOf(inner.X)) {
+		return nil, ""
+	}
+	return inner.X, outer.Sel.Name
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	if base, op := c.lockOp(call); base != nil {
+		if op == "Lock" {
+			c.lockEvent(base, call)
+		} else {
+			c.unlockEvent(base)
+		}
+		return
+	}
+
+	// <base>.<field>.Method(...) on a guarded base: flush bookkeeping
+	// and the flush-on-snapshot rule.
+	if outer, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr); ok &&
+			inner.Sel.Name != "mu" && c.isGuarded(c.typeOf(inner.X)) {
+			base := types.ExprString(inner.X)
+			switch {
+			case outer.Sel.Name == "FlushPending":
+				c.st.flushed[base] = true
+			case snapshotMethods[outer.Sel.Name]:
+				if !c.st.flushed[base] {
+					c.pass.Reportf(call.Pos(),
+						"snapshot read %s.%s.%s without flush-on-snapshot: flush deferred work (FlushPending or a flushing helper) in the same critical section first",
+						base, inner.Sel.Name, outer.Sel.Name)
+				}
+			}
+		}
+	}
+
+	// Guarded values passed as arguments must already be locked; the
+	// callee may flush them on the caller's behalf (flushDeferred).
+	callee := c.calleeFunc(call)
+	for i, arg := range call.Args {
+		if !c.isGuarded(c.typeOf(arg)) {
+			continue
+		}
+		base := types.ExprString(arg)
+		if !c.st.locked[base] {
+			c.pass.Reportf(arg.Pos(),
+				"guarded shard %s passed to call without holding %s.mu", base, base)
+		}
+		if callee != nil && c.flushesParam(callee)[i] {
+			c.st.flushed[base] = true
+		}
+	}
+}
+
+// calleeFunc resolves a call to its static function object, or nil for
+// dynamic calls.
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := c.pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := c.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// flushesParam reports, per parameter index, whether fn flushes that
+// guarded parameter (its body contains <param>.<field>.FlushPending()).
+func (c *checker) flushesParam(fn *types.Func) map[int]bool {
+	if m, ok := c.flushMemo[fn]; ok {
+		return m
+	}
+	flushes := make(map[int]bool)
+	c.flushMemo[fn] = flushes
+	fd := c.pass.Module.FuncDecl(fn)
+	if fd == nil || fd.Body == nil || fd.Type.Params == nil {
+		return flushes
+	}
+	paramIdx := make(map[string]int)
+	idx := 0
+	for _, fld := range fd.Type.Params.List {
+		for _, name := range fld.Names {
+			paramIdx[name.Name] = idx
+			idx++
+		}
+		if len(fld.Names) == 0 {
+			idx++
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		outer, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || outer.Sel.Name != "FlushPending" {
+			return true
+		}
+		inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(inner.X).(*ast.Ident); ok {
+			if i, ok := paramIdx[id.Name]; ok {
+				flushes[i] = true
+			}
+		}
+		return true
+	})
+	return flushes
+}
+
+// access checks one selector: any field of a guarded struct other than
+// mu requires the struct's lock.
+func (c *checker) access(sel *ast.SelectorExpr) {
+	if sel.Sel.Name == "mu" {
+		return
+	}
+	if !c.isGuarded(c.typeOf(sel.X)) {
+		return
+	}
+	base := types.ExprString(sel.X)
+	if !c.st.locked[base] {
+		c.pass.Reportf(sel.Pos(),
+			"access to %s.%s without holding %s.mu", base, sel.Sel.Name, base)
+	}
+}
+
+// lockEvent records an acquisition and checks nested-lock ordering.
+func (c *checker) lockEvent(baseExpr ast.Expr, call *ast.CallExpr) {
+	base := types.ExprString(baseExpr)
+	container, index := c.resolveShard(baseExpr)
+	for _, h := range c.st.held {
+		if h.container != "" && container != "" && h.container == container {
+			hi, ok1 := c.constIndex(h.index)
+			ni, ok2 := c.constIndex(index)
+			if ok1 && ok2 {
+				if ni <= hi {
+					c.pass.Reportf(call.Pos(),
+						"shard locks acquired out of ascending index order: %s[%d] while holding %s[%d]",
+						container, ni, container, hi)
+				}
+				continue
+			}
+		}
+		c.pass.Reportf(call.Pos(),
+			"nested shard lock acquisition with unprovable ascending order: locking %s while holding %s",
+			base, h.base)
+		break
+	}
+	c.st.locked[base] = true
+	c.st.held = append(c.st.held, heldLock{base: base, container: container, index: index})
+}
+
+func (c *checker) unlockEvent(baseExpr ast.Expr) {
+	base := types.ExprString(baseExpr)
+	delete(c.st.locked, base)
+	delete(c.st.flushed, base)
+	c.dropHeld(base)
+}
+
+// resolveShard maps a lock base to its (container, index): either a
+// tracked alias (s := &m.shards[i]) or a direct m.shards[i] expression.
+func (c *checker) resolveShard(baseExpr ast.Expr) (string, ast.Expr) {
+	switch e := ast.Unparen(baseExpr).(type) {
+	case *ast.Ident:
+		if a, ok := c.st.alias[e.Name]; ok {
+			return a.container, a.index
+		}
+	case *ast.IndexExpr:
+		return types.ExprString(e.X), e.Index
+	}
+	return "", nil
+}
+
+// constIndex evaluates an index expression to a compile-time integer.
+func (c *checker) constIndex(e ast.Expr) (int64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	tv, ok := c.pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

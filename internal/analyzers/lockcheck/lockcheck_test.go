@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"rma/internal/analyzers/lockcheck"
+	"rma/internal/analyzers/rigtest"
+)
+
+func TestLockcheck(t *testing.T) {
+	rigtest.Run(t, "testdata/src/fixture", "fix/lockcheck", lockcheck.Analyzer)
+}

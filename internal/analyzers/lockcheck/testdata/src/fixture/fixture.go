@@ -1,0 +1,139 @@
+// Package fixture is lockcheck's golden test: a miniature of the shard
+// package's locking discipline, with seeded violations annotated by
+// want comments.
+package fixture
+
+import "sync"
+
+// engine stands in for core.Array.
+type engine struct{ n int }
+
+func (e *engine) Size() int                     { return e.n }
+func (e *engine) FlushPending() error           { return nil }
+func (e *engine) IterAscend(lo, hi int64) int   { return int(hi - lo) }
+func (e *engine) Sum(lo, hi int64) (int, int64) { return 0, 0 }
+
+// cell pairs a shard lock with its guarded engine.
+type cell struct {
+	mu sync.Mutex
+	a  *engine
+}
+
+// Map is the sharded container.
+type Map struct {
+	shards []cell
+}
+
+// flushDeferred drains deferred work; must run under the shard's lock.
+func flushDeferred(s *cell) { _ = s.a.FlushPending() }
+
+// NewMap fills guarded state before the map is shared.
+//
+//rma:init
+func NewMap(k int) *Map {
+	m := &Map{shards: make([]cell, k)}
+	for i := range m.shards {
+		m.shards[i].a = &engine{}
+	}
+	return m
+}
+
+// BadNew forgets the //rma:init annotation.
+func BadNew(k int) *Map {
+	m := &Map{shards: make([]cell, k)}
+	m.shards[0].a = &engine{} // want `access to m\.shards\[0\]\.a without holding m\.shards\[0\]\.mu`
+	return m
+}
+
+// BadUnlocked reads shard state without the lock.
+func (m *Map) BadUnlocked(i int) int {
+	s := &m.shards[i]
+	return s.a.Size() // want `access to s\.a without holding s\.mu`
+}
+
+// GoodLocked reads shard state under the lock.
+func (m *Map) GoodLocked(i int) int {
+	s := &m.shards[i]
+	s.mu.Lock()
+	n := s.a.Size()
+	s.mu.Unlock()
+	return n
+}
+
+// GoodEarlyUnlock unlocks on an early-return path; the fall-through
+// path still holds the lock.
+func (m *Map) GoodEarlyUnlock(i, j int) int {
+	s := &m.shards[i]
+	s.mu.Lock()
+	if j < s.a.Size() {
+		n := s.a.Size()
+		s.mu.Unlock()
+		return n
+	}
+	n := s.a.Size()
+	s.mu.Unlock()
+	return n
+}
+
+// BadInversion locks shard 1 while holding shard 2.
+func (m *Map) BadInversion() {
+	s2 := &m.shards[2]
+	s1 := &m.shards[1]
+	s2.mu.Lock()
+	s1.mu.Lock() // want `out of ascending index order`
+	s1.mu.Unlock()
+	s2.mu.Unlock()
+}
+
+// GoodAscending holds two shard locks in ascending index order.
+func (m *Map) GoodAscending() {
+	s1 := &m.shards[1]
+	s2 := &m.shards[2]
+	s1.mu.Lock()
+	s2.mu.Lock()
+	s2.mu.Unlock()
+	s1.mu.Unlock()
+}
+
+// BadUnprovable nests two shard locks with run-time indices.
+func (m *Map) BadUnprovable(i, j int) {
+	si := &m.shards[i]
+	sj := &m.shards[j]
+	si.mu.Lock()
+	sj.mu.Lock() // want `unprovable ascending order`
+	sj.mu.Unlock()
+	si.mu.Unlock()
+}
+
+// BadSnapshotNoFlush performs an ordered read without draining
+// deferred rebalance work first.
+func (m *Map) BadSnapshotNoFlush(i int) int {
+	s := &m.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a.IterAscend(0, 10) // want `snapshot read s\.a\.IterAscend without flush-on-snapshot`
+}
+
+// GoodSnapshotHelper flushes through the helper before the ordered read.
+func (m *Map) GoodSnapshotHelper(i int) int {
+	s := &m.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	flushDeferred(s)
+	return s.a.IterAscend(0, 10)
+}
+
+// GoodSnapshotDirect flushes in place before the ordered read.
+func (m *Map) GoodSnapshotDirect(i int) (int, int64) {
+	s := &m.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.a.FlushPending()
+	return s.a.Sum(0, 100)
+}
+
+// BadPassUnlocked hands the shard to a helper without its lock.
+func (m *Map) BadPassUnlocked(i int) {
+	s := &m.shards[i]
+	flushDeferred(s) // want `guarded shard s passed to call without holding s\.mu`
+}

@@ -1,0 +1,420 @@
+// Package noalloc enforces the repo's steady-state allocation contract
+// (the claim PERFORMANCE.md makes in prose and the runtime
+// testing.AllocsPerRun tests spot-check): a function marked
+// //rma:noalloc, together with every module function statically
+// reachable from it, must not contain heap-allocating constructs.
+//
+// Flagged constructs: make, new, append (growth), slice/map composite
+// literals, address-taken composite literals, function literals, go
+// statements, non-constant string concatenation, string<->[]byte/[]rune
+// conversions, and calls to functions outside the module that are not
+// on the noalloc allowlist (math, math/bits, sync/atomic, the in-place
+// slices sorters and searchers).
+//
+// Escape hatches, both spelled as line markers so the acknowledgement
+// sits next to the construct it acknowledges:
+//
+//   - //rma:alloc-ok — a documented cold or first-use allocation
+//     (resize, scratch growth, error construction); the marked call's
+//     callee is not traversed further.
+//   - //rma:cap-ok — an append whose destination capacity is pre-sized,
+//     so the append never grows (pinned by the escape-analysis gate and
+//     the runtime allocation tests).
+//
+// Two constructs are treated as cold paths and skipped outright: panic
+// arguments, and error construction via fmt.Errorf / errors.New —
+// these fire only on failure, and the contract is about the
+// steady-state success path.
+//
+// Limitation: dynamic dispatch (interface method calls, calls through
+// function values) is not followed; the escape-analysis regression gate
+// (cmd/rmavet -escapes) and the runtime allocation tests backstop those
+// edges.
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"rma/internal/analyzers/rig"
+)
+
+// Analyzer is the noalloc analysis.
+var Analyzer = &rig.Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid heap-allocating constructs in //rma:noalloc call closures",
+	Run:  run,
+}
+
+// allow lists non-module functions known not to allocate (or, for the
+// sorters, to sort in place). A "*" entry allows the whole package.
+var allow = map[string]map[string]bool{
+	"math":        {"*": true},
+	"math/bits":   {"*": true},
+	"sync/atomic": {"*": true},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+		"BinarySearch": true, "BinarySearchFunc": true,
+		"Min": true, "Max": true, "Index": true, "IndexFunc": true,
+		"Contains": true, "Reverse": true,
+	},
+	"sort": {"Search": true},
+}
+
+// cold lists error constructors tolerated as failure-path-only.
+var cold = map[string]map[string]bool{
+	"fmt":    {"Errorf": true},
+	"errors": {"New": true, "Is": true, "As": true},
+}
+
+// declSite locates one function declaration in its file.
+type declSite struct {
+	pkg  *rig.Package
+	file *ast.File
+	fd   *ast.FuncDecl
+}
+
+type checker struct {
+	pass    *rig.Pass
+	sites   map[*types.Func]declSite
+	markers map[*ast.File]map[int]string
+	visited map[*types.Func]bool
+}
+
+func run(pass *rig.Pass) error {
+	c, roots := newChecker(pass)
+	for _, root := range roots {
+		c.walk(root, root)
+	}
+	return nil
+}
+
+// newChecker indexes every function declaration of the module and
+// collects the //rma:noalloc roots.
+func newChecker(pass *rig.Pass) (*checker, []*types.Func) {
+	c := &checker{
+		pass:    pass,
+		sites:   make(map[*types.Func]declSite),
+		markers: make(map[*ast.File]map[int]string),
+		visited: make(map[*types.Func]bool),
+	}
+	var roots []*types.Func
+	for _, pkg := range pass.Module.Sorted {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				c.sites[fn] = declSite{pkg: pkg, file: file, fd: fd}
+				if rig.HasDirective(fd, rig.DirNoalloc) {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+	return c, roots
+}
+
+// ClosureFunc locates one function of the //rma:noalloc transitive call
+// closure in source. The escape-analysis gate (cmd/rmavet -escapes)
+// matches compiler -m diagnostics against these line ranges.
+type ClosureFunc struct {
+	Name      string // qualified name, e.g. (*rma/internal/core.Array).Insert
+	File      string // absolute path
+	StartLine int    // declaration range, inclusive
+	EndLine   int
+	// Exempt lists the lines the allocation contract excuses: lines
+	// carrying //rma:alloc-ok or //rma:cap-ok markers, and the cold
+	// paths the analyzer skips (panic arguments, error construction).
+	Exempt map[int]bool
+}
+
+// Closure computes the //rma:noalloc closure of the module without
+// reporting diagnostics: the same function set the analyzer checks, plus
+// the lines its escape hatches excuse, for the escape gate to consume.
+func Closure(m *rig.Module) []ClosureFunc {
+	pass := &rig.Pass{Analyzer: Analyzer, Module: m, Report: func(rig.Diagnostic) {}}
+	c, roots := newChecker(pass)
+	for _, root := range roots {
+		c.walk(root, root)
+	}
+
+	fset := m.Fset
+	out := make([]ClosureFunc, 0, len(c.visited))
+	for fn := range c.visited {
+		site, ok := c.sites[fn]
+		if !ok || site.fd.Body == nil {
+			continue
+		}
+		start := fset.Position(site.fd.Pos())
+		end := fset.Position(site.fd.End())
+		cf := ClosureFunc{
+			Name:      fn.FullName(),
+			File:      start.Filename,
+			StartLine: start.Line,
+			EndLine:   end.Line,
+			Exempt:    make(map[int]bool),
+		}
+		for line, mark := range c.fileMarkers(site.file) {
+			if mark != "" && line >= cf.StartLine && line <= cf.EndLine {
+				cf.Exempt[line] = true
+			}
+		}
+		ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !c.isColdCall(site, call) {
+				return true
+			}
+			for l := fset.Position(call.Pos()).Line; l <= fset.Position(call.End()).Line; l++ {
+				cf.Exempt[l] = true
+			}
+			return false
+		})
+		out = append(out, cf)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].StartLine < out[j].StartLine
+	})
+	return out
+}
+
+// isColdCall reports whether the call is one of the failure-path
+// constructs the allocation contract ignores: panic, or the allowlisted
+// error constructors.
+func (c *checker) isColdCall(site declSite, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := site.pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	callee := c.staticCallee(site, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	return cold[callee.Pkg().Path()][callee.Name()]
+}
+
+// walk checks fn and recurses into its static module callees, carrying
+// the root for diagnostics. A function already visited under any root
+// is not re-checked — closures overlap heavily (Insert and Delete share
+// the whole rebalance machinery).
+func (c *checker) walk(fn *types.Func, root *types.Func) {
+	if c.visited[fn] {
+		return
+	}
+	c.visited[fn] = true
+	site, ok := c.sites[fn]
+	if !ok || site.fd.Body == nil {
+		return
+	}
+	marks := c.fileMarkers(site.file)
+	closure := fmt.Sprintf("//rma:noalloc closure of %s", root.Name())
+	if fn == root {
+		closure = fmt.Sprintf("//rma:noalloc function %s", root.Name())
+	}
+
+	ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return c.callExpr(site, n, marks, closure, root)
+		case *ast.CompositeLit:
+			c.compositeLit(site, n, marks, closure)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					if !c.marked(marks, site, n.Pos()) {
+						c.pass.Reportf(n.Pos(),
+							"address-taken composite literal allocates in %s", closure)
+					}
+					return false // the literal itself is covered
+				}
+			}
+		case *ast.FuncLit:
+			if !c.marked(marks, site, n.Pos()) {
+				c.pass.Reportf(n.Pos(), "function literal allocates in %s", closure)
+			}
+			return false // its body runs dynamically; not part of the static closure
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement allocates in %s", closure)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && c.isString(site, n) {
+				c.pass.Reportf(n.Pos(), "string concatenation allocates in %s", closure)
+			}
+		}
+		return true
+	})
+}
+
+// callExpr handles calls: builtins, conversions, and traversal into
+// static module callees. Returns whether Inspect should descend.
+func (c *checker) callExpr(site declSite, call *ast.CallExpr, marks map[int]string, closure string, root *types.Func) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := site.pkg.Info.Uses[fun].(*types.Builtin); ok {
+			return c.builtin(site, call, b.Name(), marks, closure)
+		}
+	}
+
+	// Conversions: string <-> []byte / []rune copy their operand.
+	if tv, ok := site.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if c.stringConv(site, tv.Type, call) {
+			if !c.marked(marks, site, call.Pos()) {
+				c.pass.Reportf(call.Pos(), "string conversion allocates in %s", closure)
+			}
+		}
+		return true
+	}
+
+	callee := c.staticCallee(site, call)
+	if callee == nil {
+		return true // dynamic dispatch: documented limitation, escape gate backstops
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			return true // interface method: dynamic
+		}
+	}
+	pkgPath := ""
+	if callee.Pkg() != nil {
+		pkgPath = callee.Pkg().Path()
+	}
+	if _, inModule := c.pass.Module.Pkgs[pkgPath]; inModule {
+		if c.marked(marks, site, call.Pos()) {
+			return true // documented escape hatch: do not traverse the callee
+		}
+		c.walk(callee, root)
+		return true
+	}
+	if cold[pkgPath][callee.Name()] {
+		return true
+	}
+	if a := allow[pkgPath]; a != nil && (a["*"] || a[callee.Name()]) {
+		return true
+	}
+	if !c.marked(marks, site, call.Pos()) {
+		c.pass.Reportf(call.Pos(),
+			"call to %s.%s may allocate in %s (not in the noalloc allowlist)",
+			pkgPath, callee.Name(), closure)
+	}
+	return true
+}
+
+// builtin checks one builtin call. panic is a cold path: its argument
+// (often a boxed string) is not scanned.
+func (c *checker) builtin(site declSite, call *ast.CallExpr, name string, marks map[int]string, closure string) bool {
+	switch name {
+	case "panic":
+		return false
+	case "make", "new":
+		if !c.marked(marks, site, call.Pos()) {
+			c.pass.Reportf(call.Pos(),
+				"%s allocates in %s (//rma:alloc-ok to document an escape hatch)", name, closure)
+		}
+	case "append":
+		line := c.pass.Module.Fset.Position(call.Pos()).Line
+		if m := marks[line]; m != rig.MarkCapOK && m != rig.MarkAllocOK {
+			c.pass.Reportf(call.Pos(),
+				"append may grow its backing array in %s (mark //rma:cap-ok if the capacity is pre-sized)", closure)
+		}
+	}
+	return true
+}
+
+// compositeLit flags slice and map literals; value struct and array
+// literals live on the stack.
+func (c *checker) compositeLit(site declSite, lit *ast.CompositeLit, marks map[int]string, closure string) {
+	tv, ok := site.pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		if !c.marked(marks, site, lit.Pos()) {
+			c.pass.Reportf(lit.Pos(), "slice or map literal allocates in %s", closure)
+		}
+	}
+}
+
+func (c *checker) staticCallee(site declSite, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := site.pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := site.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := site.pkg.Info.Uses[id].(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) stringConv(site declSite, to types.Type, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := site.pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	from := tv.Type
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func (c *checker) isString(site declSite, e ast.Expr) bool {
+	tv, ok := site.pkg.Info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil { // constants fold at compile time
+		return false
+	}
+	return isStringType(tv.Type)
+}
+
+// marked reports whether the node's line carries any //rma: line marker.
+func (c *checker) marked(marks map[int]string, site declSite, pos token.Pos) bool {
+	return marks[c.pass.Module.Fset.Position(pos).Line] != ""
+}
+
+func (c *checker) fileMarkers(file *ast.File) map[int]string {
+	m, ok := c.markers[file]
+	if !ok {
+		m = rig.LineMarkers(c.pass.Module.Fset, file)
+		c.markers[file] = m
+	}
+	return m
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"rma/internal/analyzers/noalloc"
+	"rma/internal/analyzers/rigtest"
+)
+
+func TestNoalloc(t *testing.T) {
+	rigtest.Run(t, "testdata/src/fixture", "fix/noalloc", noalloc.Analyzer)
+}

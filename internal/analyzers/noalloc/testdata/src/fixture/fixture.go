@@ -1,0 +1,81 @@
+// Package fixture is noalloc's golden test: annotated hot paths with
+// seeded allocations, and the escape hatches that make real ones legal.
+package fixture
+
+import "strings"
+
+// hot is a steady-state path: nothing here may allocate.
+//
+//rma:noalloc
+func hot(dst []int64, k int64) []int64 {
+	dst = append(dst, k) // want `append may grow its backing array in //rma:noalloc function hot`
+	return dst
+}
+
+// hotPresized appends into pre-sized capacity: the marker acknowledges
+// the construct and the escape gate pins the claim.
+//
+//rma:noalloc
+func hotPresized(dst []int64, k int64) []int64 {
+	if cap(dst) == len(dst) {
+		return dst
+	}
+	dst = append(dst, k) //rma:cap-ok — capacity checked above
+	return dst
+}
+
+// hidden is only reachable through entry; its append is the classic
+// buried allocation a reviewer misses.
+func hidden(dst []int64, k int64) []int64 {
+	return append(dst, k) // want `append may grow its backing array in //rma:noalloc closure of entry`
+}
+
+// entry's own body is clean: the violation sits one call deep.
+//
+//rma:noalloc
+func entry(dst []int64, k int64) []int64 {
+	return hidden(dst, k)
+}
+
+// grow is a documented resize escape hatch: the marked call's callee is
+// not traversed.
+func grow(dst []int64) []int64 {
+	return append(dst, make([]int64, 64)...)
+}
+
+//rma:noalloc
+func hotWithEscapeHatch(dst []int64) []int64 {
+	if cap(dst) == 0 {
+		dst = grow(dst) //rma:alloc-ok — first-use growth
+	}
+	return dst
+}
+
+// zoo collects one of each flagged construct.
+//
+//rma:noalloc
+func zoo(s string, n int) {
+	_ = make([]int64, n)        // want `make allocates in //rma:noalloc function zoo`
+	_ = new(int)                // want `new allocates in //rma:noalloc function zoo`
+	_ = []int{1, 2, 3}          // want `slice or map literal allocates in //rma:noalloc function zoo`
+	_ = &point{1, 2}            // want `address-taken composite literal allocates in //rma:noalloc function zoo`
+	_ = func() int { return n } // want `function literal allocates in //rma:noalloc function zoo`
+	go sink(n)                  // want `go statement allocates in //rma:noalloc function zoo`
+	_ = s + s                   // want `string concatenation allocates in //rma:noalloc function zoo`
+	_ = []byte(s)               // want `string conversion allocates in //rma:noalloc function zoo`
+	_ = strings.Repeat(s, 2)    // want `call to strings.Repeat may allocate in //rma:noalloc function zoo`
+}
+
+// stackOnly shows the constructs that are fine: value literals, copy,
+// arithmetic, and calls into the allowlist.
+//
+//rma:noalloc
+func stackOnly(dst, src []int64) point {
+	copy(dst, src)
+	p := point{x: len(dst), y: cap(src)}
+	return p
+}
+
+type point struct{ x, y int }
+
+func sink(int) {}

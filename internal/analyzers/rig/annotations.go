@@ -1,0 +1,123 @@
+package rig
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //rma: annotation grammar (see STATIC_ANALYSIS.md at the repo
+// root). Two positions carry meaning:
+//
+//   - A function's doc comment can carry function directives:
+//     //rma:noalloc (the function and its static call closure must not
+//     heap-allocate) and //rma:init (the function runs before its
+//     receiver is shared, so lockcheck skips it).
+//
+//   - A line marker — //rma:alloc-ok or //rma:cap-ok, trailing a
+//     statement or on the line directly above it — acknowledges one
+//     allocating construct inside a noalloc closure: alloc-ok for a
+//     documented escape hatch (resize, first-use scratch growth) whose
+//     callee is not walked further, cap-ok for an append whose target
+//     capacity is pre-sized (pinned by the runtime allocation tests and
+//     the escape gate).
+//
+// Both spellings are exact: //rma:noalloc with no space, matching the
+// //go: directive convention so gofmt leaves them alone.
+
+// Function directive names.
+const (
+	DirNoalloc = "noalloc"
+	DirInit    = "init"
+)
+
+// Line marker names.
+const (
+	MarkAllocOK = "alloc-ok"
+	MarkCapOK   = "cap-ok"
+)
+
+// FuncDirectives returns the //rma: directives in a function's doc
+// comment ("noalloc", "init", ...).
+func FuncDirectives(fd *ast.FuncDecl) []string {
+	if fd == nil || fd.Doc == nil {
+		return nil
+	}
+	var dirs []string
+	for _, c := range fd.Doc.List {
+		if name, ok := directive(c.Text); ok {
+			dirs = append(dirs, name)
+		}
+	}
+	return dirs
+}
+
+// HasDirective reports whether the function's doc comment carries the
+// named //rma: directive.
+func HasDirective(fd *ast.FuncDecl, name string) bool {
+	for _, d := range FuncDirectives(fd) {
+		if d == name || strings.HasPrefix(d, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// directive extracts the payload of one //rma: comment line.
+func directive(text string) (string, bool) {
+	const prefix = "//rma:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(text, prefix)), true
+}
+
+// LineMarkers collects the //rma: line markers of one file: a map from
+// the line the marker governs to the marker name. A trailing marker
+// governs its own line; a marker alone on a line governs the next line.
+func LineMarkers(fset *token.FileSet, file *ast.File) map[int]string {
+	marks := make(map[int]string)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			name, ok := directive(c.Text)
+			if !ok {
+				continue
+			}
+			base := strings.Fields(name)
+			if len(base) == 0 {
+				continue
+			}
+			if base[0] != MarkAllocOK && base[0] != MarkCapOK {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if !trailing(fset, file, c) {
+				line++ // marker on its own line governs the next
+			}
+			marks[line] = base[0]
+		}
+	}
+	return marks
+}
+
+// trailing reports whether comment c follows code on its line.
+func trailing(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	cl := fset.Position(c.Pos()).Line
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if fset.Position(n.Pos()).Line == cl && n.Pos() < c.Pos() {
+			found = true
+			return false
+		}
+		// Descend only into nodes spanning the comment's line.
+		return fset.Position(n.Pos()).Line <= cl && fset.Position(n.End()).Line >= cl
+	})
+	return found
+}

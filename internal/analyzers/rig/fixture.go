@@ -1,0 +1,63 @@
+package rig
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// LoadFixture loads one directory of Go files as a single-package
+// Module for analyzer tests. The package is registered under asPath, so
+// fixtures can stand in for a specific module package (unsafecheck's
+// confinement rules are path-based). Imports — standard library or real
+// module packages — are resolved from export data, so a fixture can use
+// the real types it violates contracts against.
+func LoadFixture(fixtureDir, asPath string) (*Module, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("rig: no Go files in %s", fixtureDir)
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, fixtureDir, names)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Module{Fset: fset, Pkgs: make(map[string]*Package, 1)}
+	imp := &moduleImporter{
+		module: m,
+		gc:     importer.ForCompiler(fset, "gc", exportLookup(fixtureDir, make(map[string]string))),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("rig: type-checking fixture %s: %w", fixtureDir, err)
+	}
+	pkg := &Package{Path: asPath, Files: files, Types: tpkg, Info: info}
+	m.Pkgs[asPath] = pkg
+	m.Sorted = []*Package{pkg}
+	return m, nil
+}

@@ -1,0 +1,350 @@
+// Package rig is the minimal analysis framework behind cmd/rmavet: a
+// stdlib-only mirror of the golang.org/x/tools/go/analysis surface
+// (Analyzer, Pass, Diagnostic) plus a module loader built on the go
+// command.
+//
+// The repo deliberately has no third-party dependencies, so instead of
+// vendoring x/tools the rig reproduces the two pieces the analyzers
+// need: type-checked syntax for every package of the module, and a
+// driver that runs analyzers over it and reports positioned
+// diagnostics. Module packages are parsed and type-checked from source
+// (the analyzers need function bodies across package boundaries —
+// noalloc's transitive walk, unsafecheck's vmem lifecycle); standard
+// library dependencies are imported from compiler export data located
+// with `go list -export`, which is both faster and more faithful than
+// re-type-checking the standard library from source.
+//
+// Unlike go/analysis, a Pass sees the whole module at once rather than
+// one package at a time: the contracts rmavet enforces (lock
+// discipline, allocation-free call closures, page lifecycles) are
+// whole-program properties, and a module of this size loads in well
+// under a second, so per-package facts buy nothing.
+package rig
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects the loaded module through
+// the Pass and reports diagnostics; a non-nil error aborts the whole
+// rmavet run (reserved for analyzer bugs, not findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the module's file set.
+// Analyzer is filled in by Run for attribution in rmavet's output.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass connects one Analyzer to one loaded Module.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Package is one loaded, type-checked source package.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the loaded analysis unit: every source package named by the
+// load patterns plus their in-module dependencies, type-checked against
+// export data for the standard library.
+type Module struct {
+	Fset *token.FileSet
+	// Pkgs maps import path to package for every source-loaded package.
+	Pkgs map[string]*Package
+	// Sorted holds the packages in deterministic (import path) order.
+	Sorted []*Package
+
+	// funcDecls maps every declared function/method object to its
+	// syntax, across all loaded packages (built lazily by FuncDecl).
+	funcDecls map[*types.Func]*ast.FuncDecl
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load loads the Go module rooted at dir: patterns default to "./...".
+// Non-standard packages are parsed and type-checked from source;
+// standard-library imports come from export data.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	exports := make(map[string]string)
+	var srcPkgs []*listedPackage
+	for _, lp := range listed {
+		if lp.Standard {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+			continue
+		}
+		srcPkgs = append(srcPkgs, lp)
+	}
+
+	parsed := make(map[string][]*ast.File, len(srcPkgs))
+	byPath := make(map[string]*listedPackage, len(srcPkgs))
+	for _, lp := range srcPkgs {
+		byPath[lp.ImportPath] = lp
+		files, err := parseFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		parsed[lp.ImportPath] = files
+	}
+
+	order, err := topoSort(srcPkgs, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Module{Fset: fset, Pkgs: make(map[string]*Package, len(order))}
+	imp := &moduleImporter{
+		module: m,
+		gc:     importer.ForCompiler(fset, "gc", exportLookup(dir, exports)),
+	}
+	for _, path := range order {
+		files := parsed[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("rig: type-checking %s: %w", path, err)
+		}
+		pkg := &Package{Path: path, Files: files, Types: tpkg, Info: info}
+		m.Pkgs[path] = pkg
+		m.Sorted = append(m.Sorted, pkg)
+	}
+	sort.Slice(m.Sorted, func(i, j int) bool { return m.Sorted[i].Path < m.Sorted[j].Path })
+	return m, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the package
+// stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Standard,Export,GoFiles,Imports", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("rig: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("rig: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// parseFiles parses the named files of one package directory with
+// comments retained (the annotation grammar lives in comments).
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// topoSort orders the source packages dependencies-first.
+func topoSort(pkgs []*listedPackage, byPath map[string]*listedPackage) ([]string, error) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		lp, ok := byPath[path]
+		if !ok {
+			return nil // standard library: imported from export data
+		}
+		switch state[path] {
+		case grey:
+			return fmt.Errorf("rig: import cycle through %s", path)
+		case black:
+			return nil
+		}
+		state[path] = grey
+		for _, dep := range lp.Imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		order = append(order, path)
+		return nil
+	}
+	// Deterministic roots: sorted import paths.
+	paths := make([]string, 0, len(pkgs))
+	for _, lp := range pkgs {
+		paths = append(paths, lp.ImportPath)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// exportLookup returns the gc importer's lookup function: export data
+// recorded by the initial go list, topped up on demand for import paths
+// the initial listing did not cover (fixture packages may import
+// standard-library packages the module itself does not).
+func exportLookup(dir string, exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "--", path)
+			cmd.Dir = dir
+			out, err := cmd.Output()
+			if err != nil {
+				return nil, fmt.Errorf("rig: no export data for %q: %v", path, err)
+			}
+			file = strings.TrimSpace(string(out))
+			if file == "" {
+				return nil, fmt.Errorf("rig: empty export data path for %q", path)
+			}
+			exports[path] = file
+		}
+		return os.Open(file)
+	}
+}
+
+// moduleImporter resolves imports during type checking: source-loaded
+// module packages first, compiler export data for everything else.
+type moduleImporter struct {
+	module *Module
+	gc     types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := mi.module.Pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	return mi.gc.Import(path)
+}
+
+// FuncDecl returns the declaration of fn anywhere in the module, or nil
+// for functions without loaded syntax (standard library, interface
+// methods).
+func (m *Module) FuncDecl(fn *types.Func) *ast.FuncDecl {
+	if m.funcDecls == nil {
+		m.funcDecls = make(map[*types.Func]*ast.FuncDecl)
+		for _, pkg := range m.Sorted {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Name == nil {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						m.funcDecls[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	return m.funcDecls[fn]
+}
+
+// Run executes the analyzers over the module and returns the collected
+// diagnostics sorted by position.
+func Run(m *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		name := a.Name
+		pass := &Pass{
+			Analyzer: a,
+			Module:   m,
+			Report: func(d Diagnostic) {
+				d.Analyzer = name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("rig: analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := m.Fset.Position(diags[i].Pos), m.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,31 @@
+package rig
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadModule loads the real module: every package must parse and
+// type-check, and the core engine must be present — the precondition
+// for every rmavet run.
+func TestLoadModule(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rma", "rma/internal/core", "rma/internal/shard",
+		"rma/internal/vmem", "rma/internal/detector",
+	} {
+		if _, ok := m.Pkgs[want]; !ok {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	if len(m.Sorted) != len(m.Pkgs) {
+		t.Errorf("Sorted has %d entries, Pkgs %d", len(m.Sorted), len(m.Pkgs))
+	}
+}

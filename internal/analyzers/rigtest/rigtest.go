@@ -1,0 +1,92 @@
+// Package rigtest runs rig analyzers over golden fixture packages, in
+// the style of golang.org/x/tools/go/analysis/analysistest: fixture
+// lines annotate their expected diagnostics with
+//
+//	code() // want "regexp" "second regexp"
+//
+// and the runner fails the test on any unmatched expectation or
+// unexpected diagnostic. Fixtures live under testdata/src/<name> next
+// to each analyzer.
+package rigtest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"rma/internal/analyzers/rig"
+)
+
+// wantRe extracts the quoted expectations of one want comment: either
+// double-quoted (with \" escapes) or backtick-quoted (taken literally).
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads the fixture directory as a package named asPath, applies
+// the analyzers, and matches the diagnostics against the fixture's
+// want comments.
+func Run(t *testing.T, fixtureDir, asPath string, analyzers ...*rig.Analyzer) {
+	t.Helper()
+	m, err := rig.LoadFixture(fixtureDir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := rig.Run(m, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range m.Sorted {
+		for _, file := range pkg.Files {
+			filename := m.Fset.Position(file.Pos()).Filename
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					line := m.Fset.Position(c.Pos()).Line
+					for _, q := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+						src := q[2] // backtick form: literal
+						if q[1] != "" || src == "" {
+							src = strings.ReplaceAll(q[1], `\"`, `"`)
+						}
+						pat, err := regexp.Compile(src)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", filename, line, src, err)
+						}
+						wants[key{filename, line}] = append(wants[key{filename, line}], pat)
+					}
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		pos := m.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for _, pat := range wants[k] {
+			if !matched[pat] && pat.MatchString(d.Message) {
+				matched[pat] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for k, pats := range wants {
+		for _, pat := range pats {
+			if !matched[pat] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, pat)
+			}
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package fixture violates unsafe confinement: it is not internal/vmem
+// and not internal/core/swar.go, yet reaches for raw memory.
+package fixture
+
+import "unsafe" // want `unsafe is confined to internal/vmem and internal/core/swar\.go`
+
+// Size uses the import so the fixture compiles.
+func Size() uintptr { return unsafe.Sizeof(int64(0)) }

@@ -1,0 +1,69 @@
+// Package fixture exercises the page fill-then-swap lifecycle against
+// the real vmem types: one seeded leak, and the blessed idioms.
+package fixture
+
+import "rma/internal/vmem"
+
+// Leak retains a page slice across a swap on the same object.
+func Leak(p *vmem.Pages, sp []int64) int64 {
+	pg := p.Page(0)
+	p.Swap(0, sp)
+	return pg[0] // want `page slice pg retained across p\.Swap`
+}
+
+// FillThenSwap is the rewired-rebalance idiom: fill the spare, then
+// hand it over as the Swap argument.
+func FillThenSwap(p *vmem.Pages) error {
+	sp, err := p.AcquireSpare()
+	if err != nil {
+		return err
+	}
+	for i := range sp {
+		sp[i] = int64(i)
+	}
+	p.Swap(0, sp)
+	return nil
+}
+
+// ReDerive takes a fresh window after the swap — always legal.
+func ReDerive(p *vmem.Pages, sp []int64) int64 {
+	pg := p.Page(0)
+	_ = pg[0]
+	p.Swap(0, sp)
+	pg = p.Page(0)
+	return pg[0]
+}
+
+// IndependentOwners shows that a swap on one Pages object does not
+// invalidate slices derived from another.
+func IndependentOwners(keys, vals *vmem.Pages, sp []int64) int64 {
+	vpg := vals.Page(0)
+	keys.Swap(0, sp)
+	return vpg[0]
+}
+
+// SwapLoop mirrors redistributeRewired: every post-swap touch of the
+// spares happens as a Swap/ReleaseSpare argument, which is exempt.
+func SwapLoop(p *vmem.Pages, n int) error {
+	spares, err := p.AcquireSpares(n)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n-1; i++ {
+		p.Swap(i, spares[i])
+	}
+	p.ReleaseSpare(spares[n-1])
+	return nil
+}
+
+// LoopLeak reads a spare directly after the swaps began.
+func LoopLeak(p *vmem.Pages, n int) (int64, error) {
+	spares, err := p.AcquireSpares(n)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		p.Swap(i, spares[i])
+	}
+	return spares[0][0], nil // want `page slice spares retained across p\.Swap`
+}

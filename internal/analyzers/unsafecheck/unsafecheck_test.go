@@ -1,0 +1,16 @@
+package unsafecheck_test
+
+import (
+	"testing"
+
+	"rma/internal/analyzers/rigtest"
+	"rma/internal/analyzers/unsafecheck"
+)
+
+func TestConfinement(t *testing.T) {
+	rigtest.Run(t, "testdata/src/confine", "fix/confine", unsafecheck.Analyzer)
+}
+
+func TestLifecycle(t *testing.T) {
+	rigtest.Run(t, "testdata/src/lifecycle", "fix/lifecycle", unsafecheck.Analyzer)
+}

@@ -24,7 +24,7 @@ func (a *Array) marksToIntervals(lo, hi int, marks []detector.Mark) []interval {
 	}
 	// Prefix cardinalities to turn (segment, rank) into window positions.
 	if cap(a.prefixBuf) < hi-lo+1 {
-		a.prefixBuf = make([]int, hi-lo+1)
+		a.prefixBuf = make([]int, hi-lo+1) //rma:alloc-ok — scratch grows to the widest window seen
 	}
 	prefix := a.prefixBuf[:hi-lo+1]
 	prefix[0] = 0
@@ -40,7 +40,7 @@ func (a *Array) marksToIntervals(lo, hi int, marks []detector.Mark) []interval {
 			if c == 0 {
 				continue
 			}
-			iv = append(iv, interval{pos: prefix[m.Seg-lo], length: c, score: m.Score})
+			iv = append(iv, interval{pos: prefix[m.Seg-lo], length: c, score: m.Score}) //rma:cap-ok — ivBuf capacity is retained across calls
 		case detector.MarkPairBwd:
 			// An ascending run approaches m.Key: mark (pred(Key), Key).
 			r := a.windowRank(lo, hi, prefix, m.Key, false)
@@ -53,7 +53,7 @@ func (a *Array) marksToIntervals(lo, hi int, marks []detector.Mark) []interval {
 				l = total - p
 			}
 			if l > 0 {
-				iv = append(iv, interval{pos: p, length: l, score: m.Score})
+				iv = append(iv, interval{pos: p, length: l, score: m.Score}) //rma:cap-ok — ivBuf capacity is retained across calls
 			}
 		case detector.MarkPairFwd:
 			// A descending run approaches m.Key: mark (Key, succ(Key)).
@@ -63,7 +63,7 @@ func (a *Array) marksToIntervals(lo, hi int, marks []detector.Mark) []interval {
 				l = total - r
 			}
 			if r < total && l > 0 {
-				iv = append(iv, interval{pos: r, length: l, score: m.Score})
+				iv = append(iv, interval{pos: r, length: l, score: m.Score}) //rma:cap-ok — ivBuf capacity is retained across calls
 			}
 		}
 	}
@@ -88,7 +88,7 @@ func (a *Array) marksToIntervals(lo, hi int, marks []detector.Mark) []interval {
 			}
 			last.score += cur.score
 		} else {
-			out = append(out, cur)
+			out = append(out, cur) //rma:cap-ok — out aliases iv and never outgrows it
 		}
 	}
 	for i := range out {
@@ -134,7 +134,7 @@ func (a *Array) adaptiveTargets(lo, hi, cnt int, marks []interval) []int {
 // alive across the recursive calls below it).
 func (a *Array) ivSplitScratch(depth int) (lm, rm []interval) {
 	for depth >= len(a.ivSplit) {
-		a.ivSplit = append(a.ivSplit, [2][]interval{})
+		a.ivSplit = append(a.ivSplit, [2][]interval{}) //rma:alloc-ok — per-depth scratch created on first descent
 	}
 	return a.ivSplit[depth][0][:0], a.ivSplit[depth][1][:0]
 }
@@ -182,12 +182,12 @@ func (a *Array) adaptiveRec(segLo, nseg, r int, marks []interval, out []int, dep
 	for _, iv := range marks {
 		switch {
 		case iv.pos+iv.length <= left:
-			lm = append(lm, iv)
+			lm = append(lm, iv) //rma:cap-ok — per-depth buffers retained across calls
 		case iv.pos >= left:
-			rm = append(rm, interval{pos: iv.pos - left, length: iv.length, score: iv.score})
+			rm = append(rm, interval{pos: iv.pos - left, length: iv.length, score: iv.score}) //rma:cap-ok — per-depth buffers retained across calls
 		default:
-			lm = append(lm, interval{pos: iv.pos, length: left - iv.pos, score: iv.score})
-			rm = append(rm, interval{pos: 0, length: iv.pos + iv.length - left, score: iv.score})
+			lm = append(lm, interval{pos: iv.pos, length: left - iv.pos, score: iv.score})        //rma:cap-ok — per-depth buffers retained across calls
+			rm = append(rm, interval{pos: 0, length: iv.pos + iv.length - left, score: iv.score}) //rma:cap-ok — per-depth buffers retained across calls
 		}
 	}
 	a.ivSplit[depth][0], a.ivSplit[depth][1] = lm, rm
@@ -311,7 +311,7 @@ func (a *Array) objective(r int, marks []interval, minL, maxL int) int {
 func (a *Array) apmaTargets(lo, hi, cnt int, marks []detector.Mark) []int {
 	nseg := hi - lo
 	if cap(a.markedBuf) < nseg {
-		a.markedBuf = make([]bool, nseg)
+		a.markedBuf = make([]bool, nseg) //rma:alloc-ok — scratch grows to the widest window seen
 	}
 	markedSegs := a.markedBuf[:nseg]
 	clear(markedSegs)

@@ -72,9 +72,14 @@ type Array struct {
 	// Reusable probe-ordering scratch for FindBatch (steady-state
 	// batched lookups must not allocate; same pattern as the rebalance
 	// scratch above). probeTmp is the radix sort's ping-pong buffer.
-	probeBuf  []probe
-	probeTmp  []probe
-	pageShift uint // log2(PageSlots)
+	probeBuf []probe
+	probeTmp []probe
+	// One-slot cache of walker compaction buffers (interleaved layout):
+	// NewWalker/IterDescend borrow the pair and return it when done, so
+	// steady-state seek-and-scan allocates nothing; a nested walker
+	// finds the slot empty and allocates its own.
+	walkK, walkV []int64
+	pageShift    uint // log2(PageSlots)
 
 	// Deferred rebalancing (see pending.go): when deferred is on, an
 	// overflowing insert does only a minimal local spread and queues
@@ -234,6 +239,7 @@ func (a *Array) FootprintBytes() int64 {
 	f += int64(cap(a.targetsBuf))*8 + int64(cap(a.srcSpans)+cap(a.dstSpans))*48
 	f += int64(cap(a.prefixBuf))*8 + int64(cap(a.ivBuf))*24 + int64(cap(a.markedBuf))
 	f += int64(cap(a.probeBuf)+cap(a.probeTmp)) * 16
+	f += int64(cap(a.walkK)+cap(a.walkV)) * 8
 	for _, p := range a.ivSplit {
 		f += int64(cap(p[0])+cap(p[1])) * 24
 	}

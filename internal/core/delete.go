@@ -5,6 +5,11 @@ package core
 // shrinks. The returned error is only non-nil on storage allocation
 // failure (shrink rebalances may allocate spare pages); the element is
 // removed regardless.
+//
+// Steady-state deletes are allocation-free; shrinks are the documented
+// escape hatch.
+//
+//rma:noalloc
 func (a *Array) Delete(key int64) (bool, error) {
 	if a.n == 0 {
 		return false, nil
@@ -39,7 +44,7 @@ func (a *Array) Delete(key int64) (bool, error) {
 	// drops below the configured bound (Section III).
 	if f := a.cfg.Thresholds.ForceShrinkFill; f > 0 && a.Capacity() > a.cfg.PageSlots {
 		if float64(a.n) < f*float64(a.Capacity()) {
-			return true, a.shrink()
+			return true, a.shrink() //rma:alloc-ok — shrinks rebuild storage by design
 		}
 	}
 
@@ -59,7 +64,7 @@ func (a *Array) Delete(key int64) (bool, error) {
 		}
 	}
 	if a.Capacity() > a.cfg.PageSlots {
-		return true, a.shrink()
+		return true, a.shrink() //rma:alloc-ok — shrinks rebuild storage by design
 	}
 	return true, nil
 }

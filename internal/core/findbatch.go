@@ -39,9 +39,11 @@ const (
 // are allocation-free — the probe ordering lives in persistent scratch
 // on the array, the same discipline as the rebalance buffers (see
 // PERFORMANCE.md).
+//
+//rma:noalloc
 func (a *Array) FindBatch(keys []int64, out []Lookup) []Lookup {
 	if cap(out) < len(keys) {
-		out = make([]Lookup, len(keys))
+		out = make([]Lookup, len(keys)) //rma:alloc-ok — grows the caller’s result buffer once
 	}
 	out = out[:len(keys)]
 	a.stats.Lookups += uint64(len(keys))
@@ -160,8 +162,8 @@ func (a *Array) segUpperSep(seg int) int64 {
 // them only when a larger batch than ever before arrives.
 func (a *Array) probeScratch(n int) []probe {
 	if cap(a.probeBuf) < n {
-		a.probeBuf = make([]probe, n)
-		a.probeTmp = make([]probe, n)
+		a.probeBuf = make([]probe, n) //rma:alloc-ok — scratch grows to the largest batch seen
+		a.probeTmp = make([]probe, n) //rma:alloc-ok — scratch grows to the largest batch seen
 	}
 	a.probeTmp = a.probeTmp[:n]
 	return a.probeBuf[:n]

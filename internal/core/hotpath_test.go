@@ -223,3 +223,60 @@ func TestInterleavedResizeLinearSlotScans(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWalkerSeekAllocationFree pins the walker buffer cache: on the
+// interleaved layout each segment visit compacts into an O(B) scratch
+// pair, and before the one-slot cache on Array every NewWalker call
+// (one per IterAscend, one per seek) paid that allocation anew. After
+// one warm-up walk, seek-and-scan must allocate nothing.
+func TestWalkerSeekAllocationFree(t *testing.T) {
+	cfg := testConfig()
+	cfg.Layout = LayoutInterleaved
+	cfg.Adaptive = AdaptiveOff
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewUniform(11, 0)
+	keys := make([]int64, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		k := rng.Next()
+		keys = append(keys, k)
+		if err := a.Insert(k, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm the cache: the first walk allocates the compaction pair.
+	for range a.IterAscend(keys[0], keys[0]) {
+	}
+
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		lo := keys[i%len(keys)]
+		i++
+		w := a.NewWalker(lo, maxInt64)
+		for j := 0; j < 20; j++ {
+			if _, _, ok := w.Next(); !ok {
+				break
+			}
+		}
+		w.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("walker seek-and-scan allocated %.1f times per run; want 0", allocs)
+	}
+
+	// A full range-over-func pass, including an early break, must also
+	// stay allocation-free... except the iter.Seq2 closure itself, which
+	// Go allocates per IterAscend call; assert the walker adds nothing
+	// beyond that fixed cost.
+	base := testing.AllocsPerRun(200, func() {
+		for range a.IterAscend(minInt64, maxInt64) {
+			break
+		}
+	})
+	if base > 2 {
+		t.Fatalf("IterAscend early break allocated %.1f times per run; want <= 2 (closure wrappers only)", base)
+	}
+}

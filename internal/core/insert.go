@@ -3,6 +3,12 @@ package core
 // Insert adds the key/value pair to the array, rebalancing or resizing as
 // needed. It returns an error only when the storage substrate fails to
 // allocate (failure injection in tests); the array stays consistent.
+//
+// Steady-state inserts — including window rebalances — are
+// allocation-free; resizes and first-use scratch growth are the
+// documented escape hatches (//rma:alloc-ok markers at the sites).
+//
+//rma:noalloc
 func (a *Array) Insert(key, val int64) error {
 	a.clock++
 	for {
@@ -68,7 +74,7 @@ func (a *Array) makeRoom(seg int) error {
 			return a.rebalanceLocal(lo, hi)
 		}
 	}
-	return a.grow()
+	return a.grow() //rma:alloc-ok — grows rebuild storage by design
 }
 
 // windowCard returns the total cardinality of segments [lo, hi) as two

@@ -28,9 +28,13 @@ type Walker struct {
 }
 
 // NewWalker returns a walker positioned before the first element with
-// key >= lo, bounded above by hi (inclusive).
+// key >= lo, bounded above by hi (inclusive). The walker borrows the
+// array's cached compaction buffers, so steady-state seek-and-scan over
+// the interleaved layout allocates nothing; a nested walker finds the
+// cache empty and allocates its own pair.
 func (a *Array) NewWalker(lo, hi int64) Walker {
 	w := Walker{a: a, hi: hi}
+	w.attach()
 	w.SeekGE(lo)
 	return w
 }
@@ -38,22 +42,49 @@ func (a *Array) NewWalker(lo, hi int64) Walker {
 // SeekGE repositions the walker before the first element with key >= lo,
 // using one static-index descent — the same O(log S) routing as a point
 // lookup. The upper bound is unchanged.
+//
+//rma:noalloc
 func (w *Walker) SeekGE(lo int64) {
 	a := w.a
 	if a.n == 0 {
 		w.exhaust()
 		return
 	}
+	if w.bufK == nil {
+		w.attach() // re-seek after exhaustion: take the cache back
+	}
 	w.seg = a.ix.FindLB(lo)
 	w.loadSeg()
 	w.idx = lowerBoundRun(w.runK, lo)
 }
 
+// attach takes the array's one-slot compaction-buffer cache (empty
+// hands mean compactSeg allocates lazily, exactly once per nesting
+// depth).
+func (w *Walker) attach() {
+	w.bufK, w.bufV = w.a.walkK, w.a.walkV
+	w.a.walkK, w.a.walkV = nil, nil
+}
+
+// Release returns the walker's compaction buffers to the array's cache
+// so the next walker starts allocation-free. It runs automatically when
+// the walker exhausts its range; call it yourself only when abandoning
+// a walker early. The walker must be re-seeked before further use.
+func (w *Walker) Release() {
+	if w.bufK != nil {
+		w.a.walkK, w.a.walkV = w.bufK, w.bufV
+		w.bufK, w.bufV = nil, nil
+	}
+	w.runK, w.runV = nil, nil
+}
+
 // exhaust parks the walker past the last segment.
+//
+//rma:noalloc
 func (w *Walker) exhaust() {
 	w.seg = w.a.numSegs
-	w.runK, w.runV = nil, nil
 	w.idx = 0
+	w.Release()
 }
 
 // loadSeg points runK/runV at the current segment's elements in key
@@ -74,12 +105,14 @@ func (w *Walker) loadSeg() {
 }
 
 // compactSeg gathers interleaved segment seg's occupied elements in key
-// order into the given buffers (reused across calls, allocated lazily
-// at O(B)).
+// order into the given buffers (reused across calls; grown only on
+// first use or after a resize enlarged the segments).
+//
+//rma:noalloc
 func (a *Array) compactSeg(seg int, bufK, bufV []int64) ([]int64, []int64) {
-	if bufK == nil {
-		bufK = make([]int64, 0, a.segSlots)
-		bufV = make([]int64, 0, a.segSlots)
+	if cap(bufK) < a.segSlots {
+		bufK = make([]int64, 0, a.segSlots) //rma:alloc-ok — first-use or post-resize growth
+		bufV = make([]int64, 0, a.segSlots) //rma:alloc-ok — first-use or post-resize growth
 	}
 	bufK, bufV = bufK[:0], bufV[:0]
 	base := seg * a.segSlots
@@ -87,14 +120,16 @@ func (a *Array) compactSeg(seg int, bufK, bufV []int64) ([]int64, []int64) {
 	kpg, off := a.segPage(a.keys, seg)
 	vpg, voff := a.segPage(a.vals, seg)
 	for s := bmNext(a.bitmap, base, end); s != -1; s = bmNext(a.bitmap, s+1, end) {
-		bufK = append(bufK, kpg[off+s-base])
-		bufV = append(bufV, vpg[voff+s-base])
+		bufK = append(bufK, kpg[off+s-base])  //rma:cap-ok — sized to segSlots above
+		bufV = append(bufV, vpg[voff+s-base]) //rma:cap-ok — sized to segSlots above
 	}
 	return bufK, bufV
 }
 
 // Next returns the next element and advances, or ok=false when the
 // range is exhausted.
+//
+//rma:noalloc
 func (w *Walker) Next() (key, val int64, ok bool) {
 	for {
 		if w.idx < len(w.runK) {
@@ -151,6 +186,7 @@ func (a *Array) IterAscend(lo, hi int64) iter.Seq2[int64, int64] {
 			return
 		}
 		w := a.NewWalker(lo, hi)
+		defer w.Release() // return buffers on early break; no-op after exhaustion
 		for {
 			k, v, ok := w.Next()
 			if !ok {
@@ -170,7 +206,10 @@ func (a *Array) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
 		if a.n == 0 || lo > hi {
 			return
 		}
-		var bufK, bufV []int64
+		// Borrow the array's compaction-buffer cache, like NewWalker.
+		bufK, bufV := a.walkK, a.walkV
+		a.walkK, a.walkV = nil, nil
+		defer func() { a.walkK, a.walkV = bufK, bufV }()
 		for seg := a.ix.FindUB(hi); seg >= 0; seg-- {
 			if a.cards[seg] == 0 {
 				continue

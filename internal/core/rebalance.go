@@ -80,7 +80,7 @@ func (a *Array) computeTargets(lo, hi, cnt int) []int {
 // TestInsertRebalanceAllocationFree).
 func (a *Array) targetsScratch(n int) []int {
 	if cap(a.targetsBuf) < n {
-		a.targetsBuf = make([]int, n)
+		a.targetsBuf = make([]int, n) //rma:alloc-ok — scratch grows to the widest window seen
 	}
 	a.targetsBuf = a.targetsBuf[:n]
 	return a.targetsBuf
@@ -122,7 +122,7 @@ func (a *Array) redistributeTwoPass(lo, hi int, targets []int, cnt int) {
 	a.stats.ElementCopies += uint64(cnt)
 	if a.cfg.Layout == LayoutClustered {
 		dst := a.destSpans(lo, targets, nil, nil, 0)
-		a.srcSpans = append(a.srcSpans[:0], span{k: a.scratchK[:cnt], v: a.scratchV[:cnt]})
+		a.srcSpans = append(a.srcSpans[:0], span{k: a.scratchK[:cnt], v: a.scratchV[:cnt]}) //rma:cap-ok — srcSpans capacity is retained across calls
 		copySpans(dst, a.srcSpans)
 	} else {
 		a.writeInterleaved(lo, targets, cnt)
@@ -197,8 +197,8 @@ func (a *Array) gatherWindow(lo, hi, cnt int) {
 
 func (a *Array) ensureScratch(n int) {
 	if cap(a.scratchK) < n {
-		a.scratchK = make([]int64, n)
-		a.scratchV = make([]int64, n)
+		a.scratchK = make([]int64, n) //rma:alloc-ok — scratch grows to the widest window seen
+		a.scratchV = make([]int64, n) //rma:alloc-ok — scratch grows to the widest window seen
 	}
 	a.scratchK = a.scratchK[:n]
 	a.scratchV = a.scratchV[:n]
@@ -218,7 +218,7 @@ func (a *Array) sourceSpans(lo, hi int) []span {
 		kpg, off := a.segPage(a.keys, s)
 		vpg, voff := a.segPage(a.vals, s)
 		rl, rh := a.runBounds(s)
-		spans = append(spans, span{k: kpg[off+rl : off+rh], v: vpg[voff+rl : voff+rh]})
+		spans = append(spans, span{k: kpg[off+rl : off+rh], v: vpg[voff+rl : voff+rh]}) //rma:cap-ok — srcSpans capacity is retained across calls
 	}
 	a.srcSpans = spans
 	return spans
@@ -249,7 +249,7 @@ func (a *Array) destSpans(lo int, targets []int, sparesK, sparesV [][]int64, pag
 		} else {
 			kpg, vpg = sparesK[page-page0], sparesV[page-page0]
 		}
-		spans = append(spans, span{k: kpg[off : off+c], v: vpg[off : off+c]})
+		spans = append(spans, span{k: kpg[off : off+c], v: vpg[off : off+c]}) //rma:cap-ok — dstSpans capacity is retained across calls
 	}
 	a.dstSpans = spans
 	return spans

@@ -72,42 +72,27 @@ func upperBoundRun(run []int64, key int64) int {
 	return lowerBoundRun(run, key+1)
 }
 
-// Min returns the smallest key, or ok=false when empty.
+// Min returns the smallest key, or ok=false when empty. One Fenwick
+// rank descent routes to the first non-empty segment — O(log S), where
+// a linear cards walk would pay O(S) on a sparse front (a freshly
+// grown array concentrates elements high).
 func (a *Array) Min() (int64, bool) {
 	if a.n == 0 {
 		return 0, false
 	}
-	for s := 0; s < a.numSegs; s++ {
-		if a.cards[s] > 0 {
-			return a.segMin(s), true
-		}
-	}
-	return 0, false
+	seg, _ := a.fen.find(0)
+	return a.segMin(seg), true
 }
 
-// Max returns the largest key, or ok=false when empty.
+// Max returns the largest key, or ok=false when empty: the Fenwick
+// descent for the last global rank, then the in-segment offset it
+// already knows. O(log S).
 func (a *Array) Max() (int64, bool) {
 	if a.n == 0 {
 		return 0, false
 	}
-	for s := a.numSegs - 1; s >= 0; s-- {
-		if a.cards[s] == 0 {
-			continue
-		}
-		switch a.cfg.Layout {
-		case LayoutClustered:
-			pg, off := a.segPage(a.keys, s)
-			_, hi := a.runBounds(s)
-			return pg[off+hi-1], true
-		default:
-			base := s * a.segSlots
-			if i := bmPrev(a.bitmap, base, base+a.segSlots); i >= 0 {
-				pg, off := a.pageAt(a.keys, i)
-				return pg[off], true
-			}
-		}
-	}
-	return 0, false
+	seg, before := a.fen.find(int64(a.n) - 1)
+	return a.elemKey(seg, a.n-1-int(before)), true
 }
 
 // neighborBefore returns the key preceding (seg, rank) in global order,

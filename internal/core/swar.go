@@ -43,6 +43,8 @@ func b2u(b bool) uint {
 // test; otherwise the four XOR words decide equality and the
 // greater-than lane ends the probe as soon as an occupied key passes
 // the target.
+//
+//rma:noalloc
 func swarFindEq(kseg []int64, bm []uint64, base int, key int64) int {
 	n := len(kseg)
 	j := 0
@@ -83,16 +85,21 @@ func swarFindEq(kseg []int64, bm []uint64, base int, key int64) int {
 
 // swarLowerBound returns the number of occupied slots in the segment
 // holding keys strictly below x.
+//
+//rma:noalloc
 func swarLowerBound(kseg []int64, bm []uint64, base int, x int64) int {
 	return swarBound(kseg, bm, base, x, false)
 }
 
 // swarUpperBound returns the number of occupied slots in the segment
 // holding keys at most x.
+//
+//rma:noalloc
 func swarUpperBound(kseg []int64, bm []uint64, base int, x int64) int {
 	return swarBound(kseg, bm, base, x, true)
 }
 
+//rma:noalloc
 func swarBound(kseg []int64, bm []uint64, base int, x int64, inclusive bool) int {
 	n := len(kseg)
 	cnt := 0
@@ -130,6 +137,8 @@ func swarBound(kseg []int64, bm []uint64, base int, x int64, inclusive bool) int
 
 // swarSeekGE returns the first occupied slot in the segment holding a
 // key >= x, or -1: the range-scan entry probe.
+//
+//rma:noalloc
 func swarSeekGE(kseg []int64, bm []uint64, base int, x int64) int {
 	n := len(kseg)
 	j := 0

@@ -200,6 +200,11 @@ func (d *Detector) RecordDelete(seg int, now uint64) {
 // windows — where the top 0.1% of |T| timestamps is less than one entry —
 // a segment holding the most recent Phi*QueueLen updates can still be
 // recognized as hammered.
+//
+// Mark processing runs inside the adaptive rebalance hot path: after
+// the scratch warms up it is allocation-free.
+//
+//rma:noalloc
 func (d *Detector) Marks(lo, hi int) []Mark {
 	q := d.cfg.QueueLen
 	total := 0
@@ -213,7 +218,7 @@ func (d *Detector) Marks(lo, hi int) []Mark {
 	for s := lo; s < hi; s++ {
 		base := s * q
 		for i := 0; i < int(d.count[s]); i++ {
-			d.scratch = append(d.scratch, d.ts[base+i])
+			d.scratch = append(d.scratch, d.ts[base+i]) //rma:cap-ok — pre-sized to numSegs*QueueLen in Reset
 		}
 	}
 	slices.Sort(d.scratch)
@@ -262,7 +267,7 @@ func (d *Detector) Marks(lo, hi int) []Mark {
 		default:
 			m.Kind = MarkSegment
 		}
-		marks = append(marks, m)
+		marks = append(marks, m) //rma:cap-ok — pre-sized to numSegs in Reset
 	}
 	d.marksBuf = marks
 	return marks

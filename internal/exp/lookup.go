@@ -166,6 +166,7 @@ func Lookup(p Params) []HotpathResult {
 						}
 						sink += k
 					}
+					w.Release()
 				}
 			})
 			record("seek-scan", nSeeks, ns, allocs)

@@ -73,6 +73,11 @@ type Map struct {
 // New builds a Map with len(seps)+1 shards, one fresh core.Array per
 // shard built from cfg. seps must be non-decreasing; equal separators
 // are allowed and simply leave the shard between them empty.
+//
+// New fills shard state before the map is shared, so it runs without
+// shard locks (lockcheck's //rma:init escape).
+//
+//rma:init
 func New(cfg core.Config, seps []int64) (*Map, error) {
 	for i := 1; i < len(seps); i++ {
 		if seps[i] < seps[i-1] {

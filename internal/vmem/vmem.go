@@ -118,7 +118,7 @@ func (p *Pages) alloc() ([]int64, error) {
 	}
 	p.stats.FreshAllocs++
 	p.stats.ZeroedSlots += uint64(p.pageSlots)
-	return make([]int64, p.pageSlots), nil
+	return make([]int64, p.pageSlots), nil //rma:alloc-ok — fresh page when the pool is dry (Stats.FreshAllocs)
 }
 
 // allocAppend appends n physical pages to out, preferring the spare pool
@@ -135,7 +135,7 @@ func (p *Pages) allocAppend(out [][]int64, n int) ([][]int64, error) {
 	base := len(out)
 	for n > 0 && len(p.spares) > 0 {
 		if p.failAfter == 0 {
-			p.spares = append(p.spares, out[base:]...)
+			p.spares = append(p.spares, out[base:]...) //rma:cap-ok — spare-pool capacity is amortized
 			return out[:base], ErrAllocFailed
 		}
 		if p.failAfter > 0 {
@@ -145,7 +145,7 @@ func (p *Pages) allocAppend(out [][]int64, n int) ([][]int64, error) {
 		pg := p.spares[m-1]
 		p.spares = p.spares[:m-1]
 		p.stats.PoolReuses++
-		out = append(out, pg)
+		out = append(out, pg) //rma:cap-ok — out is pre-sized by AcquireSpares
 		n--
 	}
 	if n == 0 {
@@ -157,21 +157,21 @@ func (p *Pages) allocAppend(out [][]int64, n int) ([][]int64, error) {
 		for ; n > 0; n-- {
 			pg, err := p.alloc()
 			if err != nil {
-				p.spares = append(p.spares, out[base:]...)
+				p.spares = append(p.spares, out[base:]...) //rma:cap-ok — spare-pool capacity is amortized
 				return out[:base], err
 			}
-			out = append(out, pg)
+			out = append(out, pg) //rma:cap-ok — out is pre-sized by AcquireSpares
 		}
 		return out, nil
 	}
 	if p.failAfter > 0 {
 		p.failAfter -= n
 	}
-	backing := make([]int64, n*p.pageSlots)
+	backing := make([]int64, n*p.pageSlots) //rma:alloc-ok — fresh batch when the pool is dry (Stats.FreshAllocs)
 	p.stats.FreshAllocs += uint64(n)
 	p.stats.ZeroedSlots += uint64(n * p.pageSlots)
 	for i := 0; i < n; i++ {
-		out = append(out, backing[i*p.pageSlots:(i+1)*p.pageSlots:(i+1)*p.pageSlots])
+		out = append(out, backing[i*p.pageSlots:(i+1)*p.pageSlots:(i+1)*p.pageSlots]) //rma:cap-ok — out is pre-sized by AcquireSpares
 	}
 	return out, nil
 }
@@ -194,7 +194,7 @@ func (p *Pages) Truncate(n int) {
 	if n > len(p.table) {
 		panic(fmt.Sprintf("vmem: Truncate(%d) beyond %d pages", n, len(p.table)))
 	}
-	p.spares = append(p.spares, p.table[n:]...)
+	p.spares = append(p.spares, p.table[n:]...) //rma:cap-ok — spare-pool capacity is amortized
 	for i := n; i < len(p.table); i++ {
 		p.table[i] = nil
 	}
@@ -215,7 +215,7 @@ func (p *Pages) AcquireSpare() ([]int64, error) { return p.alloc() }
 // steady-state rebalance path allocation-free.
 func (p *Pages) AcquireSpares(n int) ([][]int64, error) {
 	if cap(p.acquireBuf) < n {
-		p.acquireBuf = make([][]int64, 0, n)
+		p.acquireBuf = make([][]int64, 0, n) //rma:alloc-ok — scratch grows to the largest acquisition seen
 	}
 	out, err := p.allocAppend(p.acquireBuf[:0], n)
 	if err != nil {
@@ -230,7 +230,7 @@ func (p *Pages) ReleaseSpare(pg []int64) {
 	if len(pg) != p.pageSlots {
 		panic("vmem: ReleaseSpare of foreign page")
 	}
-	p.spares = append(p.spares, pg)
+	p.spares = append(p.spares, pg) //rma:cap-ok — spare-pool capacity is amortized
 }
 
 // Swap installs pg as the physical page of virtual page v and returns the
@@ -242,7 +242,7 @@ func (p *Pages) Swap(v int, pg []int64) {
 	}
 	old := p.table[v]
 	p.table[v] = pg
-	p.spares = append(p.spares, old)
+	p.spares = append(p.spares, old) //rma:cap-ok — spare-pool capacity is amortized
 	p.stats.Swaps++
 }
 
