@@ -36,21 +36,22 @@ import (
 )
 
 var experiments = map[string]func(exp.Params){
-	"fig01a":   exp.Fig01a,
-	"fig01b":   exp.Fig01b,
-	"fig01c":   exp.Fig01c,
-	"fig10":    exp.Fig10,
-	"fig11a":   exp.Fig11a,
-	"fig11b":   exp.Fig11b,
-	"fig12":    exp.Fig12,
-	"fig13a":   exp.Fig13a,
-	"fig13b":   exp.Fig13b,
-	"fig14":    exp.Fig14,
-	"backends": backends,
-	"hotpath":  hotpath,
-	"lookup":   lookup,
-	"shards":   shards,
-	"putasync": putasync,
+	"fig01a":     exp.Fig01a,
+	"fig01b":     exp.Fig01b,
+	"fig01c":     exp.Fig01c,
+	"fig10":      exp.Fig10,
+	"fig11a":     exp.Fig11a,
+	"fig11b":     exp.Fig11b,
+	"fig12":      exp.Fig12,
+	"fig13a":     exp.Fig13a,
+	"fig13b":     exp.Fig13b,
+	"fig14":      exp.Fig14,
+	"backends":   backends,
+	"hotpath":    hotpath,
+	"lookup":     lookup,
+	"shards":     shards,
+	"putasync":   putasync,
+	"durability": durability,
 }
 
 // Trajectory flags (hotpath and shards): where to append the JSON

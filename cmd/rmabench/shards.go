@@ -20,3 +20,11 @@ func putasync(p exp.Params) {
 	p.Async = *asyncMode
 	appendSnapshot(p, exp.PutAsync(p))
 }
+
+// durability runs the checkpoint/recovery economics experiment
+// (full vs incremental checkpoint latency, recovery vs re-bulk-load,
+// steady-state put overhead under periodic checkpoints) and appends a
+// labeled snapshot like the other trajectory experiments.
+func durability(p exp.Params) {
+	appendSnapshot(p, exp.Durability(p))
+}

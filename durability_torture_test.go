@@ -1,0 +1,320 @@
+package rma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Kill -9 recovery torture: a child process (this test binary re-execed
+// with RMA_TORTURE_DIR set) runs a deterministic op stream against a
+// durable sharded map, checkpointing every few hundred ops and fsyncing
+// an acknowledgment record after each successful Checkpoint. The parent
+// SIGKILLs it at a random moment — mid-ops, mid-checkpoint, mid-publish
+// — then recovers the map and differentially verifies it:
+//
+//   - zero lost acknowledged checkpoints: the recovered op counter is
+//     >= the last acknowledged one (an acked checkpoint can never roll
+//     back);
+//   - zero divergence: the recovered content equals, key for key and
+//     value for value, an in-memory reference built by replaying the op
+//     stream up to exactly the recovered counter.
+//
+// The op stream is a pure function of the op index (splitmix64), and
+// whether op i inserts or deletes depends only on the reference state
+// at i — so parent, child, and every post-crash child rebuild identical
+// histories with no shared state but the checkpoint itself. The counter
+// rides inside the map under a reserved key written immediately before
+// each Checkpoint, making "which prefix does this checkpoint hold"
+// recoverable from the checkpoint alone.
+//
+// Cycles: 50 by default (8 with -short), scaled by RMA_TORTURE_SCALE —
+// the knob CI's nightly job turns up.
+
+const (
+	tortureKeyDomain = 1 << 17
+	tortureCkptEvery = 512
+	tortureMaxOps    = 1 << 20
+	tortureShards    = 4
+	// tortureCounterKey is reserved for the op counter: the op stream's
+	// key domain is non-negative, so it never collides.
+	tortureCounterKey = math.MinInt64
+)
+
+func tortureEngineOpts() []Option {
+	return []Option{
+		WithSegmentCapacity(8),
+		WithPageCapacity(64),
+		WithBackgroundRebalancing(2),
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// tortureOp derives op i: its key, its value if inserting. Whether it
+// inserts or deletes is decided against the live reference set.
+func tortureOp(i int) (key, val int64) {
+	h := splitmix64(uint64(i) + 1)
+	return int64(h % tortureKeyDomain), int64(h >> 40)
+}
+
+// replayTortureRef replays ops [lo, hi) into ref — the pure in-memory
+// model of the map's content after hi ops.
+func replayTortureRef(ref map[int64]int64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		k, v := tortureOp(i)
+		if _, live := ref[k]; live {
+			delete(ref, k)
+		} else {
+			ref[k] = v
+		}
+	}
+}
+
+func tortureDie(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "torture child: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// TestDurabilityTortureChild is the child body — a no-op unless
+// re-execed by the parent with RMA_TORTURE_DIR set. It runs until
+// killed (or an op cap, whichever first), checkpointing as it goes.
+func TestDurabilityTortureChild(t *testing.T) {
+	dir := os.Getenv("RMA_TORTURE_DIR")
+	if dir == "" {
+		t.Skip("torture child helper; driven by TestDurabilityKill9Torture")
+	}
+	ackPath := os.Getenv("RMA_TORTURE_ACK")
+
+	s, err := OpenSharded(dir, tortureEngineOpts()...)
+	start := 0
+	ref := make(map[int64]int64)
+	if errors.Is(err, ErrNoCheckpoint) {
+		s, err = NewSharded(tortureShards, append(tortureEngineOpts(), WithDurability(dir))...)
+		if err != nil {
+			tortureDie("create: %v", err)
+		}
+	} else if err != nil {
+		tortureDie("open: %v", err)
+	} else {
+		if v, ok := s.Find(tortureCounterKey); ok {
+			start = int(v)
+		}
+		replayTortureRef(ref, 0, start)
+	}
+
+	ack, err := os.OpenFile(ackPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		tortureDie("ack log: %v", err)
+	}
+	for i := start; i < start+tortureMaxOps; i++ {
+		k, v := tortureOp(i)
+		if _, live := ref[k]; live {
+			delete(ref, k)
+			if ok, err := s.Delete(k); err != nil || !ok {
+				tortureDie("op %d: Delete(%d) = %v, %v", i, k, ok, err)
+			}
+		} else {
+			ref[k] = v
+			if err := s.Insert(k, v); err != nil {
+				tortureDie("op %d: Insert(%d): %v", i, k, err)
+			}
+		}
+		if (i+1)%tortureCkptEvery == 0 {
+			// The counter names the exact op prefix this checkpoint holds;
+			// written before Checkpoint so it rides inside the epoch.
+			s.Delete(tortureCounterKey)
+			if err := s.Insert(tortureCounterKey, int64(i+1)); err != nil {
+				tortureDie("counter: %v", err)
+			}
+			if err := s.Checkpoint(); err != nil {
+				tortureDie("checkpoint at %d: %v", i+1, err)
+			}
+			var rec [8]byte
+			binary.LittleEndian.PutUint64(rec[:], uint64(i+1))
+			if _, err := ack.Write(rec[:]); err != nil {
+				tortureDie("ack write: %v", err)
+			}
+			if err := ack.Sync(); err != nil {
+				tortureDie("ack sync: %v", err)
+			}
+		}
+	}
+	ack.Close()
+	s.Close()
+}
+
+// lastAck returns the newest acknowledged op counter (0 if none);
+// a torn trailing record — the kill can land mid-ack-write — is
+// ignored.
+func lastAck(t *testing.T, path string) uint64 {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	n := len(b) / 8 * 8
+	if n == 0 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[n-8:])
+}
+
+// verifyTortureDir recovers the map and differentially verifies it
+// against the replayed reference; returns the recovered op counter.
+func verifyTortureDir(t *testing.T, dir string, acked uint64) uint64 {
+	t.Helper()
+	s, err := OpenSharded(dir, tortureEngineOpts()...)
+	if errors.Is(err, ErrNoCheckpoint) {
+		if acked != 0 {
+			t.Fatalf("acknowledged checkpoint %d but no recovery point on disk", acked)
+		}
+		return 0
+	}
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer s.Close()
+
+	v, ok := s.Find(tortureCounterKey)
+	if !ok {
+		t.Fatal("recovered checkpoint has no op counter")
+	}
+	counter := uint64(v)
+	if counter < acked {
+		t.Fatalf("lost acknowledged checkpoint: recovered op counter %d < acked %d", counter, acked)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("recovered map invalid: %v", err)
+	}
+	ref := make(map[int64]int64)
+	replayTortureRef(ref, 0, int(counter))
+	if got, want := s.Size(), len(ref)+1; got != want {
+		t.Fatalf("recovered size %d, want %d (+counter) at op %d", got, want, counter)
+	}
+	for k, v := range s.All() {
+		if k == tortureCounterKey {
+			continue
+		}
+		rv, ok := ref[k]
+		if !ok {
+			t.Fatalf("recovered key %d not in reference at op %d", k, counter)
+		}
+		if rv != v {
+			t.Fatalf("recovered value %d under key %d, reference says %d", v, k, rv)
+		}
+	}
+	return counter
+}
+
+// TestDurabilityKill9Torture is the crash loop: spawn child, let it
+// reach at least one new checkpoint, SIGKILL it at a random offset,
+// recover and differentially verify. Repeat.
+func TestDurabilityKill9Torture(t *testing.T) {
+	if os.Getenv("RMA_TORTURE_DIR") != "" {
+		t.Skip("torture child process")
+	}
+	if testing.Short() && os.Getenv("RMA_TORTURE_SCALE") == "" {
+		t.Skip("kill -9 torture skipped in -short mode")
+	}
+	cycles := 50
+	if testing.Short() {
+		cycles = 8
+	}
+	if s := os.Getenv("RMA_TORTURE_SCALE"); s != "" {
+		scale, err := strconv.Atoi(s)
+		if err != nil || scale < 1 {
+			t.Fatalf("bad RMA_TORTURE_SCALE %q", s)
+		}
+		cycles *= scale
+	}
+
+	// RMA_TORTURE_BASE pins the map directory and ack log to a stable
+	// path that outlives the test process — CI's nightly job sets it so
+	// a failure's on-disk state (manifests, page files, ack history)
+	// ships in the uploaded artifact. Unset, state lives in t.TempDir.
+	base := os.Getenv("RMA_TORTURE_BASE")
+	if base == "" {
+		base = t.TempDir()
+	} else if err := os.MkdirAll(base, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(base, "map")
+	ackPath := filepath.Join(base, "acks.log")
+	rng := rand.New(rand.NewSource(20260808))
+	var maxCounter uint64
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		ackBefore := lastAck(t, ackPath)
+		cmd := exec.Command(os.Args[0], "-test.run=^TestDurabilityTortureChild$")
+		cmd.Env = append(os.Environ(),
+			"RMA_TORTURE_DIR="+dir, "RMA_TORTURE_ACK="+ackPath)
+		var out strings.Builder
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+
+		// Let the child reach at least one new acknowledged checkpoint so
+		// every cycle makes forward progress, then kill at a random
+		// offset — often mid-checkpoint or mid-publish.
+		deadline := time.After(30 * time.Second)
+	progress:
+		for lastAck(t, ackPath) == ackBefore {
+			select {
+			case err := <-exited:
+				// Child finished its op cap (or died): either way the tree
+				// must verify; a self-death is a failure.
+				if err != nil {
+					t.Fatalf("cycle %d: child died on its own: %v\n%s", cycle, err, out.String())
+				}
+				break progress
+			case <-deadline:
+				cmd.Process.Kill()
+				<-exited
+				t.Fatalf("cycle %d: no checkpoint progress in 30s\n%s", cycle, out.String())
+			case <-time.After(time.Millisecond):
+			}
+		}
+		select {
+		case <-exited:
+		default:
+			time.Sleep(time.Duration(rng.Intn(40)) * time.Millisecond)
+			cmd.Process.Kill()
+			<-exited
+		}
+
+		acked := lastAck(t, ackPath)
+		counter := verifyTortureDir(t, dir, acked)
+		if counter > maxCounter {
+			maxCounter = counter
+		}
+		if counter < maxCounter {
+			t.Fatalf("cycle %d: op counter went backwards: %d after %d", cycle, counter, maxCounter)
+		}
+	}
+	if maxCounter == 0 {
+		t.Fatal("torture loop made no progress: no checkpoint ever acknowledged")
+	}
+	t.Logf("survived %d kill -9 cycles; final op counter %d, last ack %d",
+		cycles, maxCounter, lastAck(t, ackPath))
+}

@@ -1,0 +1,140 @@
+package rma
+
+import (
+	"fmt"
+
+	"rma/internal/core"
+	"rma/internal/shard"
+	"rma/internal/vmem"
+)
+
+// Durability on the facade: WithDurability(dir) makes an Array or a
+// Sharded map checkpoint its state to a directory tree, and
+// OpenArray/OpenSharded recover from it. A checkpoint is explicit
+// (Checkpoint, or RequestCheckpoint for the asynchronous sharded form)
+// and crash-consistent: it is published by one atomic rename, so a
+// crash at any instant — mid-write, mid-fsync, mid-rename — recovers
+// exactly the last published checkpoint, never a torn state. Between
+// checkpoints the structure runs at full in-memory speed; a checkpoint
+// persists only the pages dirtied since the previous one.
+//
+// Failures degrade gracefully: a failed checkpoint (disk full, I/O
+// error) leaves the structure serving from memory with nothing lost,
+// the previous on-disk checkpoint intact, and the next Checkpoint
+// retrying the unpersisted pages. See DURABILITY.md for the on-disk
+// format and the full crash matrix.
+
+// Errors surfaced by the durability layer, re-exported for errors.Is.
+var (
+	// ErrNoCheckpoint reports that the directory passed to
+	// OpenArray/OpenSharded holds no published checkpoint.
+	ErrNoCheckpoint = vmem.ErrNoCheckpoint
+	// ErrNotDurable reports a Checkpoint call on a structure built
+	// without WithDurability.
+	ErrNotDurable = core.ErrNotDurable
+	// ErrAllocFailed reports a physical page allocation failure; the
+	// structure stays consistent and keeps serving.
+	ErrAllocFailed = vmem.ErrAllocFailed
+)
+
+// WithDurability makes the structure durable: its state checkpoints
+// into the directory tree rooted at dir (created if absent; any
+// previous checkpoint history under dir is discarded — use
+// OpenArray/OpenSharded to resume from one). Checkpoints are explicit:
+// call Checkpoint at the moments that must survive a crash.
+func WithDurability(dir string) Option {
+	return func(o *options) { o.durDir = dir }
+}
+
+// Checkpoint persists the array's current state as its new recovery
+// point and returns nil once it is durably on disk. Incremental: only
+// pages dirtied since the last checkpoint are written. On error the
+// array keeps serving from memory, the previous recovery point stays
+// intact, and the next Checkpoint retries.
+func (r *Array) Checkpoint() error {
+	_, err := r.a.Checkpoint(0)
+	return err
+}
+
+// Durable reports whether the array was built with WithDurability.
+func (r *Array) Durable() bool { return r.a.Durable() }
+
+// Close releases the array's durability files (no-op without
+// WithDurability). It does not checkpoint: state since the last
+// Checkpoint call is not persisted.
+func (r *Array) Close() error {
+	if reg := r.a.Region(); reg != nil {
+		return reg.Close()
+	}
+	return nil
+}
+
+// OpenArray recovers an Array from the durability tree at dir,
+// restoring the last checkpointed state. opts must describe the same
+// engine the checkpoints were taken with (layout and page size are
+// verified; tuning options are free to differ). The recovered array is
+// durable and continues checkpointing incrementally into dir.
+func OpenArray(dir string, opts ...Option) (*Array, error) {
+	o := defaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	reg, err := vmem.OpenFileRegion(dir)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Open(reg, o.cfg, 0)
+	if err != nil {
+		reg.Close()
+		return nil, err
+	}
+	return &Array{a: a}, nil
+}
+
+// Checkpoint persists the sharded map's current state as one atomic
+// recovery point: every shard is checkpointed at a quiesce point under
+// its own lock — one shard at a time, readers and writers on other
+// shards never blocked — and a map-level manifest binding the shard
+// checkpoints together is published last, by one atomic rename. On
+// error the map keeps serving from memory and the previous recovery
+// point stays intact.
+func (s *Sharded) Checkpoint() error { return s.m.CheckpointAll() }
+
+// RequestCheckpoint starts a checkpoint round in the background: the
+// maintenance pool (WithBackgroundRebalancing) folds each shard's
+// checkpoint into its sweep once that shard's deferred backlog drains,
+// and the last shard's finisher publishes the recovery point. Returns
+// false without starting anything when the map is not durable, no
+// round can start (one already in flight), or there is no pool to
+// drive it. Track completion with Stats().Checkpoints or call
+// Checkpoint to force completion synchronously.
+func (s *Sharded) RequestCheckpoint() bool {
+	if s.pool == nil {
+		return false
+	}
+	return s.m.RequestCheckpoint()
+}
+
+// Durable reports whether the map was built with WithDurability.
+func (s *Sharded) Durable() bool { return s.m.Durable() }
+
+// OpenSharded recovers a Sharded map from the durability tree at dir:
+// the shard boundaries and every shard's state come back exactly as the
+// last published Checkpoint captured them, regardless of how far later
+// unpublished work had progressed when the process died. opts must
+// describe the same engine the checkpoints were taken with; the
+// recovered map is durable and continues checkpointing into dir.
+func OpenSharded(dir string, opts ...Option) (*Sharded, error) {
+	o := defaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.durDir != "" && o.durDir != dir {
+		return nil, fmt.Errorf("rma: OpenSharded(%q) conflicts with WithDurability(%q)", dir, o.durDir)
+	}
+	m, err := shard.OpenMap(dir, o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return finishSharded(m, o), nil
+}

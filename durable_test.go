@@ -1,0 +1,136 @@
+package rma
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestArrayDurabilityRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := []Option{WithSegmentCapacity(8), WithPageCapacity(32)}
+	a, err := New(append(opts, WithDurability(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Durable() {
+		t.Fatal("not durable")
+	}
+	for i := int64(0); i < 5000; i++ {
+		if err := a.Insert(i*7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Checkpoints != 1 || st.CheckpointPages == 0 {
+		t.Fatalf("checkpoint stats %+v", st)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenArray(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Size() != 5000 {
+		t.Fatalf("recovered %d, want 5000", b.Size())
+	}
+	for i := int64(0); i < 5000; i++ {
+		v, ok := b.Find(i * 7)
+		if !ok || v != i {
+			t.Fatalf("Find(%d) = %d,%v", i*7, v, ok)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered array keeps checkpointing.
+	if err := b.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedDurabilityRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := []Option{WithSegmentCapacity(8), WithPageCapacity(32), WithBackgroundRebalancing(2)}
+	s, err := NewSharded(4, append(opts, WithDurability(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(-4000); i < 4000; i++ {
+		if err := s.Insert(i*1_000_003, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenSharded(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != 8000 {
+		t.Fatalf("recovered %d, want 8000", r.Size())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(-4000); i < 4000; i++ {
+		v, ok := r.Find(i * 1_000_003)
+		if !ok || v != i {
+			t.Fatalf("Find(%d) = %d,%v", i*1_000_003, v, ok)
+		}
+	}
+	// The recovered map keeps checkpointing (one checkpoint per shard).
+	if err := r.Insert(42, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Checkpoints; got != uint64(r.NumShards()) {
+		t.Fatalf("Checkpoints = %d, want %d", got, r.NumShards())
+	}
+}
+
+func TestCheckpointWithoutDurabilityErrors(t *testing.T) {
+	a, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Array: want ErrNotDurable, got %v", err)
+	}
+	s, err := NewSharded(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Sharded: want ErrNotDurable, got %v", err)
+	}
+	if s.RequestCheckpoint() {
+		t.Fatal("RequestCheckpoint on a non-durable map")
+	}
+}
+
+func TestOpenShardedNoCheckpoint(t *testing.T) {
+	if _, err := OpenSharded(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+	if _, err := OpenArray(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}

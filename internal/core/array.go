@@ -86,6 +86,10 @@ type Array struct {
 	// the density violation here for the maintenance layer.
 	deferred bool
 	pending  pendingQueue
+
+	// dur is the attached durability region (see durable.go); nil for a
+	// purely in-memory array.
+	dur *vmem.FileRegion
 }
 
 // New builds an empty array with the given configuration.
@@ -317,16 +321,27 @@ func (a *Array) setOccupied(s int, on bool) {
 // --- cardinality maintenance -------------------------------------------------
 
 // cardAdd adjusts segment seg's cardinality by d, keeping the Fenwick
-// prefix sums current. Every point insert/delete goes through here.
+// prefix sums current. Every point insert/delete goes through here, so
+// it doubles as the durability hook: the touched segment's page is
+// marked dirty for the next checkpoint (a nil-guarded bit set, free
+// when durability is off — in-place writes through Page slices are
+// invisible to vmem, and this is the choke point they all share).
 func (a *Array) cardAdd(seg int, d int32) {
 	a.cards[seg] += d
 	a.fen.add(seg, int64(d))
+	v := (seg * a.segSlots) >> a.pageShift
+	a.keys.MarkDirty(v)
+	a.vals.MarkDirty(v)
 }
 
 // applyCards installs new per-segment cardinalities for the window
 // starting at segment lo, folding the per-segment deltas into the
 // Fenwick tree. Rebalances and bulk merges go through here; calling it
-// twice with the same targets is a no-op the second time.
+// twice with the same targets is a no-op the second time. Like cardAdd,
+// this is the durability choke point for window writes: every page the
+// window spans is marked dirty unconditionally, because an in-place
+// redistribution moves elements even in segments whose cardinality is
+// unchanged.
 func (a *Array) applyCards(lo int, targets []int) {
 	for i, t := range targets {
 		if d := int64(t) - int64(a.cards[lo+i]); d != 0 {
@@ -334,6 +349,10 @@ func (a *Array) applyCards(lo int, targets []int) {
 			a.cards[lo+i] = int32(t)
 		}
 	}
+	loPage := (lo * a.segSlots) >> a.pageShift
+	hiPage := ((lo+len(targets))*a.segSlots + a.cfg.PageSlots - 1) >> a.pageShift
+	a.keys.MarkDirtyRange(loPage, hiPage)
+	a.vals.MarkDirtyRange(loPage, hiPage)
 }
 
 // --- separator maintenance -------------------------------------------------

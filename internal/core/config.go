@@ -217,4 +217,19 @@ type Stats struct {
 	// executed the deferred rebalance or grow.
 	DeferredWindows uint64
 	MaintenanceRuns uint64
+	// AllocFailures counts storage-substrate allocation failures
+	// surfaced by rebalance/resize machinery (failure injection in
+	// tests; a real allocator would return them under memory pressure).
+	// The array stays consistent and serving after each one — the
+	// operation that hit the failure reports an error and the structure
+	// rolls back to its pre-operation state.
+	AllocFailures uint64
+	// Durability counters (zero unless AttachDurability): Checkpoints
+	// and CheckpointFailures count published and failed checkpoint
+	// attempts; CheckpointPages counts dirty pages persisted across all
+	// published checkpoints (the incremental-write economy: steady-state
+	// checkpoints write only what changed).
+	Checkpoints        uint64
+	CheckpointFailures uint64
+	CheckpointPages    uint64
 }

@@ -140,6 +140,7 @@ func (a *Array) redistributeRewired(lo, hi int, targets []int, cnt int) error {
 
 	sparesK, err := a.keys.AcquireSpares(npages)
 	if err != nil {
+		a.stats.AllocFailures++
 		return err
 	}
 	sparesV, err := a.vals.AcquireSpares(npages)
@@ -147,6 +148,7 @@ func (a *Array) redistributeRewired(lo, hi int, targets []int, cnt int) error {
 		for _, pg := range sparesK {
 			a.keys.ReleaseSpare(pg)
 		}
+		a.stats.AllocFailures++
 		return err
 	}
 

@@ -91,10 +91,12 @@ func (a *Array) resizeRewired(newSegs, newB, newPages int, targets []int, extra 
 	// Extend the virtual address space first (cheap to undo on failure).
 	if newPages > oldPages {
 		if err := a.keys.Grow(newPages - oldPages); err != nil {
+			a.stats.AllocFailures++
 			return err
 		}
 		if err := a.vals.Grow(newPages - oldPages); err != nil {
 			a.keys.Truncate(oldPages)
+			a.stats.AllocFailures++
 			return err
 		}
 	}
@@ -104,6 +106,7 @@ func (a *Array) resizeRewired(newSegs, newB, newPages int, targets []int, extra 
 			a.keys.Truncate(oldPages)
 			a.vals.Truncate(oldPages)
 		}
+		a.stats.AllocFailures++
 		return err
 	}
 	sparesV, err := a.vals.AcquireSpares(newPages)
@@ -115,6 +118,7 @@ func (a *Array) resizeRewired(newSegs, newB, newPages int, targets []int, extra 
 			a.keys.Truncate(oldPages)
 			a.vals.Truncate(oldPages)
 		}
+		a.stats.AllocFailures++
 		return err
 	}
 
@@ -139,10 +143,19 @@ func (a *Array) resizeRewired(newSegs, newB, newPages int, targets []int, extra 
 func (a *Array) resizeFresh(newSegs, newB, newPages int, targets []int, extra []pair) error {
 	nk := vmem.New(a.cfg.PageSlots)
 	nv := vmem.New(a.cfg.PageSlots)
+	if a.keys.DirtyTracking() {
+		// Durability survives the space swap: the replacement spaces are
+		// tracked from birth, and Grow marks every new page dirty, so the
+		// next checkpoint persists the array wholesale.
+		nk.EnableDirtyTracking()
+		nv.EnableDirtyTracking()
+	}
 	if err := nk.Grow(newPages); err != nil {
+		a.stats.AllocFailures++
 		return err
 	}
 	if err := nv.Grow(newPages); err != nil {
+		a.stats.AllocFailures++
 		return err
 	}
 

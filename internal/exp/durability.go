@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"os"
+	"time"
+
+	"rma/internal/core"
+	"rma/internal/vmem"
+	"rma/internal/workload"
+)
+
+// Durability measures what checkpointing costs and what recovery buys —
+// the three numbers that justify (or indict) the crash-consistency
+// layer:
+//
+//   - checkpoint latency: the first (full) checkpoint persists every
+//     page; a steady-state checkpoint after a localized update burst
+//     persists only the dirtied pages. Both report ns per page written,
+//     so the full/incremental economy is directly visible in Ops (pages).
+//   - recovery time vs re-bulk-load: core.Open maps the checkpointed
+//     pages back and rebuilds only derived state, versus rebuilding the
+//     array from sorted pairs with BulkLoad — the alternative a system
+//     without checkpoints pays after every restart. Both report ns per
+//     element over the same cardinality.
+//   - steady-state put overhead: uniform random inserts with a
+//     checkpoint every N/16 ops, against the same insert stream on a
+//     plain in-memory array. The delta is the full price of durability
+//     on the write path (dirty-bit marking + periodic page writes).
+//
+// Series ride the hotpath trajectory ("dur-*"), so BENCH_hotpath.json
+// records the durability economics PR over PR.
+func Durability(p Params) []HotpathResult {
+	cfg := core.DefaultConfig()
+	p.printf("## durability: checkpoint/recovery economics, N=%d, pageSlots=%d\n", p.N, cfg.PageSlots)
+	p.printf("# series\tlayout\trebal\tops\tns/op\tckpt.pages\n")
+
+	dir, err := os.MkdirTemp("", "rma-durability-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	var results []HotpathResult
+	record := func(series string, ops int, d time.Duration, st core.Stats) {
+		r := HotpathResult{
+			Series: series, Layout: "clustered", Rebalance: "rewired",
+			Ops: ops, NsPerOp: float64(d.Nanoseconds()) / float64(max(ops, 1)),
+			ElementCopies: st.ElementCopies, PageSwaps: st.PageSwaps,
+		}
+		results = append(results, r)
+		p.printf("%s\tclustered\trewired\t%d\t%.1f\t%d\n", series, ops, r.NsPerOp, st.CheckpointPages)
+	}
+
+	uniform := workload.Keys(workload.NewUniform(p.Seed, 0), p.N)
+
+	// --- checkpoint latency: full, then incremental ------------------------
+	reg, err := vmem.CreateFileRegion(dir+"/ckpt", cfg.PageSlots)
+	if err != nil {
+		panic(err)
+	}
+	a := newCore(cfg)
+	if err := a.AttachDurability(reg); err != nil {
+		panic(err)
+	}
+	for _, k := range uniform {
+		if err := a.Insert(k, workload.ValueFor(k)); err != nil {
+			panic(err)
+		}
+	}
+	d := timeIt(func() {
+		if _, err := a.Checkpoint(0); err != nil {
+			panic(err)
+		}
+	})
+	fullPages := int(a.Stats().CheckpointPages)
+	record("dur-ckpt-full", fullPages, d, a.Stats())
+
+	// A localized burst (0.1% of N around one hot key) dirties few pages.
+	burst := p.N / 1000
+	if burst < 1 {
+		burst = 1
+	}
+	hot := uniform[len(uniform)/2]
+	for i := 0; i < burst; i++ {
+		if err := a.Insert(hot+int64(i%256), int64(i)); err != nil {
+			panic(err)
+		}
+	}
+	before := a.Stats().CheckpointPages
+	d = timeIt(func() {
+		if _, err := a.Checkpoint(0); err != nil {
+			panic(err)
+		}
+	})
+	record("dur-ckpt-incr", int(a.Stats().CheckpointPages-before), d, a.Stats())
+
+	// --- recovery vs re-bulk-load ------------------------------------------
+	n := a.Size()
+	reg.Close()
+	reopened, err := vmem.OpenFileRegion(dir + "/ckpt")
+	if err != nil {
+		panic(err)
+	}
+	var recovered *core.Array
+	d = timeIt(func() {
+		recovered, err = core.Open(reopened, cfg, 0)
+		if err != nil {
+			panic(err)
+		}
+	})
+	if recovered.Size() != n {
+		panic("durability: recovery size mismatch")
+	}
+	record("dur-recover", n, d, recovered.Stats())
+	reopened.Close()
+
+	keys, vals := sortedPairs(workload.NewUniform(p.Seed, 0), p.N)
+	fresh := newCore(cfg)
+	d = timeIt(func() {
+		if err := fresh.BulkLoad(core.Batch{Keys: keys, Vals: vals}); err != nil {
+			panic(err)
+		}
+	})
+	record("dur-rebuild", fresh.Size(), d, fresh.Stats())
+
+	// --- steady-state put overhead -----------------------------------------
+	every := p.N / 16
+	if every < 1 {
+		every = 1
+	}
+	reg2, err := vmem.CreateFileRegion(dir+"/puts", cfg.PageSlots)
+	if err != nil {
+		panic(err)
+	}
+	dur := newCore(cfg)
+	if err := dur.AttachDurability(reg2); err != nil {
+		panic(err)
+	}
+	d = timeIt(func() {
+		for i, k := range uniform {
+			if err := dur.Insert(k, workload.ValueFor(k)); err != nil {
+				panic(err)
+			}
+			if (i+1)%every == 0 {
+				if _, err := dur.Checkpoint(0); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	record("dur-put-ckpt16", p.N, d, dur.Stats())
+	reg2.Close()
+
+	plain := newCore(cfg)
+	d = timeIt(func() {
+		for _, k := range uniform {
+			if err := plain.Insert(k, workload.ValueFor(k)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	record("dur-put-baseline", p.N, d, plain.Stats())
+
+	return results
+}

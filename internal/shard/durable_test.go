@@ -1,0 +1,293 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rma/internal/rebal"
+	"rma/internal/vmem"
+)
+
+func durableMap(t *testing.T, k int) (*Map, string) {
+	t.Helper()
+	dir := t.TempDir()
+	m := mustNew(t, k, UniformSeps(k))
+	if err := m.EnableDurability(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.CloseDurability() })
+	return m, dir
+}
+
+func reopenMap(t *testing.T, dir string) *Map {
+	t.Helper()
+	m, err := OpenMap(dir, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.CloseDurability() })
+	return m
+}
+
+func fillMap(t *testing.T, m *Map, lo, hi int64) {
+	t.Helper()
+	for k := lo; k < hi; k++ {
+		if err := m.Insert(k*1_000_003, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMapCheckpointOpenRoundTrip(t *testing.T) {
+	m, dir := durableMap(t, 4)
+	fillMap(t, m, -3000, 3000)
+	if err := m.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PublishedCheckpoints() != 1 {
+		t.Fatalf("PublishedCheckpoints = %d", m.PublishedCheckpoints())
+	}
+	size := m.Size()
+	m.CloseDurability()
+
+	r := reopenMap(t, dir)
+	if r.Size() != size {
+		t.Fatalf("recovered size %d, want %d", r.Size(), size)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(-3000); k < 3000; k++ {
+		v, ok := r.Find(k * 1_000_003)
+		if !ok || v != k {
+			t.Fatalf("Find(%d) = %d,%v", k*1_000_003, v, ok)
+		}
+	}
+	// The recovered map keeps checkpointing incrementally.
+	fillMap(t, r, 3000, 3500)
+	if err := r.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOpenWithoutCheckpointFails(t *testing.T) {
+	m, dir := durableMap(t, 3)
+	fillMap(t, m, 0, 100)
+	// No round published yet: the tree must not be recoverable.
+	if _, err := OpenMap(dir, testConfig()); !errors.Is(err, vmem.ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+// TestMapRecoversLastPublishedRound pins cross-shard atomicity: shards
+// that checkpointed as part of an unpublished round must recover at the
+// previous published round, not at their newer per-shard epochs.
+func TestMapRecoversLastPublishedRound(t *testing.T) {
+	m, dir := durableMap(t, 4)
+	fillMap(t, m, 0, 2000)
+	if err := m.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Second round: every shard checkpoints, but the map publish dies —
+	// the moment a kill -9 between shard checkpoints and publish models.
+	fillMap(t, m, 2000, 4000)
+	m.InjectPublishFault()
+	if err := m.CheckpointAll(); !errors.Is(err, vmem.ErrFaultInjected) {
+		t.Fatalf("want injected publish fault, got %v", err)
+	}
+	if m.PublishedCheckpoints() != 1 {
+		t.Fatalf("PublishedCheckpoints = %d after failed publish", m.PublishedCheckpoints())
+	}
+	m.CloseDurability()
+
+	r := reopenMap(t, dir)
+	if r.Size() != 2000 {
+		t.Fatalf("recovered %d elements, want the 2000 of round 1", r.Size())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapCheckpointRetryAfterPublishFault pins graceful degradation at
+// the map level: after a failed publish the map keeps serving, and the
+// next round publishes everything.
+func TestMapCheckpointRetryAfterPublishFault(t *testing.T) {
+	m, dir := durableMap(t, 2)
+	fillMap(t, m, 0, 1000)
+	m.InjectPublishFault()
+	if err := m.CheckpointAll(); err == nil {
+		t.Fatal("want publish failure")
+	}
+	fillMap(t, m, 1000, 1100)
+	if err := m.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	m.CloseDurability()
+	r := reopenMap(t, dir)
+	if r.Size() != 1100 {
+		t.Fatalf("recovered %d, want 1100", r.Size())
+	}
+}
+
+// TestMapShardFaultFailsRound pins the shard→map failure path: a vmem
+// fault inside one shard's checkpoint poisons the round (no publish),
+// the map keeps serving, and a retry succeeds.
+func TestMapShardFaultFailsRound(t *testing.T) {
+	m, dir := durableMap(t, 3)
+	fillMap(t, m, 0, 1500)
+	m.ShardRegion(1).InjectFault(vmem.FaultManifestSync, 0)
+	if err := m.CheckpointAll(); !errors.Is(err, vmem.ErrFaultInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if m.PublishedCheckpoints() != 0 {
+		t.Fatal("round with a failed shard must not publish")
+	}
+	if m.Stats().CheckpointFailures == 0 {
+		t.Fatal("CheckpointFailures not recorded")
+	}
+	fillMap(t, m, 1500, 1600)
+	if err := m.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	m.CloseDurability()
+	if r := reopenMap(t, dir); r.Size() != 1600 {
+		t.Fatalf("recovered %d, want 1600", r.Size())
+	}
+}
+
+// TestAsyncCheckpointViaMaintenancePool drives a checkpoint round
+// through internal/rebal's workers: RequestCheckpoint flags the shards,
+// the pool folds each shard's checkpoint into its sweep, and the last
+// finisher publishes — all while foreground writers keep inserting.
+func TestAsyncCheckpointViaMaintenancePool(t *testing.T) {
+	m, dir := durableMap(t, 4)
+	pool := rebal.NewPool(m, 2)
+	m.EnableDeferredRebalancing(pool.Notify)
+	pool.Start()
+	defer pool.Close()
+
+	fillMap(t, m, 0, 2000)
+	if !m.RequestCheckpoint() {
+		t.Fatal("RequestCheckpoint refused")
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := int64(2000); !stop.Load(); k++ {
+			if err := m.Insert(k*1_000_003, k); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	waitUntil(t, func() bool { return m.PublishedCheckpoints() == 1 })
+	stop.Store(true)
+	wg.Wait()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	m.CloseDurability()
+	r := reopenMap(t, dir)
+	if r.Size() < 2000 {
+		t.Fatalf("recovered %d, want >= 2000", r.Size())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAllocFailureUnderBackgroundRebalance pins the sharded layer's
+// degraded mode under -race: with the maintenance pool executing
+// deferred rebalances in the background, a persistent allocation
+// failure on one shard surfaces as ErrAllocFailed to that shard's
+// writers (foreground or maintenance), while concurrent readers and the
+// other shards' writers keep serving; Stats records every failure, the
+// map stays structurally valid throughout, and lifting the injection
+// restores full service.
+func TestAllocFailureUnderBackgroundRebalance(t *testing.T) {
+	m := mustNew(t, 2, UniformSeps(2))
+	pool := rebal.NewPool(m, 2)
+	m.EnableDeferredRebalancing(pool.Notify)
+	pool.Start()
+	defer pool.Close()
+
+	// Warm both shards, then arm shard 0 (negative keys): every next
+	// allocation on its key space fails, so the next grow or rewired
+	// rebalance — foreground or background — trips.
+	for k := int64(0); k < 2000; k++ {
+		if err := m.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Insert(-k-1, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.InjectAllocFailure(0, 0, -1)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for k := seed; !stop.Load(); k++ {
+				m.Find(k % 4000)
+				m.Contains(-(k % 4000) - 1)
+			}
+		}(int64(r + 1))
+	}
+	var failed, healthyErrs int
+	for k := int64(2000); k < 30_000; k++ {
+		if err := m.Insert(-k-1, k); err != nil {
+			if !errors.Is(err, vmem.ErrAllocFailed) {
+				t.Fatalf("shard 0 insert: %v", err)
+			}
+			failed++
+		}
+		if err := m.Insert(k, k); err != nil {
+			healthyErrs++ // shard 1 must never fail
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if healthyErrs != 0 {
+		t.Fatalf("healthy shard saw %d insert failures", healthyErrs)
+	}
+	if failed == 0 {
+		t.Fatal("armed shard never surfaced ErrAllocFailed")
+	}
+	if m.Stats().AllocFailures == 0 {
+		t.Fatal("Stats.AllocFailures not recorded")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("map invalid in degraded mode: %v", err)
+	}
+	// Lift the injection: shard 0 resumes growing.
+	m.InjectAllocFailure(0, -1, -1)
+	for k := int64(30_000); k < 40_000; k++ {
+		if err := m.Insert(-k-1, k); err != nil {
+			t.Fatalf("insert after lifting injection: %v", err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -68,6 +68,12 @@ type Map struct {
 	// EnableDeferredRebalancing before the map is shared; immutable
 	// afterwards (like seps), hence read lock-free.
 	notify func()
+
+	// dur is the durability coordination block (see durable.go); nil for
+	// an in-memory map. Set once by EnableDurability/OpenMap before the
+	// map is shared; the pointer is immutable afterwards (like seps) and
+	// the block's own state is all atomics.
+	dur *durState
 }
 
 // New builds a Map with len(seps)+1 shards, one fresh core.Array per
@@ -207,10 +213,25 @@ func (m *Map) DisableDeferredRebalancing() error {
 // Source surface; the bounded slice is what lets maintenance interleave
 // with foreground writers instead of stalling a shard for its whole
 // backlog.
+//
+// When a checkpoint round is in flight (RequestCheckpoint) and shard
+// i's backlog is empty, the slice is the shard's checkpoint instead:
+// the quiesce point the durability protocol wants — no deferred windows
+// standing, nothing mid-rebalance — found for free inside the
+// maintenance sweep. The publish of the round's last shard runs after
+// the lock is released (see durable.go).
 func (m *Map) MaintainShard(i int) (bool, error) {
 	s := &m.shards[i]
+	d := m.dur
 	s.mu.Lock()
 	did, err := s.a.MaintainOne()
+	if err == nil && !did && d != nil && d.pending[i].CompareAndSwap(true, false) {
+		var epoch uint64
+		epoch, err = s.a.Checkpoint(d.keep[i])
+		s.mu.Unlock()
+		m.finishShardCheckpoint(i, epoch, err)
+		return true, err
+	}
 	s.mu.Unlock()
 	return did, err
 }
@@ -502,6 +523,10 @@ func (m *Map) Stats() core.Stats {
 		t.BulkLoads += st.BulkLoads
 		t.DeferredWindows += st.DeferredWindows
 		t.MaintenanceRuns += st.MaintenanceRuns
+		t.AllocFailures += st.AllocFailures
+		t.Checkpoints += st.Checkpoints
+		t.CheckpointFailures += st.CheckpointFailures
+		t.CheckpointPages += st.CheckpointPages
 		if st.MaxWindowSegments > t.MaxWindowSegments {
 			t.MaxWindowSegments = st.MaxWindowSegments
 		}

@@ -1,0 +1,491 @@
+package vmem
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDirtyTracking(t *testing.T) {
+	p := New(8)
+	if err := p.Grow(4); err != nil {
+		t.Fatal(err)
+	}
+	if p.DirtyTracking() || p.DirtyCount() != 0 {
+		t.Fatal("tracking should be off before enable")
+	}
+	p.EnableDirtyTracking()
+	if !p.DirtyTracking() || p.DirtyCount() != 4 {
+		t.Fatalf("enable must mark all mapped pages dirty, got %d", p.DirtyCount())
+	}
+	p.ClearDirty()
+	if p.DirtyCount() != 0 {
+		t.Fatal("clear left dirty bits")
+	}
+	// Set marks its page.
+	p.Set(9, 7) // page 1
+	if p.DirtyCount() != 1 || !p.IsDirty(1) || p.IsDirty(0) {
+		t.Fatalf("Set did not mark page 1: count=%d", p.DirtyCount())
+	}
+	// Swap marks the rewired page.
+	sp, err := p.AcquireSpare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Swap(3, sp)
+	if !p.IsDirty(3) {
+		t.Fatal("Swap did not mark the rewired page")
+	}
+	// Grow marks the new pages (recycled spares carry stale content).
+	p.ClearDirty()
+	if err := p.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.DirtyCount() != 2 || !p.IsDirty(4) || !p.IsDirty(5) {
+		t.Fatalf("Grow did not mark new pages: count=%d", p.DirtyCount())
+	}
+	// Truncate clears the bits of unmapped pages.
+	p.Truncate(4)
+	if p.DirtyCount() != 0 {
+		t.Fatalf("Truncate left dirty bits on unmapped pages: %d", p.DirtyCount())
+	}
+	// ForEachDirty visits in ascending order.
+	p.MarkDirty(2)
+	p.MarkDirty(0)
+	var got []int
+	p.ForEachDirty(func(v int) { got = append(got, v) })
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("ForEachDirty order: %v", got)
+	}
+	// With tracking off, every page is conservatively dirty.
+	q := New(8)
+	_ = q.Grow(1)
+	if !q.IsDirty(0) {
+		t.Fatal("untracked pages must be conservatively dirty")
+	}
+}
+
+// fillSeq fills every slot of p with a per-generation pattern.
+func fillSeq(p *Pages, gen int64) {
+	for i := 0; i < p.Slots(); i++ {
+		p.Set(i, gen*1_000_000+int64(i))
+	}
+}
+
+func checkSeq(t *testing.T, p *Pages, gen int64) {
+	t.Helper()
+	for i := 0; i < p.Slots(); i++ {
+		if got := p.Get(i); got != gen*1_000_000+int64(i) {
+			t.Fatalf("slot %d: got %d, want %d", i, got, gen*1_000_000+int64(i))
+		}
+	}
+}
+
+func TestFileRegionCheckpointRecover(t *testing.T) {
+	dir := t.TempDir()
+	r, err := CreateFileRegion(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := New(8), New(8)
+	for _, p := range []*Pages{keys, vals} {
+		if err := p.Grow(4); err != nil {
+			t.Fatal(err)
+		}
+		p.EnableDirtyTracking()
+	}
+	fillSeq(keys, 1)
+	fillSeq(vals, 2)
+
+	epoch, err := r.Checkpoint([]byte("meta-1"), 0, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || r.Epoch() != 1 {
+		t.Fatalf("epoch %d", epoch)
+	}
+	if keys.DirtyCount() != 0 || vals.DirtyCount() != 0 {
+		t.Fatal("checkpoint must clear dirty bits")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and recover the latest epoch.
+	r2, err := OpenFileRegion(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	spaces, meta, e, err := r2.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1 || string(meta) != "meta-1" {
+		t.Fatalf("recovered epoch %d meta %q", e, meta)
+	}
+	if len(spaces) != 2 {
+		t.Fatalf("recovered %d spaces", len(spaces))
+	}
+	checkSeq(t, spaces[0], 1)
+	checkSeq(t, spaces[1], 2)
+	if !spaces[0].DirtyTracking() || spaces[0].DirtyCount() != 0 {
+		t.Fatal("recovered spaces must be tracked and clean")
+	}
+}
+
+func TestFileRegionIncrementalCheckpointWritesOnlyDirty(t *testing.T) {
+	dir := t.TempDir()
+	r, err := CreateFileRegion(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p := New(8)
+	if err := p.Grow(16); err != nil {
+		t.Fatal(err)
+	}
+	p.EnableDirtyTracking()
+	fillSeq(p, 1)
+	if _, err := r.Checkpoint(nil, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	w0 := r.Stats().PagesWritten
+	if w0 != 16 {
+		t.Fatalf("first checkpoint wrote %d pages, want 16", w0)
+	}
+	// Touch two pages; the next checkpoint must write exactly two.
+	p.Set(0, 42)  // page 0
+	p.Set(80, 43) // page 10
+	if _, err := r.Checkpoint(nil, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Stats().PagesWritten - w0; d != 2 {
+		t.Fatalf("incremental checkpoint wrote %d pages, want 2", d)
+	}
+	// Recover and verify both generations of content merged correctly.
+	spaces, _, _, err := r.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spaces[0]
+	for i := 0; i < q.Slots(); i++ {
+		want := int64(1_000_000 + i)
+		if i == 0 {
+			want = 42
+		}
+		if i == 80 {
+			want = 43
+		}
+		if q.Get(i) != want {
+			t.Fatalf("slot %d: got %d want %d", i, q.Get(i), want)
+		}
+	}
+}
+
+func TestFileRegionKeepEpochRetention(t *testing.T) {
+	dir := t.TempDir()
+	r, err := CreateFileRegion(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p := New(8)
+	_ = p.Grow(2)
+	p.EnableDirtyTracking()
+
+	fillSeq(p, 1)
+	e1, _ := r.Checkpoint(nil, 0, p)
+	fillSeq(p, 2)
+	e2, err := r.Checkpoint(nil, e1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSeq(p, 3)
+	e3, err := r.Checkpoint(nil, e1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retained: e1 (kept) and e3 (latest); e2 retired.
+	eps := r.Epochs()
+	if len(eps) != 2 || eps[0] != e1 || eps[1] != e3 {
+		t.Fatalf("retained epochs %v, want [%d %d]", eps, e1, e3)
+	}
+	if _, _, _, err := r.Recover(e2); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("recovering retired epoch: %v", err)
+	}
+	// Both retained epochs recover with the right content.
+	s1, _, _, err := r.Recover(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeq(t, s1[0], 1)
+	s3, _, _, err := r.Recover(e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeq(t, s3[0], 3)
+}
+
+func TestFileRegionSlotReuseAfterRetire(t *testing.T) {
+	dir := t.TempDir()
+	r, err := CreateFileRegion(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p := New(8)
+	_ = p.Grow(4)
+	p.EnableDirtyTracking()
+	// Full-rewrite checkpoints with no keep epoch: the file must not grow
+	// beyond 2x the page count (shadow copy + live copy).
+	for gen := int64(1); gen <= 20; gen++ {
+		fillSeq(p, gen)
+		p.MarkDirtyRange(0, p.NumPages())
+		if _, err := r.Checkpoint(nil, 0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.FileSlots() > 8 {
+		t.Fatalf("slot reuse broken: high-water %d for 4 live pages", r.FileSlots())
+	}
+	s, _, _, err := r.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeq(t, s[0], 20)
+}
+
+func TestFileRegionFaultInjectionLeavesRegionConsistent(t *testing.T) {
+	for _, op := range []FaultOp{FaultPageWrite, FaultDataSync, FaultManifestWrite, FaultManifestSync, FaultRename} {
+		t.Run(string(op), func(t *testing.T) {
+			dir := t.TempDir()
+			r, err := CreateFileRegion(dir, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			p := New(8)
+			_ = p.Grow(3)
+			p.EnableDirtyTracking()
+			fillSeq(p, 1)
+			if _, err := r.Checkpoint(nil, 0, p); err != nil {
+				t.Fatal(err)
+			}
+
+			fillSeq(p, 2)
+			r.InjectFault(op, 0)
+			if _, err := r.Checkpoint(nil, 0, p); !errors.Is(err, ErrFaultInjected) {
+				t.Fatalf("want injected fault, got %v", err)
+			}
+			// The region still serves epoch 1, the in-memory space is
+			// untouched, and the dirty bits survive for the retry.
+			if r.Epoch() != 1 {
+				t.Fatalf("failed checkpoint moved epoch to %d", r.Epoch())
+			}
+			checkSeq(t, p, 2)
+			if p.DirtyCount() == 0 {
+				t.Fatal("failed checkpoint cleared dirty bits")
+			}
+			s, _, _, err := r.Recover(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSeq(t, s[0], 1)
+			// The retry succeeds and persists generation 2.
+			if _, err := r.Checkpoint(nil, 0, p); err != nil {
+				t.Fatalf("retry after injected fault: %v", err)
+			}
+			s, _, _, err = r.Recover(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSeq(t, s[0], 2)
+
+			// A crash-like reopen also lands on the last published epoch.
+			r.Close()
+			r2, err := OpenFileRegion(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r2.Close()
+			s, _, e, err := r2.Recover(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e != 2 {
+				t.Fatalf("reopened epoch %d", e)
+			}
+			checkSeq(t, s[0], 2)
+		})
+	}
+}
+
+func TestFileRegionTornManifestIgnored(t *testing.T) {
+	dir := t.TempDir()
+	r, err := CreateFileRegion(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(8)
+	_ = p.Grow(2)
+	p.EnableDirtyTracking()
+	fillSeq(p, 1)
+	if _, err := r.Checkpoint(nil, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	fillSeq(p, 2)
+	if _, err := r.Checkpoint(nil, 1, p); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// Corrupt the latest manifest (simulates a torn write) and drop a
+	// stray tmp file; recovery must fall back to epoch 1 and purge the
+	// tmp.
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, manifestName(2)), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName(3)+".tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := OpenFileRegion(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	s, _, e, err := r2.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1 {
+		t.Fatalf("recovered epoch %d, want fallback to 1", e)
+	}
+	checkSeq(t, s[0], 1)
+	ents, _ := os.ReadDir(dir)
+	for _, ent := range ents {
+		if strings.HasSuffix(ent.Name(), ".tmp") {
+			t.Fatalf("stray tmp %s not purged", ent.Name())
+		}
+	}
+}
+
+func TestFileRegionTornPageDetected(t *testing.T) {
+	dir := t.TempDir()
+	r, err := CreateFileRegion(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(8)
+	_ = p.Grow(2)
+	p.EnableDirtyTracking()
+	fillSeq(p, 1)
+	if _, err := r.Checkpoint(nil, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// Flip a byte inside a checkpointed page: recovery must fail the
+	// checksum, not return silently corrupt data.
+	f, err := os.OpenFile(filepath.Join(dir, dataFileName), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xAA}, 3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r2, err := OpenFileRegion(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, _, _, err := r2.Recover(0); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want checksum error, got %v", err)
+	}
+}
+
+func TestOpenFileRegionEmpty(t *testing.T) {
+	if _, err := OpenFileRegion(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestCreateFileRegionWipesHistory(t *testing.T) {
+	dir := t.TempDir()
+	r, err := CreateFileRegion(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(8)
+	_ = p.Grow(1)
+	p.EnableDirtyTracking()
+	fillSeq(p, 1)
+	if _, err := r.Checkpoint(nil, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := CreateFileRegion(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Close()
+	if _, err := OpenFileRegion(dir); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("create did not wipe old manifests: %v", err)
+	}
+}
+
+func TestFileRegionGeometryChangeAcrossCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	r, err := CreateFileRegion(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p := New(8)
+	_ = p.Grow(2)
+	p.EnableDirtyTracking()
+	fillSeq(p, 1)
+	if _, err := r.Checkpoint(nil, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	// Grow, checkpoint, recover.
+	if err := p.Grow(3); err != nil {
+		t.Fatal(err)
+	}
+	fillSeq(p, 2)
+	if _, err := r.Checkpoint(nil, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	s, _, _, err := r.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].NumPages() != 5 {
+		t.Fatalf("recovered %d pages", s[0].NumPages())
+	}
+	checkSeq(t, s[0], 2)
+	// Shrink, checkpoint, recover.
+	p.Truncate(1)
+	fillSeq(p, 3)
+	if _, err := r.Checkpoint(nil, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	s, _, _, err = r.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].NumPages() != 1 {
+		t.Fatalf("recovered %d pages after shrink", s[0].NumPages())
+	}
+	checkSeq(t, s[0], 3)
+}

@@ -4,6 +4,7 @@ package vmem
 
 import (
 	"fmt"
+	"runtime"
 	"syscall"
 	"unsafe"
 )
@@ -32,20 +33,55 @@ type MmapRegion struct {
 	table     []int // virtual page -> memfd page (for bookkeeping)
 }
 
-const sysMemfdCreate = 319 // x86-64
+// memfdCreateSysno returns the memfd_create syscall number for the
+// architecture this binary was compiled for, or ok=false on an
+// architecture whose number is not wired up (the old code hardcoded the
+// x86-64 number 319 and would have invoked an arbitrary syscall
+// elsewhere). The switch resolves at build time — runtime.GOARCH is a
+// per-build constant.
+func memfdCreateSysno() (uintptr, bool) {
+	switch runtime.GOARCH {
+	case "amd64":
+		return 319, true
+	case "arm64", "riscv64", "loong64":
+		return 279, true
+	case "386":
+		return 356, true
+	case "arm":
+		return 385, true
+	case "s390x":
+		return 350, true
+	case "ppc64", "ppc64le":
+		return 360, true
+	}
+	return 0, false
+}
+
+// MmapSupported reports whether kernel memory rewiring is available on
+// this platform (Linux with a known memfd_create syscall number).
+func MmapSupported() bool {
+	_, ok := memfdCreateSysno()
+	return ok
+}
 
 // NewMmapRegion reserves maxPages*pageBytes of virtual address space and
 // creates the backing memfd. pageBytes must be a multiple of the OS page
-// size. Returns an error on kernels without memfd_create.
+// size. Returns ErrRewireUnsupported on architectures without a wired-up
+// memfd_create number, and an ErrRewireFailed-wrapped error on kernels
+// that reject the syscall.
 func NewMmapRegion(pageBytes, maxPages int) (*MmapRegion, error) {
 	if pageBytes%syscall.Getpagesize() != 0 {
 		return nil, fmt.Errorf("vmem: pageBytes %d not a multiple of the OS page size %d",
 			pageBytes, syscall.Getpagesize())
 	}
+	sysno, ok := memfdCreateSysno()
+	if !ok {
+		return nil, fmt.Errorf("%w (linux/%s)", ErrRewireUnsupported, runtime.GOARCH)
+	}
 	name := append([]byte("rma-rewire"), 0)
-	fd, _, errno := syscall.Syscall(sysMemfdCreate, uintptr(unsafe.Pointer(&name[0])), 0, 0)
+	fd, _, errno := syscall.Syscall(sysno, uintptr(unsafe.Pointer(&name[0])), 0, 0)
 	if errno != 0 {
-		return nil, fmt.Errorf("vmem: memfd_create: %v", errno)
+		return nil, fmt.Errorf("%w: memfd_create: %v", ErrRewireFailed, errno)
 	}
 	size := pageBytes * maxPages
 	// Reserve address space without physical backing.
@@ -53,7 +89,7 @@ func NewMmapRegion(pageBytes, maxPages int) (*MmapRegion, error) {
 		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS)
 	if err != nil {
 		syscall.Close(int(fd))
-		return nil, fmt.Errorf("vmem: reserve mmap: %v", err)
+		return nil, fmt.Errorf("%w: reserve mmap: %v", ErrRewireFailed, err)
 	}
 	return &MmapRegion{
 		region:    region,
@@ -63,19 +99,28 @@ func NewMmapRegion(pageBytes, maxPages int) (*MmapRegion, error) {
 }
 
 // Grow maps n additional virtual pages, each backed by a fresh memfd
-// page.
+// page. On failure the region is unchanged: already-mapped new pages are
+// re-protected and the memfd is truncated back, so a failed grow leaves
+// the caller exactly where it started.
 func (r *MmapRegion) Grow(n int) error {
 	need := (r.mapped + n) * r.pageBytes
 	if need > len(r.region) {
-		return fmt.Errorf("vmem: grow beyond reservation (%d > %d)", need, len(r.region))
+		return fmt.Errorf("%w: grow beyond reservation (%d > %d)", ErrRewireFailed, need, len(r.region))
 	}
 	if err := syscall.Ftruncate(r.fd, int64((r.filePages+n)*r.pageBytes)); err != nil {
-		return fmt.Errorf("vmem: ftruncate: %v", err)
+		return fmt.Errorf("%w: ftruncate: %v", ErrRewireFailed, err)
 	}
 	for i := 0; i < n; i++ {
 		v := r.mapped + i
 		phys := r.filePages + i
 		if err := r.mapAt(v, phys); err != nil {
+			// Roll back: unmap what this call mapped (back to PROT_NONE
+			// reservation) and shrink the memfd to its old size.
+			for j := r.mapped; j < v; j++ {
+				r.unmapAt(j)
+			}
+			r.table = r.table[:r.mapped]
+			syscall.Ftruncate(r.fd, int64(r.filePages*r.pageBytes))
 			return err
 		}
 		r.table = append(r.table, phys)
@@ -92,20 +137,37 @@ func (r *MmapRegion) mapAt(v, phys int) error {
 		syscall.PROT_READ|syscall.PROT_WRITE,
 		syscall.MAP_SHARED|syscall.MAP_FIXED, uintptr(r.fd), uintptr(phys*r.pageBytes))
 	if errno != 0 {
-		return fmt.Errorf("vmem: fixed mmap: %v", errno)
+		return fmt.Errorf("%w: fixed mmap of page %d: %v", ErrRewireFailed, v, errno)
 	}
 	return nil
 }
 
+// unmapAt returns virtual page v to the PROT_NONE reservation
+// (best-effort, used only on rollback paths).
+func (r *MmapRegion) unmapAt(v int) {
+	syscall.Syscall6(syscall.SYS_MMAP,
+		uintptr(unsafe.Pointer(&r.region[v*r.pageBytes])), uintptr(r.pageBytes),
+		syscall.PROT_NONE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS|syscall.MAP_FIXED, ^uintptr(0), 0)
+}
+
 // Swap rewires two virtual pages: after it returns, the contents visible
 // at va and vb have exchanged places without copying a single element —
-// two mmap calls change only the page tables.
+// two mmap calls change only the page tables. On failure the mapping is
+// restored (the first remap is undone), so the region never holds a
+// half-swapped state.
 func (r *MmapRegion) Swap(va, vb int) error {
 	pa, pb := r.table[va], r.table[vb]
 	if err := r.mapAt(va, pb); err != nil {
 		return err
 	}
 	if err := r.mapAt(vb, pa); err != nil {
+		// Undo the first remap; mapping an already-backed memfd page at
+		// an already-mapped address cannot run out of resources the way
+		// the forward call can, but stay defensive and surface both.
+		if err2 := r.mapAt(va, pa); err2 != nil {
+			return fmt.Errorf("vmem: swap rollback failed: %v (after %w)", err2, err)
+		}
 		return err
 	}
 	r.table[va], r.table[vb] = pb, pa

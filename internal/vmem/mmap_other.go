@@ -1,0 +1,30 @@
+//go:build !linux
+
+package vmem
+
+import "fmt"
+
+// MmapRegion is unavailable off Linux: memfd_create plus MAP_FIXED
+// remapping is a Linux-specific mechanism. The type exists so callers
+// compile everywhere and can probe availability with MmapSupported;
+// every constructor call fails with ErrRewireUnsupported, and the
+// portable Pages substrate (which preserves the same cost structure)
+// is the fallback.
+type MmapRegion struct{}
+
+// MmapSupported reports whether kernel memory rewiring is available on
+// this platform. Always false off Linux.
+func MmapSupported() bool { return false }
+
+// NewMmapRegion always fails off Linux with ErrRewireUnsupported.
+func NewMmapRegion(pageBytes, maxPages int) (*MmapRegion, error) {
+	return nil, fmt.Errorf("%w (non-linux)", ErrRewireUnsupported)
+}
+
+func (r *MmapRegion) Grow(n int) error      { return ErrRewireUnsupported }
+func (r *MmapRegion) Swap(va, vb int) error { return ErrRewireUnsupported }
+func (r *MmapRegion) NumPages() int         { return 0 }
+func (r *MmapRegion) PageSlots() int        { return 0 }
+func (r *MmapRegion) Slots() []int64        { return nil }
+func (r *MmapRegion) Page(v int) []int64    { return nil }
+func (r *MmapRegion) Close() error          { return nil }

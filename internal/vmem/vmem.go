@@ -31,6 +31,7 @@ package vmem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrAllocFailed reports that a physical page allocation failed. It is
@@ -38,6 +39,18 @@ import (
 // exhaustion as a runtime panic); the data structure must remain intact
 // and consistent when it is returned.
 var ErrAllocFailed = errors.New("vmem: physical page allocation failed")
+
+// ErrRewireFailed wraps every errno failure of the kernel rewiring
+// substrate (MmapRegion): memfd_create, mmap, ftruncate. Callers match
+// it with errors.Is; the wrapped message carries the specific syscall
+// and errno.
+var ErrRewireFailed = errors.New("vmem: kernel rewiring syscall failed")
+
+// ErrRewireUnsupported reports that kernel memory rewiring is not
+// available on this platform (non-Linux, or a Linux architecture whose
+// memfd_create syscall number is not wired up). The portable Pages
+// substrate is the fallback and is always available.
+var ErrRewireUnsupported = errors.New("vmem: kernel memory rewiring not supported on this platform")
 
 // Pages is a virtual address space of int64 slots organized in fixed-size
 // pages with an explicit virtual-to-physical mapping.
@@ -53,6 +66,18 @@ type Pages struct {
 	// acquireBuf backs AcquireSpares results so steady-state rebalances
 	// acquire their spare pages without allocating a fresh [][]int64.
 	acquireBuf [][]int64
+
+	// dirty is the page-granular dirty bitmap for checkpointing: bit v is
+	// set when virtual page v's content may have changed since the last
+	// FileRegion checkpoint. nil until EnableDirtyTracking — marking is a
+	// nil-check plus a bit set, so the hot write paths stay branch-cheap
+	// and allocation-free whether durability is attached or not. Swap and
+	// Grow mark automatically (a rewired page always carries new content);
+	// in-place writes through Page slices are invisible here, so callers
+	// that mutate page content directly mark via MarkDirty/MarkDirtyRange
+	// (internal/core does so in cardAdd and applyCards, which every
+	// content-changing path passes through).
+	dirty []uint64
 
 	stats Stats
 
@@ -98,7 +123,96 @@ func (p *Pages) Get(i int) int64 {
 
 // Set stores x at slot i. Convenience accessor for tests and cold paths.
 func (p *Pages) Set(i int, x int64) {
-	p.table[i/p.pageSlots][i%p.pageSlots] = x
+	v := i / p.pageSlots
+	p.table[v][i%p.pageSlots] = x
+	if p.dirty != nil {
+		p.dirty[v>>6] |= 1 << (uint(v) & 63)
+	}
+}
+
+// EnableDirtyTracking switches on the page-granular dirty bitmap and
+// marks every currently mapped page dirty (nothing is known to be
+// checkpointed yet). Idempotent; called when durability is attached.
+func (p *Pages) EnableDirtyTracking() {
+	if p.dirty != nil {
+		return
+	}
+	p.dirty = make([]uint64, (len(p.table)+63)/64+1) //rma:alloc-ok — durability attach is a cold path
+	p.MarkDirtyRange(0, len(p.table))
+}
+
+// DirtyTracking reports whether the dirty bitmap is enabled.
+func (p *Pages) DirtyTracking() bool { return p.dirty != nil }
+
+// growDirty extends the dirty bitmap to cover the current table length.
+func (p *Pages) growDirty() {
+	need := (len(p.table)+63)/64 + 1
+	if need <= len(p.dirty) {
+		return
+	}
+	d := make([]uint64, need) //rma:alloc-ok — bitmap growth rides the cold resize machinery
+	copy(d, p.dirty)
+	p.dirty = d
+}
+
+// MarkDirty records that virtual page v's content may have changed
+// since the last checkpoint. No-op when tracking is off; never
+// allocates.
+func (p *Pages) MarkDirty(v int) {
+	if p.dirty != nil {
+		p.dirty[v>>6] |= 1 << (uint(v) & 63)
+	}
+}
+
+// MarkDirtyRange marks virtual pages [lo, hi) dirty. No-op when
+// tracking is off; never allocates.
+func (p *Pages) MarkDirtyRange(lo, hi int) {
+	if p.dirty == nil {
+		return
+	}
+	for v := lo; v < hi; v++ {
+		p.dirty[v>>6] |= 1 << (uint(v) & 63)
+	}
+}
+
+// IsDirty reports whether page v must be persisted by the next
+// checkpoint. With tracking off every page is conservatively dirty.
+func (p *Pages) IsDirty(v int) bool {
+	if p.dirty == nil {
+		return true
+	}
+	return p.dirty[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// ClearDirty resets the whole bitmap; called after a successful
+// checkpoint has persisted every dirty page.
+func (p *Pages) ClearDirty() {
+	for i := range p.dirty {
+		p.dirty[i] = 0
+	}
+}
+
+// DirtyCount returns the number of pages currently marked dirty.
+func (p *Pages) DirtyCount() int {
+	n := 0
+	for _, w := range p.dirty {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEachDirty calls fn for every dirty virtual page in ascending
+// order. fn must not mutate the bitmap.
+func (p *Pages) ForEachDirty(fn func(v int)) {
+	for i, w := range p.dirty {
+		for w != 0 {
+			v := i<<6 + bits.TrailingZeros64(w)
+			if v < len(p.table) {
+				fn(v)
+			}
+			w &= w - 1
+		}
+	}
 }
 
 // alloc produces one physical page, preferring the spare pool (recycled
@@ -178,13 +292,20 @@ func (p *Pages) allocAppend(out [][]int64, n int) ([][]int64, error) {
 
 // Grow extends the address space by n virtual pages, absorbing spare
 // buffers first as the paper does when expanding the RMA. On failure the
-// address space is unchanged.
+// address space is unchanged. With dirty tracking on, the new pages are
+// born dirty: recycled spare pages carry stale content and fresh pages
+// are not yet in any checkpoint.
 func (p *Pages) Grow(n int) error {
 	table, err := p.allocAppend(p.table, n)
 	if err != nil {
 		return err
 	}
+	old := len(p.table)
 	p.table = table
+	if p.dirty != nil {
+		p.growDirty()
+		p.MarkDirtyRange(old, len(p.table))
+	}
 	return nil
 }
 
@@ -197,6 +318,9 @@ func (p *Pages) Truncate(n int) {
 	p.spares = append(p.spares, p.table[n:]...) //rma:cap-ok — spare-pool capacity is amortized
 	for i := n; i < len(p.table); i++ {
 		p.table[i] = nil
+		if p.dirty != nil {
+			p.dirty[i>>6] &^= 1 << (uint(i) & 63)
+		}
 	}
 	p.table = p.table[:n]
 }
@@ -244,6 +368,9 @@ func (p *Pages) Swap(v int, pg []int64) {
 	p.table[v] = pg
 	p.spares = append(p.spares, old) //rma:cap-ok — spare-pool capacity is amortized
 	p.stats.Swaps++
+	if p.dirty != nil {
+		p.dirty[v>>6] |= 1 << (uint(v) & 63)
+	}
 }
 
 // TrimSpares caps the spare pool at max pages, dropping the excess for

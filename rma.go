@@ -79,6 +79,7 @@ package rma
 import (
 	"rma/internal/calibrator"
 	"rma/internal/core"
+	"rma/internal/vmem"
 )
 
 // Array is a Rewired Memory Array. Create one with New.
@@ -96,6 +97,9 @@ type options struct {
 	// NewSharded/NewShardedFromSample: 0 keeps rebalancing synchronous,
 	// < 0 means one worker per available CPU. Ignored by New.
 	rebalWorkers int
+	// durDir, when non-empty, roots the durability tree the structure
+	// checkpoints into (WithDurability).
+	durDir string
 }
 
 func defaultOptions() options {
@@ -211,6 +215,16 @@ func New(opts ...Option) (*Array, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.durDir != "" {
+		reg, err := vmem.CreateFileRegion(o.durDir, o.cfg.PageSlots)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.AttachDurability(reg); err != nil {
+			reg.Close()
+			return nil, err
+		}
+	}
 	return &Array{a: a}, nil
 }
 
@@ -322,6 +336,13 @@ type Stats struct {
 	// deferred rebalance or resize. Both stay 0 without
 	// WithBackgroundRebalancing.
 	DeferredWindows, MaintenanceRuns uint64
+	// AllocFailures counts storage allocation failures surfaced as
+	// ErrAllocFailed; the structure stays consistent after each one.
+	AllocFailures uint64
+	// Checkpoints and CheckpointFailures count published and failed
+	// checkpoint attempts; CheckpointPages counts pages persisted across
+	// all published checkpoints. All stay 0 without WithDurability.
+	Checkpoints, CheckpointFailures, CheckpointPages uint64
 }
 
 // Stats returns the operation counters accumulated so far.
@@ -335,6 +356,9 @@ func (r *Array) Stats() Stats {
 		Resizes:   s.Resizes, Grows: s.Grows, Shrinks: s.Shrinks,
 		BulkLoads:       s.BulkLoads,
 		DeferredWindows: s.DeferredWindows, MaintenanceRuns: s.MaintenanceRuns,
+		AllocFailures: s.AllocFailures,
+		Checkpoints:   s.Checkpoints, CheckpointFailures: s.CheckpointFailures,
+		CheckpointPages: s.CheckpointPages,
 	}
 }
 

@@ -77,6 +77,19 @@ func newSharded(seps []int64, opts []Option) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.durDir != "" {
+		if err := m.EnableDurability(o.durDir); err != nil {
+			return nil, err
+		}
+	}
+	return finishSharded(m, o), nil
+}
+
+// finishSharded wraps a constructed (or recovered) shard.Map in the
+// facade, wiring the maintenance pool when requested. Durability must
+// already be attached — the pool's workers fold shard checkpoints into
+// their sweeps, so the map must be fully durable before Start.
+func finishSharded(m *shard.Map, o options) *Sharded {
 	s := &Sharded{m: m}
 	if o.rebalWorkers != 0 {
 		workers := o.rebalWorkers
@@ -90,22 +103,28 @@ func newSharded(seps []int64, opts []Option) (*Sharded, error) {
 		m.EnableDeferredRebalancing(s.pool.Notify)
 		s.pool.Start()
 	}
-	return s, nil
+	return s
 }
 
 // Close stops the background rebalancer, draining every deferred window
-// first, and returns the shards to synchronous rebalancing — the map
-// stays fully usable afterwards. Idempotent and a no-op when background
-// rebalancing was never enabled. Do not call it concurrently with
-// writers that must observe the asynchronous contract; writes that race
-// a Close are still applied correctly, merely rebalanced synchronously.
+// first, returns the shards to synchronous rebalancing, and releases
+// the durability files (WithDurability). It does not checkpoint: state
+// since the last Checkpoint call is not persisted. The map stays usable
+// from memory afterwards but can no longer checkpoint. Idempotent and a
+// no-op when neither feature was enabled. Do not call it concurrently
+// with writers that must observe the asynchronous contract; writes that
+// race a Close are still applied correctly, merely rebalanced
+// synchronously.
 func (s *Sharded) Close() error {
-	if s.pool == nil {
-		return nil
+	var err error
+	if s.pool != nil {
+		err = s.pool.Close()
+		if derr := s.m.DisableDeferredRebalancing(); err == nil {
+			err = derr
+		}
 	}
-	err := s.pool.Close()
-	if derr := s.m.DisableDeferredRebalancing(); err == nil {
-		err = derr
+	if cerr := s.m.CloseDurability(); err == nil {
+		err = cerr
 	}
 	return err
 }
@@ -226,6 +245,9 @@ func (s *Sharded) Stats() Stats {
 		Resizes:   st.Resizes, Grows: st.Grows, Shrinks: st.Shrinks,
 		BulkLoads:       st.BulkLoads,
 		DeferredWindows: st.DeferredWindows, MaintenanceRuns: st.MaintenanceRuns,
+		AllocFailures: st.AllocFailures,
+		Checkpoints:   st.Checkpoints, CheckpointFailures: st.CheckpointFailures,
+		CheckpointPages: st.CheckpointPages,
 	}
 }
 
