@@ -17,6 +17,13 @@
 //     section, by a flush of deferred rebalance work — either a direct
 //     FlushPending call or a helper like flushDeferred that performs
 //     one (flush-on-snapshot).
+//   - Seqlock read paths carry //rma:seqlock: unguarded reads of
+//     guarded state are blessed there, but only when the function has
+//     the verified retry shape — a for loop and at least two
+//     <cell>.ver.Load() calls (version capture + revalidation). Even
+//     then, writes to guarded state, direct mu acquisition, and passing
+//     guarded values to other functions stay findings: the blessing
+//     covers exactly the optimistic-read idiom, nothing else.
 //
 // Constructors that fill guarded state before the value is shared carry
 // the //rma:init directive and are skipped.
@@ -70,6 +77,10 @@ func run(pass *rig.Pass) error {
 					continue
 				}
 				if rig.HasDirective(fd, rig.DirInit) {
+					continue
+				}
+				if rig.HasDirective(fd, rig.DirSeqlock) {
+					c.checkSeqlock(pkg, fd)
 					continue
 				}
 				c.checkFunc(pkg, fd)
@@ -536,6 +547,104 @@ func (c *checker) flushesParam(fn *types.Func) map[int]bool {
 		return true
 	})
 	return flushes
+}
+
+// seqlockControl names the guarded-cell fields a seqlock reader touches
+// to synchronize — the version word, the epoch gate, and the race-mode
+// read-lock shims. Reads of these never require the retry shape, so
+// small helpers (capture a version vector, probe the gate) stay legal
+// under //rma:seqlock without a spurious shape demand.
+var seqlockControl = map[string]bool{
+	"ver":        true,
+	"gate":       true,
+	"readLock":   true,
+	"readUnlock": true,
+}
+
+// checkSeqlock validates one //rma:seqlock function. The directive
+// blesses unguarded READS of guarded state, but only when the function
+// carries the verified retry shape: at least one for loop, and at least
+// two <cell>.ver.Load() calls (the version capture before the optimistic
+// reads and the revalidation after them). Functions that touch only the
+// seqlock control fields (ver, gate, readLock, readUnlock) are exempt
+// from the shape demand. Writes to guarded state, direct mu
+// acquisition, and passing guarded values to calls are reported
+// regardless — the blessing covers the optimistic-read idiom only.
+func (c *checker) checkSeqlock(pkg *rig.Package, fd *ast.FuncDecl) {
+	c.pkg = pkg
+	c.st = newState()
+	loops, verLoads, dataReads := 0, 0, 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops++
+		case *ast.CallExpr:
+			if c.isVerLoad(n) {
+				verLoads++
+			}
+		case *ast.SelectorExpr:
+			if !seqlockControl[n.Sel.Name] && n.Sel.Name != "mu" &&
+				c.isGuarded(c.typeOf(n.X)) {
+				dataReads++
+			}
+		}
+		return true
+	})
+	if dataReads > 0 && (loops == 0 || verLoads < 2) {
+		c.pass.Reportf(fd.Pos(),
+			"//rma:seqlock function %s reads guarded state without the verified retry shape: need a for loop with a version capture and a revalidation (>= 2 .ver.Load() calls on the guarded cell)",
+			fd.Name.Name)
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				c.seqlockWrite(l)
+			}
+		case *ast.IncDecStmt:
+			c.seqlockWrite(n.X)
+		case *ast.CallExpr:
+			if base, op := c.lockOp(n); base != nil {
+				c.pass.Reportf(n.Pos(),
+					"//rma:seqlock function %s calls %s.mu.%s: seqlock readers synchronize through ver/gate/readLock, never the shard mutex",
+					fd.Name.Name, types.ExprString(base), op)
+			}
+			for _, arg := range n.Args {
+				if c.isGuarded(c.typeOf(arg)) {
+					c.pass.Reportf(arg.Pos(),
+						"guarded shard %s passed out of //rma:seqlock function %s: the seqlock blessing does not extend across calls",
+						types.ExprString(arg), fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// seqlockWrite reports a store to guarded state from a seqlock reader.
+func (c *checker) seqlockWrite(e ast.Expr) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || !c.isGuarded(c.typeOf(sel.X)) {
+		return
+	}
+	c.pass.Reportf(e.Pos(),
+		"//rma:seqlock function writes %s.%s: the lock-free read path must be read-only on guarded state",
+		types.ExprString(sel.X), sel.Sel.Name)
+}
+
+// isVerLoad matches <guarded>.ver.Load() — one version capture or
+// revalidation of the seqlock retry shape.
+func (c *checker) isVerLoad(call *ast.CallExpr) bool {
+	outer, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || outer.Sel.Name != "Load" {
+		return false
+	}
+	inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "ver" {
+		return false
+	}
+	return c.isGuarded(c.typeOf(inner.X))
 }
 
 // access checks one selector: any field of a guarded struct other than

@@ -3,7 +3,10 @@
 // want comments.
 package fixture
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // engine stands in for core.Array.
 type engine struct{ n int }
@@ -12,12 +15,25 @@ func (e *engine) Size() int                     { return e.n }
 func (e *engine) FlushPending() error           { return nil }
 func (e *engine) IterAscend(lo, hi int64) int   { return int(hi - lo) }
 func (e *engine) Sum(lo, hi int64) (int, int64) { return 0, 0 }
+func (e *engine) ReadSize() (int, bool)         { return e.n, true }
 
-// cell pairs a shard lock with its guarded engine.
+// gate stands in for vmem.EpochGate.
+type gate struct{ n atomic.Int64 }
+
+func (g *gate) Enter() uint32 { g.n.Add(1); return 0 }
+func (g *gate) Exit(p uint32) { g.n.Add(-1) }
+
+// cell pairs a shard lock with its guarded engine, seqlock version and
+// epoch gate.
 type cell struct {
-	mu sync.Mutex
-	a  *engine
+	mu   sync.Mutex
+	a    *engine
+	ver  atomic.Uint64
+	gate *gate
 }
+
+func (s *cell) readLock()   {}
+func (s *cell) readUnlock() {}
 
 // Map is the sharded container.
 type Map struct {
@@ -136,4 +152,103 @@ func (m *Map) GoodSnapshotDirect(i int) (int, int64) {
 func (m *Map) BadPassUnlocked(i int) {
 	s := &m.shards[i]
 	flushDeferred(s) // want `guarded shard s passed to call without holding s\.mu`
+}
+
+// BadSeqlockMissing reads engine state lock-free without the directive.
+func (m *Map) BadSeqlockMissing(i int) int {
+	s := &m.shards[i]
+	n, _ := s.a.ReadSize() // want `access to s\.a without holding s\.mu`
+	return n
+}
+
+// GoodSeqlock is the canonical verified retry loop: version capture,
+// optimistic read, revalidation — the //rma:seqlock blessing applies.
+//
+//rma:seqlock
+func (m *Map) GoodSeqlock(i int) (int, bool) {
+	s := &m.shards[i]
+	for attempt := 0; attempt < 4; attempt++ {
+		p := s.gate.Enter()
+		v1 := s.ver.Load()
+		if v1&1 == 0 {
+			s.readLock()
+			n, valid := s.a.ReadSize()
+			s.readUnlock()
+			if valid && s.ver.Load() == v1 {
+				s.gate.Exit(p)
+				return n, true
+			}
+		}
+		s.gate.Exit(p)
+	}
+	return 0, false
+}
+
+// GoodSeqlockControlOnly touches only the seqlock control fields, so no
+// retry shape is demanded.
+//
+//rma:seqlock
+func (m *Map) GoodSeqlockControlOnly(vec []uint64, lo int) {
+	for i := range vec {
+		vec[i] = m.shards[lo+i].ver.Load()
+	}
+}
+
+// BadSeqlockNoShape claims the blessing without the retry loop.
+//
+//rma:seqlock
+func (m *Map) BadSeqlockNoShape(i int) int { // want `reads guarded state without the verified retry shape`
+	s := &m.shards[i]
+	n, _ := s.a.ReadSize()
+	return n
+}
+
+// BadSeqlockWrite mutates guarded state from a reader.
+//
+//rma:seqlock
+func (m *Map) BadSeqlockWrite(i int) (int, bool) {
+	s := &m.shards[i]
+	for attempt := 0; attempt < 4; attempt++ {
+		v1 := s.ver.Load()
+		n, valid := s.a.ReadSize()
+		s.a = nil // want `//rma:seqlock function writes s\.a`
+		if valid && s.ver.Load() == v1 {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// BadSeqlockMu takes the shard mutex inside a seqlock reader.
+//
+//rma:seqlock
+func (m *Map) BadSeqlockMu(i int) (int, bool) {
+	s := &m.shards[i]
+	for attempt := 0; attempt < 4; attempt++ {
+		v1 := s.ver.Load()
+		s.mu.Lock() // want `calls s\.mu\.Lock`
+		n, valid := s.a.ReadSize()
+		s.mu.Unlock() // want `calls s\.mu\.Unlock`
+		if valid && s.ver.Load() == v1 {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// BadSeqlockEscape hands the guarded cell to a helper from inside the
+// blessed region.
+//
+//rma:seqlock
+func (m *Map) BadSeqlockEscape(i int) (int, bool) {
+	s := &m.shards[i]
+	for attempt := 0; attempt < 4; attempt++ {
+		v1 := s.ver.Load()
+		flushDeferred(s) // want `guarded shard s passed out of //rma:seqlock function`
+		n, valid := s.a.ReadSize()
+		if valid && s.ver.Load() == v1 {
+			return n, true
+		}
+	}
+	return 0, false
 }

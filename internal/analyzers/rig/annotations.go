@@ -29,6 +29,13 @@ import (
 const (
 	DirNoalloc = "noalloc"
 	DirInit    = "init"
+	// DirSeqlock marks a seqlock read-path function: unguarded READS of
+	// guarded shard state are blessed, but only when lockcheck can verify
+	// the retry shape (a for loop bracketing the reads with at least two
+	// .ver.Load() calls — capture and revalidation). Writes, direct mutex
+	// acquisition and passing guarded values to other functions remain
+	// findings.
+	DirSeqlock = "seqlock"
 )
 
 // Line marker names.

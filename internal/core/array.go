@@ -90,6 +90,13 @@ type Array struct {
 	// dur is the attached durability region (see durable.go); nil for a
 	// purely in-memory array.
 	dur *vmem.FileRegion
+
+	// view is the published lock-free read snapshot (see readpath.go):
+	// an immutable capture of every reader-reachable header, stored
+	// through an atomic pointer and republished at each geometry change.
+	// Readers load it without the shard lock; everything else about the
+	// Array keeps its "not safe for concurrent use" contract.
+	view viewPtr
 }
 
 // New builds an empty array with the given configuration.
@@ -149,6 +156,7 @@ func (a *Array) resetDerived() {
 		a.det = detector.New(a.numSegs, a.cfg.Detector)
 		a.warmAdaptiveScratch()
 	}
+	a.publishView()
 }
 
 // warmRebalanceScratch pre-sizes the rebalance scratch to the widest
@@ -248,6 +256,10 @@ func (a *Array) FootprintBytes() int64 {
 		f += int64(cap(p[0])+cap(p[1])) * 24
 	}
 	f += int64(len(a.pending.buf)) * 4
+	if g := a.keys.Gate(); g != nil {
+		// The gate is shared by both page spaces; count its limbo once.
+		f += g.FootprintBytes()
+	}
 	return f
 }
 

@@ -232,4 +232,18 @@ type Stats struct {
 	Checkpoints        uint64
 	CheckpointFailures uint64
 	CheckpointPages    uint64
+	// Lock-free read-path counters (zero unless the shard layer enables
+	// seqlock reads; maintained there, merged into the shard-level
+	// Stats): LockFreeReads counts point reads served without the shard
+	// lock; ReadRetries counts seqlock attempts discarded by a version
+	// change or a torn view; ReadFallbacks counts reads that exhausted
+	// their retry budget and took the locked path; EpochAdvances counts
+	// successful vmem epoch-gate advances (retired-page reclamation);
+	// SnapshotBreaks counts cross-shard snapshot reads that lost
+	// version-vector consistency and degraded to per-shard semantics.
+	LockFreeReads  uint64
+	ReadRetries    uint64
+	ReadFallbacks  uint64
+	EpochAdvances  uint64
+	SnapshotBreaks uint64
 }

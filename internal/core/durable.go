@@ -152,6 +152,7 @@ func Open(r *vmem.FileRegion, cfg Config, epoch uint64) (*Array, error) {
 		a.warmAdaptiveScratch()
 	}
 	a.dur = r
+	a.publishView()
 	return a, nil
 }
 

@@ -80,6 +80,7 @@ func (a *Array) resizeTo(newCap int, extra []pair) error {
 		a.det.Reset(newSegs)
 		a.warmAdaptiveScratch()
 	}
+	a.publishView()
 	return nil
 }
 

@@ -158,6 +158,14 @@ func (p *Pool) run() {
 		if idle++; idle < k {
 			continue // finish sweeping the other shards before parking
 		}
+		// Clean sweep: nothing left to maintain, so this is a natural
+		// quiesce point. Sources running epoch-protected readers
+		// (shard.Map with lock-free reads) drain their retired-page
+		// limbo here, so reclamation keeps pace even when no writer
+		// shows up to advance the epoch.
+		if q, ok := p.src.(interface{ Quiesce() }); ok {
+			q.Quiesce()
+		}
 		select {
 		case <-p.wake:
 			idle = 0

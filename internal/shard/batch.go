@@ -102,8 +102,11 @@ func (m *Map) ApplyBatch(ops []Op) (deleted int, err error) {
 		// Flush-on-snapshot: the batch applies against a fully
 		// rebalanced shard, so its bulk runs see policy-compliant
 		// densities (a flush failure leaves the shard consistent).
-		_ = s.a.FlushPending()
+		_ = flushDeferred(s)
+		s.beginWrite()
 		d, e := applyGroup(s.a, group, &b.bulkK, &b.bulkV)
+		s.endWrite()
+		s.advanceEpoch()
 		pending := s.a.PendingCount()
 		s.mu.Unlock()
 		m.maintenanceHint(pending)

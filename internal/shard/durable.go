@@ -267,9 +267,11 @@ func (m *Map) checkpointShard(i int) {
 	}
 	s := &m.shards[i]
 	s.mu.Lock()
-	err := s.a.FlushPending()
+	err := flushDeferred(s)
 	var epoch uint64
 	if err == nil {
+		// The checkpoint itself only reads the array and updates dirty
+		// tracking — nothing reader-visible, so no version bump.
 		epoch, err = s.a.Checkpoint(d.keep[i])
 	}
 	s.mu.Unlock()

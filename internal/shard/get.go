@@ -80,10 +80,16 @@ func (m *Map) GetBatch(keys []int64, out []core.Lookup) []core.Lookup {
 		g.next[h]++
 	}
 
-	// One lock and one engine-level batch per non-empty shard group.
+	// One lock and one engine-level batch per non-empty shard group —
+	// unless lock-free reads are on, in which case each group first
+	// attempts the seqlock path (all-or-nothing per shard, preserving
+	// the per-shard atomicity contract) and only locks on fallback.
 	for j := 0; j < k; j++ {
 		lo, hi := g.counts[j], g.counts[j+1]
 		if lo == hi {
+			continue
+		}
+		if m.lockFree && m.seqFindGroup(j, g.gkeys[lo:hi], g.gout[lo:hi]) {
 			continue
 		}
 		s := &m.shards[j]

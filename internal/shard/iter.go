@@ -20,6 +20,10 @@ func (m *Map) IterAscend(lo, hi int64) iter.Seq2[int64, int64] {
 		if lo > hi {
 			return
 		}
+		if m.lockFree {
+			m.snapshotAscend(lo, hi, yield)
+			return
+		}
 		jHi := m.shardOf(hi)
 		for j := m.shardOf(lo); j <= jHi; j++ {
 			if !m.yieldAscend(j, lo, hi, yield) {
@@ -36,6 +40,10 @@ func (m *Map) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
 		if lo > hi {
 			return
 		}
+		if m.lockFree {
+			m.snapshotDescend(lo, hi, yield)
+			return
+		}
 		jLo := m.shardOf(lo)
 		for j := m.shardOf(hi); j >= jLo; j-- {
 			if !m.yieldDescend(j, lo, hi, yield) {
@@ -50,8 +58,20 @@ func (m *Map) IterDescend(lo, hi int64) iter.Seq2[int64, int64] {
 // scans call it so every shard they observe is fully rebalanced
 // (flush-on-snapshot — see CONCURRENCY.md). A flush error can only be
 // a storage-allocation failure, which leaves the shard consistent with
-// the work still queued, so reads proceed regardless.
-func flushDeferred(s *cell) { _ = s.a.FlushPending() }
+// the work still queued, so reads proceed regardless; the Close paths
+// surface it. The seqlock write bracket runs only when there is work
+// to flush — an idle flush must not bump the version word, or every
+// scan would break every concurrent snapshot for nothing.
+func flushDeferred(s *cell) error {
+	if s.a.PendingCount() == 0 {
+		return nil
+	}
+	s.beginWrite()
+	err := s.a.FlushPending()
+	s.endWrite()
+	s.advanceEpoch()
+	return err
+}
 
 // yieldAscend drives shard j's portion of an ascending traversal under
 // the shard's lock; it reports false when the consumer stopped early.
@@ -85,6 +105,10 @@ func (m *Map) yieldDescend(j int, lo, hi int64, yield func(int64, int64) bool) b
 // the per-shard callback scans (dense-run tight loops).
 func (m *Map) ScanRange(lo, hi int64, visit func(key, val int64) bool) {
 	if lo > hi {
+		return
+	}
+	if m.lockFree {
+		m.SnapshotScanRange(lo, hi, visit)
 		return
 	}
 	jHi := m.shardOf(hi)

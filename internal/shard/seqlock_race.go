@@ -1,0 +1,14 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports whether this build runs under the race detector.
+const raceEnabled = true
+
+// Race-build seqlock shims: the optimistic read section takes the
+// shard mutex, so the detector sees properly synchronized reads while
+// every other aspect of the seqlock path — version capture, retry
+// loop, validity handling, epoch pinning — runs exactly as in normal
+// builds. See seqlock_norace.go for the no-op fast-path pair.
+func (s *cell) readLock()   { s.mu.Lock() }
+func (s *cell) readUnlock() { s.mu.Unlock() }

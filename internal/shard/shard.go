@@ -30,14 +30,27 @@
 //     globally ascending because shards own disjoint key ranges.
 //   - Iterator and scan callbacks run while the current shard's lock is
 //     held and must not call back into the same Map.
+//
+// Lock-free reads (EnableLockFreeReads) relax the second bullet for the
+// point-read fast path only: Find/Contains/Floor/Ceiling/GetBatch first
+// attempt a seqlock-validated optimistic read against the engine's
+// published read view (core.ReadFind and friends mutate nothing), and
+// fall back to the locked path after a bounded number of retries. Writes
+// bump a per-shard version word around every reader-visible mutation;
+// retired vmem pages pass through an epoch gate so an in-flight
+// optimistic reader can never observe a recycled page. Cross-shard scans
+// additionally capture a per-shard version vector and report whether the
+// whole traversal observed a single consistent cut (see snapshot.go).
 package shard
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rma/internal/core"
+	"rma/internal/vmem"
 )
 
 const (
@@ -47,10 +60,36 @@ const (
 
 // cell is one shard: a lock and its array, padded so that neighbouring
 // shard locks do not share a cache line under concurrent traffic.
+//
+// ver is the shard's seqlock word: even when quiescent, odd while a
+// writer is mutating reader-visible state. Writers bump it twice around
+// every mutation (beginWrite/endWrite, under mu); optimistic readers
+// capture an even value before reading and revalidate after. gate is
+// the shard's vmem epoch gate (nil until EnableLockFreeReads): readers
+// pin an epoch for the duration of one optimistic attempt, and pages
+// retired by rebalances wait in the gate's limbo until no reader can
+// still hold a reference.
 type cell struct {
-	mu sync.Mutex
-	a  *core.Array
-	_  [64 - 16]byte
+	mu   sync.Mutex
+	a    *core.Array
+	ver  atomic.Uint64
+	gate *vmem.EpochGate
+	_    [64 - 32]byte
+}
+
+// beginWrite/endWrite bracket a reader-visible mutation: ver goes odd,
+// the mutation runs, ver returns even. Callers must hold s.mu (the
+// mutex serializes writers; the version word serializes readers).
+func (s *cell) beginWrite() { s.ver.Add(1) }
+func (s *cell) endWrite()   { s.ver.Add(1) }
+
+// advanceEpoch attempts one epoch-gate advance when retired pages are
+// waiting in limbo. Must run under s.mu — the gate's limbo list is
+// guarded by the owning shard's lock.
+func (s *cell) advanceEpoch() {
+	if s.gate != nil && s.gate.LimboPages() > 0 {
+		s.gate.TryAdvance()
+	}
 }
 
 // Map is the sharded ordered map. Create one with New; the zero value
@@ -74,6 +113,18 @@ type Map struct {
 	// map is shared; the pointer is immutable afterwards (like seps) and
 	// the block's own state is all atomics.
 	dur *durState
+
+	// lockFree enables the seqlock read path. Set once by
+	// EnableLockFreeReads before the map is shared (like seps), hence
+	// read without synchronization.
+	lockFree bool
+
+	// Lock-free read-path counters, merged into Stats. Atomics because
+	// readers touch them outside any shard lock.
+	lockFreeReads  atomic.Uint64
+	readRetries    atomic.Uint64
+	readFallbacks  atomic.Uint64
+	snapshotBreaks atomic.Uint64
 }
 
 // New builds a Map with len(seps)+1 shards, one fresh core.Array per
@@ -197,7 +248,7 @@ func (m *Map) DisableDeferredRebalancing() error {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.Lock()
-		err := s.a.FlushPending()
+		err := flushDeferred(s)
 		s.a.SetDeferRebalance(false)
 		s.mu.Unlock()
 		if err != nil && first == nil {
@@ -224,7 +275,16 @@ func (m *Map) MaintainShard(i int) (bool, error) {
 	s := &m.shards[i]
 	d := m.dur
 	s.mu.Lock()
-	did, err := s.a.MaintainOne()
+	var did bool
+	var err error
+	if s.a.PendingCount() > 0 {
+		// Only bracket sweeps that can mutate: an idle MaintainOne must
+		// not bump the version word, or background maintenance would
+		// invalidate snapshot version vectors without changing anything.
+		s.beginWrite()
+		did, err = s.a.MaintainOne()
+		s.endWrite()
+	}
 	if err == nil && !did && d != nil && d.pending[i].CompareAndSwap(true, false) {
 		var epoch uint64
 		epoch, err = s.a.Checkpoint(d.keep[i])
@@ -232,6 +292,7 @@ func (m *Map) MaintainShard(i int) (bool, error) {
 		m.finishShardCheckpoint(i, epoch, err)
 		return true, err
 	}
+	s.advanceEpoch()
 	s.mu.Unlock()
 	return did, err
 }
@@ -260,7 +321,7 @@ func (m *Map) FlushAll() error {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.Lock()
-		err := s.a.FlushPending()
+		err := flushDeferred(s)
 		s.mu.Unlock()
 		if err != nil {
 			return err
@@ -284,7 +345,10 @@ func (m *Map) maintenanceHint(pending int) {
 func (m *Map) Insert(key, val int64) error {
 	s := &m.shards[m.shardOf(key)]
 	s.mu.Lock()
+	s.beginWrite()
 	err := s.a.Insert(key, val)
+	s.endWrite()
+	s.advanceEpoch()
 	pending := s.a.PendingCount()
 	s.mu.Unlock()
 	m.maintenanceHint(pending)
@@ -295,14 +359,23 @@ func (m *Map) Insert(key, val int64) error {
 func (m *Map) Delete(key int64) (bool, error) {
 	s := &m.shards[m.shardOf(key)]
 	s.mu.Lock()
+	s.beginWrite()
 	ok, err := s.a.Delete(key)
+	s.endWrite()
+	s.advanceEpoch()
 	s.mu.Unlock()
 	return ok, err
 }
 
 // Find returns a value stored under key.
 func (m *Map) Find(key int64) (int64, bool) {
-	s := &m.shards[m.shardOf(key)]
+	j := m.shardOf(key)
+	if m.lockFree {
+		if v, ok, done := m.seqFind(j, key); done {
+			return v, ok
+		}
+	}
+	s := &m.shards[j]
 	s.mu.Lock()
 	v, ok := s.a.Find(key)
 	s.mu.Unlock()
@@ -311,6 +384,10 @@ func (m *Map) Find(key int64) (int64, bool) {
 
 // Contains reports whether key is stored.
 func (m *Map) Contains(key int64) bool {
+	if m.lockFree {
+		_, ok := m.Find(key)
+		return ok
+	}
 	s := &m.shards[m.shardOf(key)]
 	s.mu.Lock()
 	ok := s.a.Contains(key)
@@ -348,23 +425,44 @@ func (m *Map) Max() (int64, bool) {
 	return 0, false
 }
 
+// shardFloor probes shard i for the greatest element with key <= x,
+// lock-free first when enabled, locked otherwise.
+func (m *Map) shardFloor(i int, x int64) (key, val int64, ok bool) {
+	if m.lockFree {
+		if k, v, ok, done := m.seqFloor(i, x); done {
+			return k, v, ok
+		}
+	}
+	s := &m.shards[i]
+	s.mu.Lock()
+	key, val, ok = s.a.Floor(x)
+	s.mu.Unlock()
+	return key, val, ok
+}
+
+// shardCeiling probes shard i for the smallest element with key >= x.
+func (m *Map) shardCeiling(i int, x int64) (key, val int64, ok bool) {
+	if m.lockFree {
+		if k, v, ok, done := m.seqCeiling(i, x); done {
+			return k, v, ok
+		}
+	}
+	s := &m.shards[i]
+	s.mu.Lock()
+	key, val, ok = s.a.Ceiling(x)
+	s.mu.Unlock()
+	return key, val, ok
+}
+
 // Floor returns the greatest stored element with key <= x: the owning
 // shard's floor, or the max of the nearest non-empty shard to the left.
 func (m *Map) Floor(x int64) (key, val int64, ok bool) {
 	j := m.shardOf(x)
-	s := &m.shards[j]
-	s.mu.Lock()
-	key, val, ok = s.a.Floor(x)
-	s.mu.Unlock()
-	if ok {
+	if key, val, ok = m.shardFloor(j, x); ok {
 		return key, val, true
 	}
 	for i := j - 1; i >= 0; i-- {
-		s := &m.shards[i]
-		s.mu.Lock()
-		key, val, ok = s.a.Floor(maxKey)
-		s.mu.Unlock()
-		if ok {
+		if key, val, ok = m.shardFloor(i, maxKey); ok {
 			return key, val, true
 		}
 	}
@@ -374,19 +472,11 @@ func (m *Map) Floor(x int64) (key, val int64, ok bool) {
 // Ceiling returns the smallest stored element with key >= x.
 func (m *Map) Ceiling(x int64) (key, val int64, ok bool) {
 	j := m.shardOf(x)
-	s := &m.shards[j]
-	s.mu.Lock()
-	key, val, ok = s.a.Ceiling(x)
-	s.mu.Unlock()
-	if ok {
+	if key, val, ok = m.shardCeiling(j, x); ok {
 		return key, val, true
 	}
 	for i := j + 1; i < len(m.shards); i++ {
-		s := &m.shards[i]
-		s.mu.Lock()
-		key, val, ok = s.a.Ceiling(minKey)
-		s.mu.Unlock()
-		if ok {
+		if key, val, ok = m.shardCeiling(i, minKey); ok {
 			return key, val, true
 		}
 	}
@@ -398,8 +488,14 @@ func (m *Map) Ceiling(x int64) (key, val int64, ok bool) {
 // Rank returns the number of stored elements with key < x: the sizes of
 // the shards left of the owning shard plus the in-shard rank. Each shard
 // is read under its own lock; under concurrent writes the sum is a
-// consistent-per-shard snapshot, not a global one.
+// consistent-per-shard snapshot, not a global one — unless lock-free
+// reads are enabled, in which case the sum is retried against the
+// per-shard version vector until all contributing shards agree on one
+// cut (see snapshot.go).
 func (m *Map) Rank(x int64) int {
+	if m.lockFree {
+		return m.snapshotRank(x)
+	}
 	j := m.shardOf(x)
 	r := 0
 	for i := 0; i < j; i++ {
@@ -531,7 +627,59 @@ func (m *Map) Stats() core.Stats {
 			t.MaxWindowSegments = st.MaxWindowSegments
 		}
 	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		if s.gate != nil {
+			t.EpochAdvances += s.gate.Advances()
+		}
+		s.mu.Unlock()
+	}
+	t.LockFreeReads = m.lockFreeReads.Load()
+	t.ReadRetries = m.readRetries.Load()
+	t.ReadFallbacks = m.readFallbacks.Load()
+	t.SnapshotBreaks = m.snapshotBreaks.Load()
 	return t
+}
+
+// --- lock-free reads ----------------------------------------------------------
+
+// EnableLockFreeReads switches the map's point-read fast path to the
+// seqlock protocol (see seqlock.go) and attaches a vmem epoch gate to
+// every shard so rebalance-retired pages are reclaimed only after all
+// optimistic readers have moved on. Must be called before the map is
+// shared across goroutines (the facade calls it at construction), after
+// EnableDurability/OpenMap when durability is in play — the gate routes
+// page retirement, so it must see the final vmem spaces.
+func (m *Map) EnableLockFreeReads() {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		g := vmem.NewEpochGate()
+		s.gate = g
+		s.a.AttachEpochGate(g)
+		s.mu.Unlock()
+	}
+	m.lockFree = true
+}
+
+// LockFreeReads reports whether the seqlock read path is enabled.
+func (m *Map) LockFreeReads() bool { return m.lockFree }
+
+// Quiesce advances every shard's epoch gate as far as reader occupancy
+// allows, draining limbo pages back to the spare pools. internal/rebal
+// calls it before parking its workers; tests call it to assert
+// reclamation progress.
+func (m *Map) Quiesce() {
+	if !m.lockFree {
+		return
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.advanceEpoch()
+		s.mu.Unlock()
+	}
 }
 
 // Validate checks every shard's structural invariants and that every

@@ -1,0 +1,226 @@
+package shard
+
+import "sync"
+
+// Cross-shard snapshot reads (lock-free mode).
+//
+// A multi-shard traversal holds one shard lock at a time, so by itself
+// it only guarantees per-shard atomicity: writers can slip between
+// shard visits. In lock-free mode every reader-visible write bumps the
+// owning shard's seqlock version (shard.go), which makes consistency
+// checkable: record each shard's version at its visit, and before
+// reading any later shard revalidate that every previously visited
+// shard still carries its recorded version. If the validation holds
+// through the final shard, there is a witness instant — inside the last
+// shard's critical section, at the moment of its validation — at which
+// every shard simultaneously held exactly the state the traversal
+// observed, because versions only ever move forward and an unchanged
+// version means an unchanged shard. The whole mechanism costs one
+// uint64 per shard and a handful of atomic loads: no global lock, no
+// copy, no quiescing of writers.
+//
+// Traversals that stream results to a callback cannot restart once the
+// cut breaks (the caller already consumed earlier shards), so they
+// degrade to the documented per-shard-atomic semantics and count a
+// SnapshotBreak; SnapshotScanRange surfaces the verdict to the caller.
+// Rank consumes nothing externally, so it simply retries under a fresh
+// vector and only degrades after a bounded number of broken cuts.
+
+// snapVec is a pooled version vector, recycled across traversals so
+// steady-state snapshot reads allocate nothing.
+type snapVec struct{ v []uint64 }
+
+var vecPool = sync.Pool{New: func() any { return new(snapVec) }}
+
+func getVec(n int) *snapVec {
+	sv := vecPool.Get().(*snapVec)
+	if cap(sv.v) < n {
+		sv.v = make([]uint64, n)
+	}
+	sv.v = sv.v[:n]
+	return sv
+}
+
+// versionsMatch reports whether shards jLo..jLo+len(vec)-1 still carry
+// the versions recorded in vec. Control-word reads only — safe without
+// any shard lock.
+//
+//rma:noalloc
+//rma:seqlock
+func (m *Map) versionsMatch(vec []uint64, jLo int) bool {
+	for i := range vec {
+		if m.shards[jLo+i].ver.Load() != vec[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotScanRange visits every element with lo <= key <= hi in key
+// order and reports whether the whole traversal observed one consistent
+// cut: true means there was an instant at which every visited shard
+// simultaneously held exactly the state the callback saw. On a broken
+// cut the scan does not restart (the callback already consumed earlier
+// shards); it completes with the per-shard-atomic semantics of the
+// locked path, counts a SnapshotBreak, and returns false.
+//
+// Early termination by the callback returns the consistency status of
+// the prefix actually visited; a single-shard traversal is trivially
+// consistent. Outside lock-free mode versions never move, so the
+// traversal is reported consistent exactly when it is (writers hold
+// the same locks the scan does, but may interleave between shards
+// without detection — use EnableLockFreeReads for the verdict to be
+// meaningful).
+func (m *Map) SnapshotScanRange(lo, hi int64, visit func(key, val int64) bool) bool {
+	if lo > hi {
+		return true
+	}
+	jLo, jHi := m.shardOf(lo), m.shardOf(hi)
+	sv := getVec(jHi - jLo + 1)
+	defer vecPool.Put(sv)
+	vec := sv.v
+	consistent := true
+	for j := jLo; j <= jHi; j++ {
+		s := &m.shards[j]
+		s.mu.Lock()
+		flushDeferred(s)
+		if consistent && !m.versionsMatch(vec[:j-jLo], jLo) {
+			consistent = false
+			m.snapshotBreaks.Add(1)
+		}
+		vec[j-jLo] = s.ver.Load()
+		stopped := false
+		s.a.ScanRange(lo, hi, func(k, v int64) bool {
+			if !visit(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		s.mu.Unlock()
+		if stopped {
+			break
+		}
+	}
+	return consistent
+}
+
+// snapshotAscend is IterAscend's lock-free-mode body: the merged
+// ascending traversal with version-vector validation. The verdict is
+// tracked for the SnapshotBreaks counter but not surfaced through the
+// iter.Seq2 shape — use SnapshotScanRange when the caller needs it.
+func (m *Map) snapshotAscend(lo, hi int64, yield func(int64, int64) bool) {
+	jLo, jHi := m.shardOf(lo), m.shardOf(hi)
+	sv := getVec(jHi - jLo + 1)
+	defer vecPool.Put(sv)
+	vec := sv.v
+	consistent := true
+	for j := jLo; j <= jHi; j++ {
+		s := &m.shards[j]
+		s.mu.Lock()
+		flushDeferred(s)
+		if consistent && !m.versionsMatch(vec[:j-jLo], jLo) {
+			consistent = false
+			m.snapshotBreaks.Add(1)
+		}
+		vec[j-jLo] = s.ver.Load()
+		stopped := false
+		for k, v := range s.a.IterAscend(lo, hi) {
+			if !yield(k, v) {
+				stopped = true
+				break
+			}
+		}
+		s.mu.Unlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// snapshotDescend mirrors snapshotAscend right to left: the visited
+// suffix (higher shards) is revalidated before each lower shard.
+func (m *Map) snapshotDescend(lo, hi int64, yield func(int64, int64) bool) {
+	jLo, jHi := m.shardOf(lo), m.shardOf(hi)
+	sv := getVec(jHi - jLo + 1)
+	defer vecPool.Put(sv)
+	vec := sv.v
+	consistent := true
+	for j := jHi; j >= jLo; j-- {
+		s := &m.shards[j]
+		s.mu.Lock()
+		flushDeferred(s)
+		if consistent && !m.versionsMatch(vec[j-jLo+1:], j+1) {
+			consistent = false
+			m.snapshotBreaks.Add(1)
+		}
+		vec[j-jLo] = s.ver.Load()
+		stopped := false
+		for k, v := range s.a.IterDescend(lo, hi) {
+			if !yield(k, v) {
+				stopped = true
+				break
+			}
+		}
+		s.mu.Unlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// snapshotRankAttempts bounds how many broken cuts a Rank tolerates
+// before settling for the per-shard-atomic answer.
+const snapshotRankAttempts = 4
+
+// snapshotRank is Rank's lock-free-mode body: the left-of-x size sum
+// retried under a fresh version vector until one consistent cut covers
+// every contributing shard, then the in-shard rank of the owning shard
+// completes it under the same cut.
+func (m *Map) snapshotRank(x int64) int {
+	j := m.shardOf(x)
+	sv := getVec(j + 1)
+	defer vecPool.Put(sv)
+	vec := sv.v
+	for attempt := 0; attempt < snapshotRankAttempts; attempt++ {
+		r := 0
+		consistent := true
+		for i := 0; i <= j; i++ {
+			s := &m.shards[i]
+			s.mu.Lock()
+			if !m.versionsMatch(vec[:i], 0) {
+				consistent = false
+			}
+			vec[i] = s.ver.Load()
+			if consistent {
+				if i < j {
+					r += s.a.Size()
+				} else {
+					r += s.a.Rank(x)
+				}
+			}
+			s.mu.Unlock()
+			if !consistent {
+				break
+			}
+		}
+		if consistent {
+			return r
+		}
+	}
+	// Every attempt lost the race; take the per-shard-atomic answer the
+	// locked path would have produced.
+	m.snapshotBreaks.Add(1)
+	r := 0
+	for i := 0; i <= j; i++ {
+		s := &m.shards[i]
+		s.mu.Lock()
+		if i < j {
+			r += s.a.Size()
+		} else {
+			r += s.a.Rank(x)
+		}
+		s.mu.Unlock()
+	}
+	return r
+}

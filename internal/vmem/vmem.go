@@ -79,6 +79,13 @@ type Pages struct {
 	// content-changing path passes through).
 	dirty []uint64
 
+	// gate, when non-nil, intercepts page retirement: Swap and Truncate
+	// route detached pages through the epoch gate's limbo list instead
+	// of straight back to the spare pool, so lock-free readers holding a
+	// stale table entry never see a retired page recycled under them
+	// (see epoch.go). Attached once before the owning shard is shared.
+	gate *EpochGate
+
 	stats Stats
 
 	failAfter int // fail the n-th next physical allocation; -1 = disabled
@@ -310,12 +317,19 @@ func (p *Pages) Grow(n int) error {
 }
 
 // Truncate shrinks the address space to n virtual pages; the unmapped
-// physical pages return to the spare pool.
+// physical pages return to the spare pool (or, with an epoch gate
+// attached, to its limbo list until readers quiesce).
 func (p *Pages) Truncate(n int) {
 	if n > len(p.table) {
 		panic(fmt.Sprintf("vmem: Truncate(%d) beyond %d pages", n, len(p.table)))
 	}
-	p.spares = append(p.spares, p.table[n:]...) //rma:cap-ok — spare-pool capacity is amortized
+	if p.gate != nil {
+		for i := n; i < len(p.table); i++ {
+			p.gate.Retire(p, p.table[i])
+		}
+	} else {
+		p.spares = append(p.spares, p.table[n:]...) //rma:cap-ok — spare-pool capacity is amortized
+	}
 	for i := n; i < len(p.table); i++ {
 		p.table[i] = nil
 		if p.dirty != nil {
@@ -366,7 +380,11 @@ func (p *Pages) Swap(v int, pg []int64) {
 	}
 	old := p.table[v]
 	p.table[v] = pg
-	p.spares = append(p.spares, old) //rma:cap-ok — spare-pool capacity is amortized
+	if p.gate != nil {
+		p.gate.Retire(p, old)
+	} else {
+		p.spares = append(p.spares, old) //rma:cap-ok — spare-pool capacity is amortized
+	}
 	p.stats.Swaps++
 	if p.dirty != nil {
 		p.dirty[v>>6] |= 1 << (uint(v) & 63)
@@ -385,6 +403,22 @@ func (p *Pages) TrimSpares(max int) {
 	}
 	p.spares = p.spares[:max]
 }
+
+// AttachEpochGate routes this space's page retirement (Swap, Truncate)
+// through g's limbo list. Attach once, before the owning shard is
+// shared; the field is immutable afterwards, so hot paths read it
+// without synchronization.
+func (p *Pages) AttachEpochGate(g *EpochGate) { p.gate = g }
+
+// Gate returns the attached epoch gate, or nil.
+func (p *Pages) Gate() *EpochGate { return p.gate }
+
+// Table returns the live virtual-to-physical page table. Lock-free
+// readers capture this slice header in their published view; within an
+// epoch only single-word entry stores mutate it (Swap), which is what
+// the seqlock revalidation protocol tolerates. Callers must not modify
+// the returned slice.
+func (p *Pages) Table() [][]int64 { return p.table }
 
 // Stats returns the operation counters accumulated so far.
 func (p *Pages) Stats() Stats { return p.stats }

@@ -91,6 +91,11 @@ func newSharded(seps []int64, opts []Option) (*Sharded, error) {
 // their sweeps, so the map must be fully durable before Start.
 func finishSharded(m *shard.Map, o options) *Sharded {
 	s := &Sharded{m: m}
+	if o.lockFree {
+		// Before the pool starts and before the map is shared: the epoch
+		// gates route page retirement from the first rebalance on.
+		m.EnableLockFreeReads()
+	}
 	if o.rebalWorkers != 0 {
 		workers := o.rebalWorkers
 		if workers < 0 {
@@ -221,6 +226,19 @@ func (s *Sharded) ScanRange(lo, hi int64, yield func(key, val int64) bool) {
 // Scan visits every element in key order.
 func (s *Sharded) Scan(yield func(key, val int64) bool) { s.m.Scan(yield) }
 
+// SnapshotScan visits every element with lo <= key <= hi in key order
+// and reports whether the whole traversal observed one consistent cut —
+// an instant at which every visited shard simultaneously held exactly
+// the state the callback saw. Requires WithLockFreeReads for the
+// verdict to be meaningful (without it, writers cannot be detected
+// between shard visits and the scan reports true with the ordinary
+// per-shard-atomic guarantee). On a broken cut the scan completes with
+// per-shard semantics and returns false — callers needing a true
+// snapshot retry.
+func (s *Sharded) SnapshotScan(lo, hi int64, yield func(key, val int64) bool) bool {
+	return s.m.SnapshotScanRange(lo, hi, yield)
+}
+
 // Sum aggregates elements with lo <= key <= hi, returning their count
 // and the sum of their values.
 func (s *Sharded) Sum(lo, hi int64) (count int, sum int64) { return s.m.Sum(lo, hi) }
@@ -248,6 +266,9 @@ func (s *Sharded) Stats() Stats {
 		AllocFailures: st.AllocFailures,
 		Checkpoints:   st.Checkpoints, CheckpointFailures: st.CheckpointFailures,
 		CheckpointPages: st.CheckpointPages,
+		LockFreeReads:   st.LockFreeReads, ReadRetries: st.ReadRetries,
+		ReadFallbacks: st.ReadFallbacks, EpochAdvances: st.EpochAdvances,
+		SnapshotBreaks: st.SnapshotBreaks,
 	}
 }
 

@@ -271,6 +271,97 @@ func TestShardedRebalancerSequentialInsert(t *testing.T) {
 	}
 }
 
+// TestShardedRebalancerLockFreeReaders runs point readers through the
+// seqlock path while writers keep the background rebalancer busy: every
+// hit must carry the key's one true value (writers only ever store
+// diffVal), the lock-free counter must progress, and with page-swapping
+// rebalances active the epoch gate must actually reclaim retired pages.
+func TestShardedRebalancerLockFreeReaders(t *testing.T) {
+	sample := make([]int64, 256)
+	for i := range sample {
+		sample[i] = int64(i) * tortureKeySpace / int64(len(sample))
+	}
+	s, err := NewShardedFromSample(5, sample,
+		WithSegmentCapacity(16), WithPageCapacity(64),
+		WithBackgroundRebalancing(2), WithLockFreeReads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const readerG, perWriter = 4, 30_000
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	for g := 0; g < readerG; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			rng := workload.NewRNG(uint64(4000 + g))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := int64(rng.Uint64n(tortureKeySpace))
+				if v, ok := s.Find(k); ok && v != diffVal(k) {
+					t.Errorf("reader %d: Find(%d) = %d, want %d", g, k, v, diffVal(k))
+					return
+				}
+				if fk, fv, ok := s.Floor(k); ok && (fk > k || fv != diffVal(fk)) {
+					t.Errorf("reader %d: Floor(%d) = (%d,%d)", g, k, fk, fv)
+					return
+				}
+				if ck, cv, ok := s.Ceiling(k); ok && (ck < k || cv != diffVal(ck)) {
+					t.Errorf("reader %d: Ceiling(%d) = (%d,%d)", g, k, ck, cv)
+					return
+				}
+			}
+		}(g)
+	}
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := workload.NewRNG(uint64(600 + w))
+			for i := 0; i < perWriter; i++ {
+				k := int64(rng.Uint64n(tortureKeySpace))
+				if rng.Uint64n(100) < 20 {
+					if _, err := s.Delete(k); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if err := s.Insert(k, diffVal(k)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	st := s.Stats()
+	if st.LockFreeReads == 0 {
+		t.Error("no read ever completed through the seqlock path")
+	}
+	if st.ReadFallbacks > 0 && st.ReadRetries == 0 {
+		t.Errorf("%d fallbacks but zero retries recorded", st.ReadFallbacks)
+	}
+	if st.PageSwaps > 0 && st.EpochAdvances == 0 {
+		t.Errorf("%d page swaps retired pages but the epoch gate never advanced", st.PageSwaps)
+	}
+	t.Logf("lock-free: %d reads, %d retries, %d fallbacks; %d page swaps, %d epoch advances",
+		st.LockFreeReads, st.ReadRetries, st.ReadFallbacks, st.PageSwaps, st.EpochAdvances)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestShardedFlushDrainsBacklog: Flush empties the deferral queues
 // without stopping the pool, and the map keeps serving.
 func TestShardedFlushDrainsBacklog(t *testing.T) {

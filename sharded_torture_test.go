@@ -93,9 +93,11 @@ func TestShardedConcurrentDifferential(t *testing.T) {
 	// The background rebalancer runs throughout: writers defer their
 	// policy rebalances to the maintenance pool while the differential
 	// checks assert exactness mid-flight (flush-on-snapshot covers the
-	// merged scans the probes issue).
+	// merged scans the probes issue). Lock-free reads are on, so every
+	// Find/GetBatch/Floor/Ceiling probe below races the writers through
+	// the seqlock path and must still be exact on its own stripe.
 	s, err := NewShardedFromSample(7, sample, WithSegmentCapacity(16), WithPageCapacity(64),
-		WithBackgroundRebalancing(2))
+		WithBackgroundRebalancing(2), WithLockFreeReads())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,6 +170,18 @@ func TestShardedConcurrentDifferential(t *testing.T) {
 	if s.Size() == 0 {
 		t.Fatal("torture run left the map empty; the workload mix is broken")
 	}
+	// The probes above issued thousands of point reads against live
+	// writers: the seqlock path must have served some of them, and
+	// every fallback must be explained by the retry counter.
+	st := s.Stats()
+	if st.LockFreeReads == 0 {
+		t.Error("no point read ever took the lock-free path")
+	}
+	if st.ReadFallbacks > 0 && st.ReadRetries == 0 {
+		t.Errorf("%d fallbacks with zero retries: the retry loop is not engaging", st.ReadFallbacks)
+	}
+	t.Logf("lock-free reads: %d served, %d retries, %d fallbacks, %d epoch advances",
+		st.LockFreeReads, st.ReadRetries, st.ReadFallbacks, st.EpochAdvances)
 }
 
 // tortureProbe runs the mid-flight checks: exact against the caller's
@@ -283,7 +297,7 @@ func TestShardedConcurrentBatches(t *testing.T) {
 		sample[i] = int64(i) * tortureKeySpace / int64(len(sample))
 	}
 	s, err := NewShardedFromSample(8, sample, WithSegmentCapacity(16), WithPageCapacity(64),
-		WithBackgroundRebalancing(2))
+		WithBackgroundRebalancing(2), WithLockFreeReads())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +419,11 @@ func TestShardedConcurrentBatches(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if s.Stats().BulkLoads == 0 {
+	st := s.Stats()
+	if st.BulkLoads == 0 {
 		t.Fatal("concurrent batches never took the bulk path")
+	}
+	if st.LockFreeReads == 0 {
+		t.Error("the reader goroutines never completed a lock-free GetBatch group")
 	}
 }
