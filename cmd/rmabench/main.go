@@ -52,6 +52,7 @@ var experiments = map[string]func(exp.Params){
 	"shards":     shards,
 	"putasync":   putasync,
 	"durability": durability,
+	"serve":      serve,
 }
 
 // Trajectory flags (hotpath and shards): where to append the JSON
@@ -61,6 +62,13 @@ var (
 	jsonLabel = flag.String("label", "dev", "hotpath/shards: label for the JSON snapshot")
 	shardMax  = flag.Int("shardmax", 8, "shards: largest shard count in the sweep (1 = unsharded baseline only)")
 	asyncMode = flag.String("async", "both", "putasync: rebalancer modes to measure (off|on|both)")
+	// Serving flags ("serve" experiment): closed-loop pool size, per-mix
+	// measured duration, an external rmaserve to dial instead of the
+	// in-process loopback server, and the soak gate's threshold file.
+	clients    = flag.Int("clients", 4, "serve: closed-loop client pool size")
+	duration   = flag.Duration("duration", time.Second, "serve: measured duration per mix")
+	serveAddr  = flag.String("serveaddr", "", "serve: dial this rmaserve address instead of serving in-process")
+	thresholds = flag.String("thresholds", "", "serve: enforce this SERVE_THRESHOLDS.json file (exit 1 on violation)")
 )
 
 func main() {
@@ -83,7 +91,8 @@ func main() {
 		w = f
 	}
 
-	p := exp.Params{N: *n, Seed: *seed, Out: w}
+	p := exp.Params{N: *n, Seed: *seed, Out: w,
+		Clients: *clients, Duration: *duration, ServeAddr: *serveAddr}
 
 	var names []string
 	if *name == "all" {

@@ -34,6 +34,14 @@ type Params struct {
 	// measures: "off" (synchronous only), "on" (background only), or
 	// "both" (the default when empty).
 	Async string
+	// Duration bounds each mix of the "serve" experiment's measured
+	// phase (0 = 1s per mix); Clients sizes its closed-loop pool
+	// (0 = 4). ServeAddr points the serve experiment at an externally
+	// running rmaserve instead of the in-process loopback server —
+	// the soak path (empty = in-process).
+	Duration  time.Duration
+	Clients   int
+	ServeAddr string
 }
 
 // DefaultParams returns laptop-scale defaults.

@@ -41,6 +41,14 @@ type HotpathResult struct {
 	LockFreeReads uint64 `json:"lock_free_reads,omitempty"`
 	ReadRetries   uint64 `json:"read_retries,omitempty"`
 	ReadFallbacks uint64 `json:"read_fallbacks,omitempty"`
+	// Serving-layer accounting, recorded by the serve experiment: the
+	// closed-loop pool's aggregate throughput and extreme tail per op
+	// class (P999Ns extends the P50/P99 pair above), the client count
+	// behind it, and error replies observed on the wire.
+	P999Ns    float64 `json:"p999_ns,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	Errors    uint64  `json:"errors,omitempty"`
+	Clients   int     `json:"clients,omitempty"`
 }
 
 // hotpathConfigs enumerates the four layout x rebalance corners the

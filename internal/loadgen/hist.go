@@ -1,0 +1,78 @@
+package loadgen
+
+import "math/bits"
+
+// Hist is a log-bucketed latency histogram: values below 16ns land in
+// exact buckets, larger values in 8 sub-buckets per power of two
+// (≤12.5% relative error — plenty for p50/p99/p999 trend tracking).
+// Fixed-size and mergeable, so every client records into a private
+// histogram with no synchronization and the pool merges at the end.
+type Hist struct {
+	counts [histBuckets]uint64
+	n      uint64
+}
+
+const histBuckets = 16 + 59*8 // majors 5..63, 8 sub-buckets each (int64 max has 63 bits)
+
+// Record adds one latency observation in nanoseconds.
+func (h *Hist) Record(ns int64) {
+	h.counts[bucketOf(ns)]++
+	h.n++
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Quantile returns the q-quantile (0 < q <= 1) in nanoseconds as the
+// lower bound of the bucket holding that rank, or 0 when empty.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return bucketFloor(i)
+		}
+	}
+	return bucketFloor(histBuckets - 1)
+}
+
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < 16 {
+		return int(v)
+	}
+	major := bits.Len64(v)       // >= 5
+	sub := int(v>>(major-4)) - 8 // [0, 8)
+	b := 16 + (major-5)*8 + sub
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func bucketFloor(b int) int64 {
+	if b < 16 {
+		return int64(b)
+	}
+	major := (b-16)/8 + 5
+	sub := (b - 16) % 8
+	return int64(8+sub) << (major - 4)
+}

@@ -1,0 +1,64 @@
+package loadgen
+
+import "testing"
+
+// TestHistQuantiles pins the log-bucket quantile math: quantiles land
+// within one bucket (≤12.5% relative error) of the true value.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := int64(1); i <= 10000; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.50, 5000}, {0.99, 9900}, {0.999, 9990}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want*7/8-1 || got > c.want*9/8+1 {
+			t.Errorf("Quantile(%v) = %d, want within 12.5%% of %d", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistSmallAndMerge covers exact small buckets, merging, and the
+// empty histogram.
+func TestHistSmallAndMerge(t *testing.T) {
+	var a, b Hist
+	if a.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	for i := 0; i < 10; i++ {
+		a.Record(3)
+		b.Record(7)
+	}
+	a.Merge(&b)
+	if a.Count() != 20 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if got := a.Quantile(0.25); got != 3 {
+		t.Errorf("Quantile(0.25) = %d, want 3 (exact small bucket)", got)
+	}
+	if got := a.Quantile(0.99); got != 7 {
+		t.Errorf("Quantile(0.99) = %d, want 7 (exact small bucket)", got)
+	}
+	// Negative and huge values clamp without panicking.
+	a.Record(-5)
+	a.Record(1 << 62)
+	if bucketOf(-5) != 0 {
+		t.Error("negative latency should clamp to bucket 0")
+	}
+}
+
+// TestBucketRoundTrip: every bucket's floor maps back to that bucket —
+// the invariant Quantile relies on to report a representative value.
+func TestBucketRoundTrip(t *testing.T) {
+	for b := 0; b < histBuckets; b++ {
+		if got := bucketOf(bucketFloor(b)); got != b {
+			t.Fatalf("bucketOf(bucketFloor(%d)) = %d", b, got)
+		}
+	}
+}

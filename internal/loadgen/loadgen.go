@@ -1,0 +1,377 @@
+// Package loadgen is a YCSB-style closed-loop load generator for
+// rmaserve: a pool of clients, each with its own RESP connection and
+// deterministic key-distribution state, driving one of the standard
+// mixes A–E and recording per-op-class latency histograms. It speaks
+// the wire protocol through internal/resp — the same reader/writer the
+// server uses — so a loadgen run is also an end-to-end protocol test.
+//
+// The pool is closed-loop: every client keeps exactly one command in
+// flight, so measured latency is honest (no coordinated omission from
+// a load schedule the server can't keep up with) and offered load
+// adapts to what the server sustains. Throughput comparisons therefore
+// hold client count fixed.
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rma/internal/resp"
+	"rma/internal/workload"
+)
+
+// Op classes measured separately (YCSB terminology).
+const (
+	ClassRead   = "read"
+	ClassUpdate = "update"
+	ClassInsert = "insert"
+	ClassScan   = "scan"
+)
+
+// Classes lists the op classes in reporting order.
+var Classes = []string{ClassRead, ClassUpdate, ClassInsert, ClassScan}
+
+// Mix is a YCSB-style workload: op-class percentages (summing to 100)
+// plus the key distribution the point ops draw from.
+type Mix struct {
+	Name string
+	// ReadPct/UpdatePct/InsertPct/ScanPct select the op class per
+	// operation (percent, must sum to 100).
+	ReadPct, UpdatePct, InsertPct, ScanPct int
+	// Dist is "zipf" (scrambled, alpha 1.0), "uniform", or "latest"
+	// (zipf-skewed offsets back from the most recent insert).
+	Dist string
+	// ScanCount is the per-scan element cap (SCAN ... COUNT n).
+	ScanCount int
+}
+
+// Mixes returns the standard YCSB-style mix suite:
+//
+//	A 50/50 read/update zipf     C 100 read zipf
+//	B 95/5  read/update zipf     D 95/5 read/insert latest
+//	E 95/5  scan/insert zipf (short ranges)
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "A", ReadPct: 50, UpdatePct: 50, Dist: "zipf"},
+		{Name: "B", ReadPct: 95, UpdatePct: 5, Dist: "zipf"},
+		{Name: "C", ReadPct: 100, Dist: "zipf"},
+		{Name: "D", ReadPct: 95, InsertPct: 5, Dist: "latest"},
+		{Name: "E", ScanPct: 95, InsertPct: 5, Dist: "zipf", ScanCount: 16},
+	}
+}
+
+// MixByName returns the named mix.
+func MixByName(name string) (Mix, bool) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// Options configures a Run.
+type Options struct {
+	// Dial opens one connection per client (plus one for preloading).
+	Dial func() (net.Conn, error)
+	// Clients is the closed-loop pool size (default 4).
+	Clients int
+	// Duration bounds the measured phase (default 1s).
+	Duration time.Duration
+	// Seed derives every client's deterministic generator state.
+	Seed uint64
+	// Keys is the preloaded key range [0, Keys): point ops draw from
+	// it, inserts extend it upward (default 1<<16).
+	Keys int
+	// SkipPreload reuses an already-loaded store (soak reruns).
+	SkipPreload bool
+}
+
+func (o *Options) fill() {
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.Keys <= 0 {
+		o.Keys = 1 << 16
+	}
+}
+
+// ClassResult aggregates one op class across the pool.
+type ClassResult struct {
+	Ops, Errors    uint64
+	Mean           time.Duration
+	P50, P99, P999 time.Duration
+}
+
+// Result is one mix run's aggregate.
+type Result struct {
+	Mix      string
+	Clients  int
+	Elapsed  time.Duration
+	Ops      uint64
+	Errors   uint64
+	PerClass map[string]ClassResult
+}
+
+// OpsPerSec returns the pool's aggregate throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// clientStats is one client's private tally, merged after the run.
+type clientStats struct {
+	hists  [4]Hist // indexed by class
+	sumNs  [4]int64
+	errors [4]uint64
+}
+
+// Run preloads the store (unless SkipPreload), then drives mix with a
+// closed-loop client pool for opts.Duration and returns the merged
+// result. Any client hitting a connection or protocol error aborts the
+// run with that error (engine/argument error replies are counted, not
+// fatal).
+func Run(opts Options, mix Mix) (Result, error) {
+	opts.fill()
+	if mix.ReadPct+mix.UpdatePct+mix.InsertPct+mix.ScanPct != 100 {
+		return Result{}, fmt.Errorf("loadgen: mix %s percentages sum to %d, want 100",
+			mix.Name, mix.ReadPct+mix.UpdatePct+mix.InsertPct+mix.ScanPct)
+	}
+	if mix.ScanCount <= 0 {
+		mix.ScanCount = 16
+	}
+
+	if !opts.SkipPreload {
+		if err := preload(opts); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// nextKey feeds inserts and anchors the "latest" distribution;
+	// shared so concurrent inserters never collide on a key.
+	var nextKey atomic.Int64
+	nextKey.Store(int64(opts.Keys))
+
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		stats   = make([]clientStats, opts.Clients)
+		errs    = make(chan error, opts.Clients)
+		started = time.Now()
+	)
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := runClient(opts, mix, id, &nextKey, &stop, &stats[id]); err != nil {
+				errs <- err
+				stop.Store(true)
+			}
+		}(i)
+	}
+	timer := time.AfterFunc(opts.Duration, func() { stop.Store(true) })
+	wg.Wait()
+	timer.Stop()
+	elapsed := time.Since(started)
+
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+
+	res := Result{Mix: mix.Name, Clients: opts.Clients, Elapsed: elapsed,
+		PerClass: make(map[string]ClassResult, len(Classes))}
+	for ci, class := range Classes {
+		var h Hist
+		var errors uint64
+		var sumNs int64
+		for i := range stats {
+			h.Merge(&stats[i].hists[ci])
+			sumNs += stats[i].sumNs[ci]
+			errors += stats[i].errors[ci]
+		}
+		if h.Count() == 0 && errors == 0 {
+			continue
+		}
+		cr := ClassResult{
+			Ops: h.Count(), Errors: errors,
+			P50:  time.Duration(h.Quantile(0.50)),
+			P99:  time.Duration(h.Quantile(0.99)),
+			P999: time.Duration(h.Quantile(0.999)),
+		}
+		if cr.Ops > 0 {
+			cr.Mean = time.Duration(sumNs / int64(cr.Ops))
+		}
+		res.PerClass[class] = cr
+		res.Ops += h.Count()
+		res.Errors += errors
+	}
+	return res, nil
+}
+
+// preload fills [0, Keys) through one connection with MSET batches of
+// 512 pairs (values derivable via workload.ValueFor, so differential
+// checks can recompute them).
+func preload(opts Options) error {
+	c, err := opts.Dial()
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	w := resp.NewWriter(c)
+	r := resp.NewReader(c)
+	const batch = 512
+	sent := 0
+	for lo := 0; lo < opts.Keys; lo += batch {
+		hi := min(lo+batch, opts.Keys)
+		w.ArrayHeader(1 + 2*(hi-lo))
+		w.BulkString("MSET")
+		for k := lo; k < hi; k++ {
+			w.BulkInt(int64(k))
+			w.BulkInt(workload.ValueFor(int64(k)))
+		}
+		sent++
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("loadgen: preload: %w", err)
+	}
+	for i := 0; i < sent; i++ {
+		rep, err := r.ReadReply()
+		if err != nil {
+			return fmt.Errorf("loadgen: preload reply: %w", err)
+		}
+		if rep.Kind == resp.ErrorString {
+			return fmt.Errorf("loadgen: preload rejected: %s", rep.Bulk)
+		}
+	}
+	return nil
+}
+
+// keyPicker produces point-op keys for one client per the mix's
+// distribution.
+type keyPicker struct {
+	dist    string
+	zipf    *workload.Zipf
+	uniform *workload.RNG
+	keys    int64
+}
+
+func newKeyPicker(mix Mix, opts Options, id int) *keyPicker {
+	seed := opts.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1
+	p := &keyPicker{dist: mix.Dist, keys: int64(opts.Keys)}
+	switch mix.Dist {
+	case "uniform":
+		p.uniform = workload.NewRNG(seed)
+	case "latest":
+		// Zipf-skewed offset back from the newest key, windowed so the
+		// hot set tracks the insert frontier.
+		p.zipf = workload.NewZipf(seed, 1.0, uint64(min(opts.Keys, 1<<16)), false)
+	default: // "zipf"
+		p.zipf = workload.NewZipf(seed, 1.0, uint64(opts.Keys), true)
+	}
+	return p
+}
+
+func (p *keyPicker) pick(nextKey *atomic.Int64) int64 {
+	switch p.dist {
+	case "uniform":
+		return int64(p.uniform.Uint64n(uint64(p.keys)))
+	case "latest":
+		k := nextKey.Load() - 1 - int64(p.zipf.NextRank())
+		if k < 0 {
+			k = 0
+		}
+		return k
+	default:
+		return p.zipf.Next()
+	}
+}
+
+// runClient is one closed-loop client: pick an op, issue it, read the
+// reply, record the latency, repeat until stopped.
+func runClient(opts Options, mix Mix, id int, nextKey *atomic.Int64,
+	stop *atomic.Bool, st *clientStats) error {
+	c, err := opts.Dial()
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	w := resp.NewWriter(c)
+	r := resp.NewReader(c)
+	rng := workload.NewRNG(opts.Seed ^ (uint64(id+1) * 0xbf58476d1ce4e5b9))
+	picker := newKeyPicker(mix, opts, id)
+
+	readHi := mix.ReadPct
+	updateHi := readHi + mix.UpdatePct
+	insertHi := updateHi + mix.InsertPct
+
+	for !stop.Load() {
+		roll := int(rng.Uint64n(100))
+		var class int
+		t0 := time.Now()
+		switch {
+		case roll < readHi:
+			class = 0
+			w.Command("GET", picker.pick(nextKey))
+		case roll < updateHi:
+			class = 1
+			k := picker.pick(nextKey)
+			w.Command("SET", k, workload.ValueFor(k)+1)
+		case roll < insertHi:
+			class = 2
+			k := nextKey.Add(1) - 1
+			w.Command("SET", k, workload.ValueFor(k))
+		default:
+			class = 3
+			lo := picker.pick(nextKey)
+			w.ArrayHeader(5)
+			w.BulkString("SCAN")
+			w.BulkInt(lo)
+			w.BulkInt(lo + int64(4*mix.ScanCount))
+			w.BulkString("COUNT")
+			w.BulkInt(int64(mix.ScanCount))
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("loadgen: client %d write: %w", id, err)
+		}
+		isErr, err := drainReply(r)
+		if err != nil {
+			return fmt.Errorf("loadgen: client %d reply: %w", id, err)
+		}
+		ns := time.Since(t0).Nanoseconds()
+		st.hists[class].Record(ns)
+		st.sumNs[class] += ns
+		if isErr {
+			st.errors[class]++
+		}
+	}
+	return nil
+}
+
+// drainReply consumes exactly one reply (recursing into arrays) and
+// reports whether it was an error reply.
+func drainReply(r *resp.Reader) (isErr bool, err error) {
+	rep, err := r.ReadReply()
+	if err != nil {
+		return false, err
+	}
+	if rep.Kind == resp.Array {
+		for i := 0; i < rep.N; i++ {
+			inner, err := drainReply(r)
+			if err != nil {
+				return false, err
+			}
+			isErr = isErr || inner
+		}
+	}
+	return isErr || rep.Kind == resp.ErrorString, nil
+}

@@ -113,6 +113,7 @@ type FileRegion struct {
 	pageBuf []byte // one page of encoded bytes, reused
 	faults  map[FaultOp]int
 	stats   FileRegionStats
+	closed  bool
 }
 
 // CreateFileRegion initializes a fresh region at dir (created if
@@ -250,7 +251,17 @@ func (r *FileRegion) Stats() FileRegionStats { return r.stats }
 func (r *FileRegion) FileSlots() uint64 { return r.fileSlots }
 
 // Close releases the data file. The region stays recoverable on disk.
-func (r *FileRegion) Close() error { return r.data.Close() }
+// Idempotent: the serving layer composes Sharded.Close from pieces
+// that callers may legitimately re-run (shutdown paths race a SHUTDOWN
+// command against signal handlers), so a second Close is a no-op
+// rather than an os.ErrClosed.
+func (r *FileRegion) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.data.Close()
+}
 
 // InjectFault makes the n-th next operation of kind op fail (n == 0
 // fails the very next one). Pass a negative n to disable. Testing hook

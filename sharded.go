@@ -272,6 +272,38 @@ func (s *Sharded) Stats() Stats {
 	}
 }
 
+// ServeStats is the serving-layer snapshot: the operation counters
+// plus the load diagnostics a front end or soak harness reports in one
+// call — cardinality, shard fan-out, deferred-maintenance backlog and
+// physical footprint. rmaserve's STATS command and the rmabench serve
+// harness both emit it.
+type ServeStats struct {
+	Stats
+	// Size is the stored element count (per-shard consistent, like
+	// every multi-shard read).
+	Size int
+	// Shards is the shard fan-out K.
+	Shards int
+	// PendingWindows is the deferred rebalance backlog across shards (0
+	// without WithBackgroundRebalancing).
+	PendingWindows int
+	// FootprintBytes is the physical memory held by all shards.
+	FootprintBytes int64
+}
+
+// ServeStats returns the serving snapshot. It takes each shard's lock
+// once per aggregated surface; under heavy traffic call it at reporting
+// cadence, not per request.
+func (s *Sharded) ServeStats() ServeStats {
+	return ServeStats{
+		Stats:          s.Stats(),
+		Size:           s.Size(),
+		Shards:         s.NumShards(),
+		PendingWindows: s.PendingWindows(),
+		FootprintBytes: s.FootprintBytes(),
+	}
+}
+
 // Validate checks every shard's structural invariants and shard-range
 // ownership; O(n), for tests and debugging.
 func (s *Sharded) Validate() error { return s.m.Validate() }
