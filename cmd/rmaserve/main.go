@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	rmaserve -addr :6380 -shards 8 -async -1 -lockfree -dur /var/lib/rma
+//	rmaserve -addr :6380 -shards 8 -async -1 -lockfree -dur /var/lib/rma -wal
 //
 // The server stops on SIGINT/SIGTERM or on a client SHUTDOWN command;
 // either way it drains connections, flushes the store's deferred
@@ -33,6 +33,8 @@ func main() {
 		async    = flag.Int("async", 0, "background rebalancing workers (0 = off, <0 = one per CPU)")
 		lockfree = flag.Bool("lockfree", false, "serve point reads lock-free (seqlock + epoch reclamation)")
 		durDir   = flag.String("dur", "", "durability directory (empty = in-memory only)")
+		useWAL   = flag.Bool("wal", false, "write-ahead log: every acked write is durable before its reply (requires -dur)")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy: always, everysec, or never")
 		pipeline = flag.Int("pipeline", 0, "max commands coalesced per batch (0 = default 256)")
 	)
 	flag.Parse()
@@ -46,6 +48,16 @@ func main() {
 	}
 	if *durDir != "" {
 		opts = append(opts, rma.WithDurability(*durDir))
+	}
+	if *useWAL {
+		if *durDir == "" {
+			fmt.Fprintln(os.Stderr, "rmaserve: -wal requires -dur")
+			os.Exit(2)
+		}
+		// Scheduler thresholds stay at the WALConfig defaults (checkpoint
+		// every minute or 64 MiB of live log); the pool from -async drives
+		// them, so pair -wal with -async for automatic checkpoints.
+		opts = append(opts, rma.WithWAL(rma.WALConfig{Fsync: *fsync}))
 	}
 
 	// A durability dir with a published checkpoint is recovered, not
@@ -77,8 +89,8 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
-	fmt.Fprintf(os.Stderr, "rmaserve: listening on %s (shards=%d async=%d lockfree=%v dur=%q)\n",
-		*addr, *shards, *async, *lockfree, *durDir)
+	fmt.Fprintf(os.Stderr, "rmaserve: listening on %s (shards=%d async=%d lockfree=%v dur=%q wal=%v fsync=%s)\n",
+		*addr, *shards, *async, *lockfree, *durDir, *useWAL, *fsync)
 
 	var serveErr error
 	select {

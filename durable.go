@@ -2,10 +2,13 @@ package rma
 
 import (
 	"fmt"
+	"path/filepath"
+	"time"
 
 	"rma/internal/core"
 	"rma/internal/shard"
 	"rma/internal/vmem"
+	"rma/internal/wal"
 )
 
 // Durability on the facade: WithDurability(dir) makes an Array or a
@@ -41,9 +44,99 @@ var (
 // into the directory tree rooted at dir (created if absent; any
 // previous checkpoint history under dir is discarded — use
 // OpenArray/OpenSharded to resume from one). Checkpoints are explicit:
-// call Checkpoint at the moments that must survive a crash.
+// call Checkpoint at the moments that must survive a crash — or compose
+// WithWAL to log every write and checkpoint automatically.
 func WithDurability(dir string) Option {
 	return func(o *options) { o.durDir = dir }
+}
+
+// WALConfig configures the write-ahead log (WithWAL). The zero value is
+// a working default: fsync on every commit wave, 4 MiB segments, and an
+// automatic checkpoint every minute or 64 MiB of log, whichever comes
+// first.
+type WALConfig struct {
+	// Fsync selects when commit waves reach stable storage: "always"
+	// (the default — every acknowledged write is on disk), "everysec"
+	// (group fsync about once a second; a crash loses at most the last
+	// second of acknowledged writes), or "never" (the OS decides; for
+	// benchmarks and bulk loads).
+	Fsync string
+	// SegmentBytes rotates log segments at this size (default 4 MiB).
+	// Smaller segments truncate at finer granularity.
+	SegmentBytes int
+	// CheckpointDirtyPages, CheckpointInterval and CheckpointWALBytes
+	// are the automatic checkpoint scheduler's thresholds: a background
+	// checkpoint round starts when any of them is crossed and new
+	// records have been logged since the last round. Zero picks the
+	// default (interval one minute, WAL bytes 64 MiB, dirty pages
+	// unlimited); a negative value disables that threshold. The
+	// scheduler needs WithBackgroundRebalancing — its rounds are driven
+	// by the maintenance pool.
+	CheckpointDirtyPages int
+	CheckpointInterval   time.Duration
+	CheckpointWALBytes   int64
+	// SchedulerPeriod is the cadence at which the maintenance pool
+	// probes the thresholds (default 250ms; tests tighten it to force
+	// scheduler activity quickly).
+	SchedulerPeriod time.Duration
+}
+
+// WithWAL composes a write-ahead log with WithDurability (requiring it;
+// NewSharded fails without): every Insert, Delete and ApplyBatch is
+// appended to a group-commit log before it returns, so acknowledged
+// writes survive a crash at any instant — OpenSharded (with the same
+// WithWAL option) replays the log's suffix over the last published
+// checkpoint. Checkpoints bound replay work and truncate the log; the
+// automatic scheduler keeps both going without explicit Checkpoint
+// calls. New ignores the option (the sequential Array has no logging
+// path). See DURABILITY.md for the record format, the ack contract and
+// the crash matrix.
+func WithWAL(c WALConfig) Option {
+	return func(o *options) { o.wal = &c }
+}
+
+// walDirFor places the log beside the checkpoint tree it composes with.
+func walDirFor(durDir string) string { return filepath.Join(durDir, "wal") }
+
+// walOptions translates the facade config into the log's options.
+func (c WALConfig) walOptions() (wal.Options, error) {
+	o := wal.Options{SegmentBytes: c.SegmentBytes}
+	switch c.Fsync {
+	case "", "always":
+		o.Sync = wal.SyncAlways
+	case "everysec":
+		o.Sync = wal.SyncEverySec
+	case "never":
+		o.Sync = wal.SyncNever
+	default:
+		return o, fmt.Errorf("rma: unknown fsync policy %q (want always, everysec or never)", c.Fsync)
+	}
+	return o, nil
+}
+
+// policy translates the scheduler thresholds, applying defaults.
+func (c WALConfig) policy() shard.WALPolicy {
+	p := shard.WALPolicy{
+		DirtyPages: c.CheckpointDirtyPages,
+		Interval:   c.CheckpointInterval,
+		WALBytes:   c.CheckpointWALBytes,
+	}
+	if p.Interval == 0 {
+		p.Interval = time.Minute
+	}
+	if p.WALBytes == 0 {
+		p.WALBytes = 64 << 20
+	}
+	if p.DirtyPages < 0 {
+		p.DirtyPages = 0
+	}
+	if p.Interval < 0 {
+		p.Interval = 0
+	}
+	if p.WALBytes < 0 {
+		p.WALBytes = 0
+	}
+	return p
 }
 
 // Checkpoint persists the array's current state as its new recovery
@@ -132,9 +225,24 @@ func OpenSharded(dir string, opts ...Option) (*Sharded, error) {
 	if o.durDir != "" && o.durDir != dir {
 		return nil, fmt.Errorf("rma: OpenSharded(%q) conflicts with WithDurability(%q)", dir, o.durDir)
 	}
-	m, err := shard.OpenMap(dir, o.cfg)
+	var m *shard.Map
+	var err error
+	if o.wal != nil {
+		var wo wal.Options
+		if wo, err = o.wal.walOptions(); err != nil {
+			return nil, err
+		}
+		m, err = shard.OpenMapWAL(dir, walDirFor(dir), o.cfg, wo, o.wal.policy())
+	} else {
+		m, err = shard.OpenMap(dir, o.cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return finishSharded(m, o), nil
 }
+
+// LastCheckpoint identifies the last published recovery point: how many
+// checkpoint rounds have published since this process built or opened
+// the map, and the WAL LSN the latest one covers (0 without WithWAL).
+func (s *Sharded) LastCheckpoint() (rounds, lsn uint64) { return s.m.LastCheckpoint() }

@@ -62,6 +62,11 @@ var allow = map[string]map[string]bool{
 		"Contains": true, "Reverse": true,
 	},
 	"sort": {"Search": true},
+	// The WAL group-commit staging path (internal/wal.Append) runs
+	// under a stripe mutex and finishes records with CRC-32C; none of
+	// these allocate (sync.Cond parks on a runtime ticket).
+	"sync":       {"Lock": true, "Unlock": true, "Wait": true, "Signal": true, "Broadcast": true},
+	"hash/crc32": {"Checksum": true, "Update": true},
 }
 
 // cold lists error constructors tolerated as failure-path-only.

@@ -91,6 +91,11 @@ type Array struct {
 	// purely in-memory array.
 	dur *vmem.FileRegion
 
+	// walLSN is the LSN of the last write-ahead-log record applied to
+	// this array (0 without a WAL). The shard layer maintains it under
+	// the shard lock; checkpoints persist it as the replay floor.
+	walLSN uint64
+
 	// view is the published lock-free read snapshot (see readpath.go):
 	// an immutable capture of every reader-reachable header, stored
 	// through an atomic pointer and republished at each geometry change.

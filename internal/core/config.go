@@ -246,4 +246,23 @@ type Stats struct {
 	ReadFallbacks  uint64
 	EpochAdvances  uint64
 	SnapshotBreaks uint64
+	// Write-ahead-log counters (zero unless the shard layer enables a
+	// WAL; maintained there, merged into the shard-level Stats).
+	// WALRecords/WALWaves/WALSyncs count staged records, commit waves,
+	// and fsyncs; the rotation/truncation pairs count segment lifecycle
+	// events; the *Failures counters count injected or real faults on
+	// each edge — after every one the store keeps serving with its last
+	// recovery point intact. AutoCheckpoints counts checkpoints the
+	// scheduler initiated on its own (dirty pages, WAL bytes, or elapsed
+	// time crossed a threshold).
+	WALRecords          uint64
+	WALWaves            uint64
+	WALSyncs            uint64
+	WALRotations        uint64
+	WALTruncations      uint64
+	WALAppendFailures   uint64
+	WALSyncFailures     uint64
+	WALRotateFailures   uint64
+	WALTruncateFailures uint64
+	AutoCheckpoints     uint64
 }

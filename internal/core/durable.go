@@ -152,8 +152,28 @@ func Open(r *vmem.FileRegion, cfg Config, epoch uint64) (*Array, error) {
 		a.warmAdaptiveScratch()
 	}
 	a.dur = r
+	a.walLSN = md.walLSN
 	a.publishView()
 	return a, nil
+}
+
+// SetWALLSN records the LSN of the last WAL record applied to this
+// array. The shard layer calls it under the shard lock at every logged
+// write, so the value a checkpoint captures is exactly the replay
+// floor: recovery re-applies only records above it.
+func (a *Array) SetWALLSN(lsn uint64) { a.walLSN = lsn }
+
+// WALLSN returns the last applied WAL record's LSN (0 before any).
+func (a *Array) WALLSN() uint64 { return a.walLSN }
+
+// DirtyPages returns the number of pages the next checkpoint would
+// write (0 without dirty tracking) — the checkpoint scheduler's
+// dirty-page signal.
+func (a *Array) DirtyPages() int {
+	if a.dur == nil {
+		return 0
+	}
+	return a.keys.DirtyCount() + a.vals.DirtyCount()
 }
 
 // InjectAllocFailure arms failure injection on both page spaces: the
@@ -169,7 +189,7 @@ func (a *Array) InjectAllocFailure(keysN, valsN int) {
 // The manifest meta blob carries the array state pages cannot:
 //
 //	magic "RMACORE1"          8 bytes
-//	version                   u32 (currently 1)
+//	version                   u32 (currently 2)
 //	pageSlots                 u32
 //	segSlots                  u32
 //	numSegs                   u32
@@ -178,6 +198,10 @@ func (a *Array) InjectAllocFailure(keysN, valsN int) {
 //	cards                     numSegs × u32
 //	bitmapWords               u32 (0 for clustered)
 //	bitmap                    bitmapWords × u64
+//	walLSN                    u64 (version >= 2; the shard's WAL floor)
+//
+// Version 1 blobs (pre-WAL checkpoints) decode with walLSN = 0: replay
+// re-applies the whole log, which is safe — the floor only prunes work.
 //
 // Integrity is the manifest's job (whole-manifest CRC-32C); this blob
 // adds structural validation only.
@@ -190,6 +214,7 @@ type coreMeta struct {
 	n         int
 	cards     []int32
 	bitmap    []uint64
+	walLSN    uint64
 }
 
 func cle32(b []byte, x uint32) []byte {
@@ -202,10 +227,10 @@ func cle64(b []byte, x uint64) []byte {
 }
 
 func (a *Array) encodeMeta() []byte {
-	n := len(coreMetaMagic) + 4*5 + 8 + len(a.cards)*4 + 4 + len(a.bitmap)*8
+	n := len(coreMetaMagic) + 4*5 + 8 + len(a.cards)*4 + 4 + len(a.bitmap)*8 + 8
 	b := make([]byte, 0, n)
 	b = append(b, coreMetaMagic...)
-	b = cle32(b, 1)
+	b = cle32(b, 2)
 	b = cle32(b, uint32(a.cfg.PageSlots))
 	b = cle32(b, uint32(a.segSlots))
 	b = cle32(b, uint32(a.numSegs))
@@ -218,6 +243,7 @@ func (a *Array) encodeMeta() []byte {
 	for _, w := range a.bitmap {
 		b = cle64(b, w)
 	}
+	b = cle64(b, a.walLSN)
 	return b
 }
 
@@ -228,8 +254,9 @@ func decodeCoreMeta(meta []byte) (*coreMeta, error) {
 	}
 	b := meta[len(coreMetaMagic):]
 	u32 := func() uint32 { x := binary.LittleEndian.Uint32(b); b = b[4:]; return x }
-	if v := u32(); v != 1 {
-		return nil, fmt.Errorf("core: unsupported checkpoint meta version %d", v)
+	version := u32()
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("core: unsupported checkpoint meta version %d", version)
 	}
 	md := &coreMeta{}
 	md.pageSlots = int(u32())
@@ -246,7 +273,11 @@ func decodeCoreMeta(meta []byte) (*coreMeta, error) {
 		md.cards[i] = int32(u32())
 	}
 	words := int(u32())
-	if words < 0 || len(b) != words*8 {
+	tail := 0
+	if version >= 2 {
+		tail = 8 // trailing walLSN
+	}
+	if words < 0 || len(b) != words*8+tail {
 		return nil, bad
 	}
 	if words > 0 {
@@ -255,6 +286,9 @@ func decodeCoreMeta(meta []byte) (*coreMeta, error) {
 			md.bitmap[i] = binary.LittleEndian.Uint64(b)
 			b = b[8:]
 		}
+	}
+	if version >= 2 {
+		md.walLSN = binary.LittleEndian.Uint64(b)
 	}
 	return md, nil
 }

@@ -2,10 +2,12 @@ package exp
 
 import (
 	"os"
+	"sync"
 	"time"
 
 	"rma/internal/core"
 	"rma/internal/vmem"
+	"rma/internal/wal"
 	"rma/internal/workload"
 )
 
@@ -160,6 +162,112 @@ func Durability(p Params) []HotpathResult {
 		}
 	})
 	record("dur-put-baseline", p.N, d, plain.Stats())
+
+	// --- write-ahead log: ack latency, group commit, replay ----------------
+	// wal-put is the full price of a synchronous ack: one record staged,
+	// one commit wave, one fsync awaited per op (capped — each op IS an
+	// fsync). wal-group-commit drives the same log from 8 writers so
+	// concurrent records coalesce into shared waves; the per-op time
+	// dropping well below wal-put is the group-commit economy. wal-recover
+	// is replay throughput: records written without syncing, then the log
+	// reopened and every record decoded and handed back.
+	walSeps := make([]int64, 8)
+	for i := range walSeps {
+		walSeps[i] = int64(i)
+	}
+	walOps := p.N
+	if walOps > 4096 {
+		walOps = 4096
+	}
+	wput, err := wal.Create(dir+"/wal-put", walSeps, 0, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		panic(err)
+	}
+	d = timeIt(func() {
+		var op [1]wal.Op
+		for i := 0; i < walOps; i++ {
+			op[0] = wal.Op{Kind: wal.OpPut, Key: int64(i), Val: int64(i)}
+			tk, err := wput.Append(0, op[:])
+			if err != nil {
+				panic(err)
+			}
+			if err := wput.Wait(tk); err != nil {
+				panic(err)
+			}
+		}
+	})
+	record("wal-put", walOps, d, core.Stats{})
+	wput.Close()
+
+	wgrp, err := wal.Create(dir+"/wal-group", walSeps, 0, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		panic(err)
+	}
+	const walWriters = 8
+	per := walOps / walWriters
+	d = timeIt(func() {
+		var wg sync.WaitGroup
+		for w := 0; w < walWriters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var op [1]wal.Op
+				for i := 0; i < per; i++ {
+					op[0] = wal.Op{Kind: wal.OpPut, Key: int64(i), Val: int64(w)}
+					tk, err := wgrp.Append(w, op[:])
+					if err != nil {
+						panic(err)
+					}
+					if err := wgrp.Wait(tk); err != nil {
+						panic(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	record("wal-group-commit", per*walWriters, d, core.Stats{})
+	wgrp.Close()
+
+	walN := p.N
+	if walN > 1<<16 {
+		walN = 1 << 16
+	}
+	wrec, err := wal.Create(dir+"/wal-recover", walSeps, 0, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		panic(err)
+	}
+	var last wal.Ticket
+	var op [1]wal.Op
+	for i := 0; i < walN; i++ {
+		op[0] = wal.Op{Kind: wal.OpPut, Key: int64(i), Val: int64(i)}
+		if last, err = wrec.Append(i%8, op[:]); err != nil {
+			panic(err)
+		}
+	}
+	if err := wrec.Wait(last); err != nil {
+		panic(err)
+	}
+	wrec.Close()
+	var replayed int
+	d = timeIt(func() {
+		reopened, err := wal.Open(dir+"/wal-recover", wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			panic(err)
+		}
+		err = reopened.Replay(func(shard int, lsn uint64, ops []wal.Op) error {
+			replayed += len(ops)
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		reopened.Close()
+	})
+	if replayed != walN {
+		panic("durability: wal replay count mismatch")
+	}
+	record("wal-recover", walN, d, core.Stats{})
 
 	return results
 }

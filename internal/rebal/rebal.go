@@ -24,7 +24,19 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Scheduler is the optional periodic surface of a Source: when the
+// Source also implements it, the pool runs a dedicated goroutine that
+// calls SchedulerTick at a fixed cadence for as long as the pool is
+// open. internal/shard.Map uses it for the automatic checkpoint
+// scheduler — threshold checks that must keep firing even while the
+// workers never park (sustained write load is exactly when WAL-bytes
+// and dirty-page thresholds matter most).
+type Scheduler interface {
+	SchedulerTick()
+}
 
 // Source is the maintenance surface the pool drives. internal/shard.Map
 // implements it; tests substitute fakes.
@@ -51,6 +63,10 @@ type Pool struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
+	// schedPeriod is the SchedulerTick cadence (SetSchedulerPeriod
+	// before Start; defaults to 250ms).
+	schedPeriod time.Duration
+
 	started   atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
@@ -66,15 +82,25 @@ func NewPool(src Source, workers int) *Pool {
 		workers = 1
 	}
 	return &Pool{
-		src:     src,
-		workers: workers,
-		wake:    make(chan struct{}, workers),
-		done:    make(chan struct{}),
+		src:         src,
+		workers:     workers,
+		wake:        make(chan struct{}, workers),
+		done:        make(chan struct{}),
+		schedPeriod: 250 * time.Millisecond,
 	}
 }
 
-// Start launches the worker goroutines. Starting twice panics (the
-// lifecycle is New → Start → Close).
+// SetSchedulerPeriod overrides the SchedulerTick cadence. Call before
+// Start (tests tighten it to force scheduler activity quickly).
+func (p *Pool) SetSchedulerPeriod(d time.Duration) {
+	if d > 0 {
+		p.schedPeriod = d
+	}
+}
+
+// Start launches the worker goroutines — plus, when the Source is also
+// a Scheduler, the periodic ticker goroutine that drives it. Starting
+// twice panics (the lifecycle is New → Start → Close).
 func (p *Pool) Start() {
 	if !p.started.CompareAndSwap(false, true) {
 		panic("rebal: Pool started twice")
@@ -82,6 +108,25 @@ func (p *Pool) Start() {
 	for i := 0; i < p.workers; i++ {
 		p.wg.Add(1)
 		go p.run()
+	}
+	if sched, ok := p.src.(Scheduler); ok {
+		p.wg.Add(1)
+		go p.tick(sched)
+	}
+}
+
+// tick drives the Source's periodic scheduler until Close.
+func (p *Pool) tick(sched Scheduler) {
+	defer p.wg.Done()
+	t := time.NewTicker(p.schedPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+			sched.SchedulerTick()
+		}
 	}
 }
 

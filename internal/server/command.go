@@ -324,6 +324,40 @@ func (s *Server) dispatch(p *pipeline, w *resp.Writer, cmd [][]byte) bool {
 		s.flushPending(p, w)
 		s.statsCmd(w)
 
+	case "CHECKPOINT":
+		if len(args) != 0 {
+			return s.wrongArity(p, w, "CHECKPOINT")
+		}
+		s.flushPending(p, w)
+		if !s.db.Durable() {
+			s.errorReplies.Add(1)
+			w.Error("ERR store is not durable")
+			return false
+		}
+		// Prefer the background round (the maintenance pool drives it and
+		// no client blocks); without a pool, or when a round is already in
+		// flight, run synchronously — CheckpointAll helps an in-flight
+		// round finish and then publishes its own.
+		if s.db.RequestCheckpoint() {
+			w.SimpleString("Background checkpoint started")
+		} else if err := s.db.Checkpoint(); err != nil {
+			s.errorReplies.Add(1)
+			w.Error("ERR " + err.Error())
+			return false
+		} else {
+			w.SimpleString("OK")
+		}
+
+	case "LASTSAVE":
+		if len(args) != 0 {
+			return s.wrongArity(p, w, "LASTSAVE")
+		}
+		s.flushPending(p, w)
+		st := s.db.ServeStats()
+		w.ArrayHeader(2)
+		w.Int(int64(st.CheckpointRounds))
+		w.Int(int64(st.CheckpointLSN))
+
 	case "FLUSH":
 		s.flushPending(p, w)
 		if err := s.db.Flush(); err != nil {
@@ -435,6 +469,12 @@ func (s *Server) statsCmd(w *resp.Writer) {
 	line("read_fallbacks", st.ReadFallbacks)
 	line("epoch_advances", st.EpochAdvances)
 	line("snapshot_breaks", st.SnapshotBreaks)
+	line("checkpoint_rounds", st.CheckpointRounds)
+	line("checkpoint_lsn", st.CheckpointLSN)
+	line("wal_records", st.WALRecords)
+	line("wal_syncs", st.WALSyncs)
+	line("wal_truncations", st.WALTruncations)
+	line("auto_checkpoints", st.AutoCheckpoints)
 	line("server_connections", sv.Connections)
 	line("server_active_conns", sv.ActiveConns)
 	line("server_commands", sv.Commands)

@@ -585,3 +585,70 @@ func TestServeDifferentialTorture(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// TestServeCheckpointLastsave drives the operator recovery-point
+// surface: CHECKPOINT on a non-durable store errors; on a durable
+// store without a maintenance pool it publishes synchronously (+OK);
+// with a pool it starts a background round. LASTSAVE reports the
+// published round count and WAL LSN floor.
+func TestServeCheckpointLastsave(t *testing.T) {
+	// Non-durable: exact error, LASTSAVE all-zero.
+	_, dial := newTestServer(t, Config{})
+	c := dial()
+	steps := []struct{ in, want string }{
+		{cmdLine("CHECKPOINT"), "-ERR store is not durable\r\n"},
+		{cmdLine("LASTSAVE"), "*2\r\n:0\r\n:0\r\n"},
+		{cmdLine("CHECKPOINT", "now"), "-ERR wrong number of arguments for 'CHECKPOINT'\r\n"},
+	}
+	for i, st := range steps {
+		if got := roundTrip(t, c, st.in, len(st.want)); got != st.want {
+			t.Fatalf("step %d: sent %q\n got %q\nwant %q", i, st.in, got, st.want)
+		}
+	}
+	c.Close()
+
+	// Durable + WAL, no pool: CHECKPOINT publishes synchronously and
+	// LASTSAVE advances past it.
+	_, dial = newTestServer(t, Config{},
+		rma.WithDurability(t.TempDir()), rma.WithWAL(rma.WALConfig{
+			CheckpointInterval: -1, CheckpointWALBytes: -1,
+		}))
+	c = dial()
+	in := cmdLine("MSET", "1", "10", "2", "20") + cmdLine("CHECKPOINT")
+	want := "+OK\r\n+OK\r\n"
+	if got := roundTrip(t, c, in, len(want)); got != want {
+		t.Fatalf("sync checkpoint: got %q want %q", got, want)
+	}
+	if _, err := io.WriteString(c, cmdLine("LASTSAVE")); err != nil {
+		t.Fatal(err)
+	}
+	r := resp.NewReader(c)
+	rep, err := r.ReadReply()
+	if err != nil || rep.Kind != resp.Array || rep.N != 2 {
+		t.Fatalf("LASTSAVE reply: %v %+v", err, rep)
+	}
+	roundsRep, err1 := r.ReadReply()
+	lsnRep, err2 := r.ReadReply()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if roundsRep.Int != 1 {
+		t.Fatalf("LASTSAVE rounds = %d, want 1", roundsRep.Int)
+	}
+	if lsnRep.Int <= 0 {
+		t.Fatalf("LASTSAVE lsn = %d, want > 0 after logged writes", lsnRep.Int)
+	}
+	c.Close()
+
+	// Durable + pool: CHECKPOINT goes async.
+	_, dial = newTestServer(t, Config{},
+		rma.WithDurability(t.TempDir()), rma.WithBackgroundRebalancing(1),
+		rma.WithWAL(rma.WALConfig{CheckpointInterval: -1, CheckpointWALBytes: -1}))
+	c = dial()
+	defer c.Close()
+	in = cmdLine("SET", "5", "50") + cmdLine("CHECKPOINT")
+	want = "+OK\r\n+Background checkpoint started\r\n"
+	if got := roundTrip(t, c, in, len(want)); got != want {
+		t.Fatalf("async checkpoint: got %q want %q", got, want)
+	}
+}

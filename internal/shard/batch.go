@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"rma/internal/core"
+	"rma/internal/wal"
 )
 
 // Batched writes: the serving layer's ingestion path. A batch is
@@ -41,6 +42,11 @@ type batchScratch struct {
 	homes        []int32
 	grouped      []Op
 	bulkK, bulkV []int64
+	// WAL staging scratch: the encoded form of one shard group and the
+	// commit-wave tickets collected across groups (waited on after the
+	// last shard lock is released).
+	walOps  []wal.Op
+	tickets []wal.Ticket
 }
 
 var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -67,6 +73,12 @@ func (b *batchScratch) size(nOps, k int) {
 // different shards commute, so the result equals some serial execution
 // of the batch. The batch is atomic per shard, not across shards:
 // concurrent readers can observe a prefix of the batch.
+//
+// With a WAL, each shard group is logged as one record under its
+// shard's lock once the whole group applied, and the call acknowledges
+// only after every group's commit wave is durable — the waits overlap
+// across groups, so a K-shard batch pays at most one group-commit
+// round trip, not K.
 func (m *Map) ApplyBatch(ops []Op) (deleted int, err error) {
 	if len(ops) == 0 {
 		return 0, nil
@@ -92,6 +104,7 @@ func (m *Map) ApplyBatch(ops []Op) (deleted int, err error) {
 		b.next[h]++
 	}
 
+	b.tickets = b.tickets[:0]
 	for j := 0; j < k; j++ {
 		group := b.grouped[b.counts[j]:b.counts[j+1]]
 		if len(group) == 0 {
@@ -106,16 +119,28 @@ func (m *Map) ApplyBatch(ops []Op) (deleted int, err error) {
 		s.beginWrite()
 		d, e := applyGroup(s.a, group, &b.bulkK, &b.bulkV)
 		s.endWrite()
+		if e == nil && m.wal != nil {
+			var t wal.Ticket
+			if t, e = m.logGroup(s, j, group, &b.walOps); t.Ok() {
+				b.tickets = append(b.tickets, t)
+			}
+		}
 		s.advanceEpoch()
 		pending := s.a.PendingCount()
 		s.mu.Unlock()
 		m.maintenanceHint(pending)
 		deleted += d
 		if e != nil {
-			return deleted, e
+			err = e
+			break
 		}
 	}
-	return deleted, nil
+	for _, t := range b.tickets {
+		if werr := m.wal.Wait(t); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return deleted, err
 }
 
 // applyGroup applies one shard's ops in order, batching maximal put

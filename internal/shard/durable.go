@@ -79,6 +79,18 @@ type durState struct {
 	// round's checkpointers; the active-flag handoff orders the accesses.
 	keep []uint64
 
+	// WAL coordination (zero-valued without EnableWAL): walFloors[i] is
+	// the log LSN shard i's latest checkpoint covers (see
+	// walFloorLocked), written by the shard's round claimant under the
+	// shard lock and read by the round finisher; publishedLSN is the
+	// minimum floor the last published manifest covers — the map's
+	// recovery LSN; lastPublish (unix nanos) and schedRecords gate the
+	// automatic checkpoint scheduler.
+	walFloors    []atomic.Uint64
+	publishedLSN atomic.Uint64
+	lastPublish  atomic.Int64
+	schedRecords atomic.Uint64
+
 	// mapSeq counts published map manifests; lastErr holds the most
 	// recent round failure for CheckpointAll to surface.
 	mapSeq      atomic.Uint64
@@ -88,11 +100,12 @@ type durState struct {
 
 func newDurState(dir string, k int) *durState {
 	return &durState{
-		dir:     dir,
-		regions: make([]*vmem.FileRegion, k),
-		pending: make([]atomic.Bool, k),
-		epochs:  make([]atomic.Uint64, k),
-		keep:    make([]uint64, k),
+		dir:       dir,
+		regions:   make([]*vmem.FileRegion, k),
+		pending:   make([]atomic.Bool, k),
+		epochs:    make([]atomic.Uint64, k),
+		keep:      make([]uint64, k),
+		walFloors: make([]atomic.Uint64, k),
 	}
 }
 
@@ -274,6 +287,9 @@ func (m *Map) checkpointShard(i int) {
 		// tracking — nothing reader-visible, so no version bump.
 		epoch, err = s.a.Checkpoint(d.keep[i])
 	}
+	if err == nil {
+		d.walFloors[i].Store(m.walFloorLocked())
+	}
 	s.mu.Unlock()
 	m.finishShardCheckpoint(i, epoch, err)
 }
@@ -296,6 +312,7 @@ func (m *Map) finishShardCheckpoint(i int, epoch uint64, err error) {
 				d.storeErr(perr)
 			} else {
 				d.mapSeq.Add(1)
+				m.afterPublish()
 			}
 		}
 		d.active.Store(false)

@@ -51,6 +51,7 @@ import (
 
 	"rma/internal/core"
 	"rma/internal/vmem"
+	"rma/internal/wal"
 )
 
 const (
@@ -74,7 +75,11 @@ type cell struct {
 	a    *core.Array
 	ver  atomic.Uint64
 	gate *vmem.EpochGate
-	_    [64 - 32]byte
+	// wop is the shard's one-op WAL staging scratch (guarded by mu, like
+	// the array): point writes encode into it so the logged put path
+	// allocates nothing.
+	wop [1]wal.Op
+	_   [64 - 32]byte
 }
 
 // beginWrite/endWrite bracket a reader-visible mutation: ver goes odd,
@@ -113,6 +118,15 @@ type Map struct {
 	// map is shared; the pointer is immutable afterwards (like seps) and
 	// the block's own state is all atomics.
 	dur *durState
+
+	// wal, when non-nil, logs every acknowledged write before its caller
+	// returns (see wal.go). Set once by EnableWAL/OpenMapWAL before the
+	// map is shared; immutable afterwards (like seps). walPolicy is the
+	// automatic checkpoint scheduler's thresholds; autoCheckpoints
+	// counts the rounds the scheduler started.
+	wal             *wal.Log
+	walPolicy       WALPolicy
+	autoCheckpoints atomic.Uint64
 
 	// lockFree enables the seqlock read path. Set once by
 	// EnableLockFreeReads before the map is shared (like seps), hence
@@ -288,6 +302,9 @@ func (m *Map) MaintainShard(i int) (bool, error) {
 	if err == nil && !did && d != nil && d.pending[i].CompareAndSwap(true, false) {
 		var epoch uint64
 		epoch, err = s.a.Checkpoint(d.keep[i])
+		if err == nil {
+			d.walFloors[i].Store(m.walFloorLocked())
+		}
 		s.mu.Unlock()
 		m.finishShardCheckpoint(i, epoch, err)
 		return true, err
@@ -341,29 +358,50 @@ func (m *Map) maintenanceHint(pending int) {
 
 // --- point operations -------------------------------------------------------
 
-// Insert adds a key/value pair to the owning shard.
+// Insert adds a key/value pair to the owning shard. With a WAL, the
+// write is logged under the shard lock and acknowledged only once its
+// commit wave is durable (the wait happens after the lock is released,
+// so the fsync latency never serializes the shard).
 func (m *Map) Insert(key, val int64) error {
-	s := &m.shards[m.shardOf(key)]
+	j := m.shardOf(key)
+	s := &m.shards[j]
 	s.mu.Lock()
 	s.beginWrite()
 	err := s.a.Insert(key, val)
 	s.endWrite()
 	s.advanceEpoch()
+	var t wal.Ticket
+	if err == nil && m.wal != nil {
+		t, err = m.logOne(s, j, wal.Op{Kind: wal.OpPut, Key: key, Val: val})
+	}
 	pending := s.a.PendingCount()
 	s.mu.Unlock()
 	m.maintenanceHint(pending)
+	if err == nil && t.Ok() {
+		err = m.wal.Wait(t)
+	}
 	return err
 }
 
 // Delete removes one occurrence of key, reporting whether it existed.
+// Only deletions that found their key are logged — a no-op needs no
+// replay — with the same log-then-wait protocol as Insert.
 func (m *Map) Delete(key int64) (bool, error) {
-	s := &m.shards[m.shardOf(key)]
+	j := m.shardOf(key)
+	s := &m.shards[j]
 	s.mu.Lock()
 	s.beginWrite()
 	ok, err := s.a.Delete(key)
 	s.endWrite()
 	s.advanceEpoch()
+	var t wal.Ticket
+	if err == nil && ok && m.wal != nil {
+		t, err = m.logOne(s, j, wal.Op{Kind: wal.OpDelete, Key: key})
+	}
 	s.mu.Unlock()
+	if err == nil && t.Ok() {
+		err = m.wal.Wait(t)
+	}
 	return ok, err
 }
 
@@ -639,6 +677,19 @@ func (m *Map) Stats() core.Stats {
 	t.ReadRetries = m.readRetries.Load()
 	t.ReadFallbacks = m.readFallbacks.Load()
 	t.SnapshotBreaks = m.snapshotBreaks.Load()
+	if m.wal != nil {
+		ws := m.wal.Stats()
+		t.WALRecords = ws.Records
+		t.WALWaves = ws.Waves
+		t.WALSyncs = ws.Syncs
+		t.WALRotations = ws.Rotations
+		t.WALTruncations = ws.Truncations
+		t.WALAppendFailures = ws.AppendFailures
+		t.WALSyncFailures = ws.SyncFailures
+		t.WALRotateFailures = ws.RotateFailures
+		t.WALTruncateFailures = ws.TruncateFailures
+	}
+	t.AutoCheckpoints = m.autoCheckpoints.Load()
 	return t
 }
 

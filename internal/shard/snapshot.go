@@ -1,6 +1,10 @@
 package shard
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+	"time"
+)
 
 // Cross-shard snapshot reads (lock-free mode).
 //
@@ -20,11 +24,16 @@ import "sync"
 // copy, no quiescing of writers.
 //
 // Traversals that stream results to a callback cannot restart once the
-// cut breaks (the caller already consumed earlier shards), so they
-// degrade to the documented per-shard-atomic semantics and count a
-// SnapshotBreak; SnapshotScanRange surfaces the verdict to the caller.
-// Rank consumes nothing externally, so it simply retries under a fresh
-// vector and only degrades after a bounded number of broken cuts.
+// cut breaks AND elements have been consumed (the caller already saw
+// earlier shards); but a break detected before the first yield is
+// invisible to the caller, so the traversal restarts from the first
+// shard under a fresh vector, backing off exponentially between
+// attempts to let the write burst drain. Only a final degradation — a
+// break after elements streamed, or retries exhausted — counts a
+// SnapshotBreak; SnapshotScanRange surfaces that verdict to the
+// caller. Rank consumes nothing externally, so it always retries (with
+// the same backoff) and only degrades after a bounded number of broken
+// cuts.
 
 // snapVec is a pooled version vector, recycled across traversals so
 // steady-state snapshot reads allocate nothing.
@@ -80,29 +89,47 @@ func (m *Map) SnapshotScanRange(lo, hi int64, visit func(key, val int64) bool) b
 	defer vecPool.Put(sv)
 	vec := sv.v
 	consistent := true
-	for j := jLo; j <= jHi; j++ {
-		s := &m.shards[j]
-		s.mu.Lock()
-		flushDeferred(s)
-		if consistent && !m.versionsMatch(vec[:j-jLo], jLo) {
-			consistent = false
-			m.snapshotBreaks.Add(1)
-		}
-		vec[j-jLo] = s.ver.Load()
-		stopped := false
-		s.a.ScanRange(lo, hi, func(k, v int64) bool {
-			if !visit(k, v) {
-				stopped = true
-				return false
+	yielded := false
+	attempt := 0
+	for {
+		restart := false
+		for j := jLo; j <= jHi; j++ {
+			s := &m.shards[j]
+			s.mu.Lock()
+			flushDeferred(s)
+			if consistent && !m.versionsMatch(vec[:j-jLo], jLo) {
+				if !yielded && attempt+1 < snapshotAttempts {
+					// Nothing streamed yet: the break is invisible to the
+					// caller — restart under a fresh vector instead of
+					// settling for a torn verdict.
+					s.mu.Unlock()
+					attempt++
+					snapshotBackoff(attempt)
+					restart = true
+					break
+				}
+				consistent = false
+				m.snapshotBreaks.Add(1)
 			}
-			return true
-		})
-		s.mu.Unlock()
-		if stopped {
-			break
+			vec[j-jLo] = s.ver.Load()
+			stopped := false
+			s.a.ScanRange(lo, hi, func(k, v int64) bool {
+				yielded = true
+				if !visit(k, v) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			s.mu.Unlock()
+			if stopped {
+				break
+			}
+		}
+		if !restart {
+			return consistent
 		}
 	}
-	return consistent
 }
 
 // snapshotAscend is IterAscend's lock-free-mode body: the merged
@@ -115,24 +142,40 @@ func (m *Map) snapshotAscend(lo, hi int64, yield func(int64, int64) bool) {
 	defer vecPool.Put(sv)
 	vec := sv.v
 	consistent := true
-	for j := jLo; j <= jHi; j++ {
-		s := &m.shards[j]
-		s.mu.Lock()
-		flushDeferred(s)
-		if consistent && !m.versionsMatch(vec[:j-jLo], jLo) {
-			consistent = false
-			m.snapshotBreaks.Add(1)
-		}
-		vec[j-jLo] = s.ver.Load()
-		stopped := false
-		for k, v := range s.a.IterAscend(lo, hi) {
-			if !yield(k, v) {
-				stopped = true
-				break
+	yielded := false
+	attempt := 0
+	for {
+		restart := false
+		for j := jLo; j <= jHi; j++ {
+			s := &m.shards[j]
+			s.mu.Lock()
+			flushDeferred(s)
+			if consistent && !m.versionsMatch(vec[:j-jLo], jLo) {
+				if !yielded && attempt+1 < snapshotAttempts {
+					s.mu.Unlock()
+					attempt++
+					snapshotBackoff(attempt)
+					restart = true
+					break
+				}
+				consistent = false
+				m.snapshotBreaks.Add(1)
+			}
+			vec[j-jLo] = s.ver.Load()
+			stopped := false
+			for k, v := range s.a.IterAscend(lo, hi) {
+				yielded = true
+				if !yield(k, v) {
+					stopped = true
+					break
+				}
+			}
+			s.mu.Unlock()
+			if stopped {
+				return
 			}
 		}
-		s.mu.Unlock()
-		if stopped {
+		if !restart {
 			return
 		}
 	}
@@ -146,32 +189,62 @@ func (m *Map) snapshotDescend(lo, hi int64, yield func(int64, int64) bool) {
 	defer vecPool.Put(sv)
 	vec := sv.v
 	consistent := true
-	for j := jHi; j >= jLo; j-- {
-		s := &m.shards[j]
-		s.mu.Lock()
-		flushDeferred(s)
-		if consistent && !m.versionsMatch(vec[j-jLo+1:], j+1) {
-			consistent = false
-			m.snapshotBreaks.Add(1)
-		}
-		vec[j-jLo] = s.ver.Load()
-		stopped := false
-		for k, v := range s.a.IterDescend(lo, hi) {
-			if !yield(k, v) {
-				stopped = true
-				break
+	yielded := false
+	attempt := 0
+	for {
+		restart := false
+		for j := jHi; j >= jLo; j-- {
+			s := &m.shards[j]
+			s.mu.Lock()
+			flushDeferred(s)
+			if consistent && !m.versionsMatch(vec[j-jLo+1:], j+1) {
+				if !yielded && attempt+1 < snapshotAttempts {
+					s.mu.Unlock()
+					attempt++
+					snapshotBackoff(attempt)
+					restart = true
+					break
+				}
+				consistent = false
+				m.snapshotBreaks.Add(1)
+			}
+			vec[j-jLo] = s.ver.Load()
+			stopped := false
+			for k, v := range s.a.IterDescend(lo, hi) {
+				yielded = true
+				if !yield(k, v) {
+					stopped = true
+					break
+				}
+			}
+			s.mu.Unlock()
+			if stopped {
+				return
 			}
 		}
-		s.mu.Unlock()
-		if stopped {
+		if !restart {
 			return
 		}
 	}
 }
 
-// snapshotRankAttempts bounds how many broken cuts a Rank tolerates
-// before settling for the per-shard-atomic answer.
-const snapshotRankAttempts = 4
+// snapshotAttempts bounds how many broken cuts a snapshot traversal
+// tolerates — restarting between them — before settling for the
+// per-shard-atomic answer.
+const snapshotAttempts = 4
+
+// snapshotBackoff parts a retrying snapshot traversal from the write
+// burst that broke its cut: the first retry just yields the processor,
+// later ones sleep exponentially (2us, 4us, ...) — long enough for a
+// rebalance or batch to drain, short enough to stay invisible next to
+// the traversal itself.
+func snapshotBackoff(attempt int) {
+	if attempt <= 1 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(time.Duration(1<<uint(attempt)) * time.Microsecond)
+}
 
 // snapshotRank is Rank's lock-free-mode body: the left-of-x size sum
 // retried under a fresh version vector until one consistent cut covers
@@ -182,7 +255,10 @@ func (m *Map) snapshotRank(x int64) int {
 	sv := getVec(j + 1)
 	defer vecPool.Put(sv)
 	vec := sv.v
-	for attempt := 0; attempt < snapshotRankAttempts; attempt++ {
+	for attempt := 0; attempt < snapshotAttempts; attempt++ {
+		if attempt > 0 {
+			snapshotBackoff(attempt)
+		}
 		r := 0
 		consistent := true
 		for i := 0; i <= j; i++ {

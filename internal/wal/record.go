@@ -1,0 +1,245 @@
+package wal
+
+import "hash/crc32"
+
+// On-disk layout (all integers little-endian).
+//
+// Segment files are named wal-%016x.seg by a monotone segment sequence
+// number and start with a 16-byte header:
+//
+//	offset 0  magic "RMAWAL01"
+//	offset 8  u64 segment sequence (must match the filename)
+//
+// Records follow back to back. A record is:
+//
+//	offset 0   u32 crc    CRC-32C (Castagnoli) of bytes [4, 20+len)
+//	offset 4   u32 len    payload length in bytes
+//	offset 8   u64 lsn    log sequence number (monotone across the log)
+//	offset 16  u32 shard  owning shard, or genesisShard for the genesis
+//	offset 20  payload
+//
+// A normal payload is a run of operations: kind byte (0 = put,
+// 1 = delete), key as 8 bytes, and — for puts only — value as 8 bytes.
+// The genesis record (shard = genesisShard, written once at Create as
+// the first record of segment 1) instead carries the map's shard
+// separators: u32 count, then count separators of 8 bytes each. It
+// exists so a log can rebuild an equivalent empty map even before the
+// first checkpoint has published.
+//
+// The CRC covers length, LSN, shard and payload, so a torn tail — a
+// record cut short by a crash mid-write — fails validation and replay
+// stops cleanly at the last intact record.
+const (
+	recordHeaderBytes = 20
+	segHeaderBytes    = 16
+
+	// maxRecordPayload bounds the length field during validation so a
+	// corrupt length cannot make the scanner index far past the buffer.
+	maxRecordPayload = 1 << 27
+
+	opPutBytes    = 17
+	opDeleteBytes = 9
+)
+
+// genesisShard marks the genesis record; it is never a real shard index.
+const genesisShard = ^uint32(0)
+
+var segMagic = [8]byte{'R', 'M', 'A', 'W', 'A', 'L', '0', '1'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// OpKind selects a logged operation. The values are the on-disk
+// encoding and mirror the shard layer's batch op kinds.
+type OpKind uint8
+
+const (
+	// OpPut logs an insert of (Key, Val).
+	OpPut OpKind = 0
+	// OpDelete logs the removal of one occurrence of Key; Val is unused.
+	OpDelete OpKind = 1
+)
+
+// Op is one logged operation.
+type Op struct {
+	Kind     OpKind
+	Key, Val int64
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putLE64(b []byte, v uint64) {
+	putLE32(b, uint32(v))
+	putLE32(b[4:], uint32(v>>32))
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64(b []byte) uint64 {
+	return uint64(le32(b)) | uint64(le32(b[4:]))<<32
+}
+
+// opsBytes returns the encoded payload size of ops, or -1 if any op has
+// an unknown kind.
+func opsBytes(ops []Op) int {
+	n := 0
+	for i := range ops {
+		switch ops[i].Kind {
+		case OpPut:
+			n += opPutBytes
+		case OpDelete:
+			n += opDeleteBytes
+		default:
+			return -1
+		}
+	}
+	return n
+}
+
+// appendOpsRecord encodes one record holding ops into dst, which the
+// caller has already sized: cap(dst)-len(dst) must be at least
+// recordHeaderBytes+opsBytes(ops). It never grows dst, so the group
+// commit fast path stays allocation-free.
+func appendOpsRecord(dst []byte, lsn uint64, shard uint32, ops []Op) []byte {
+	base := len(dst)
+	need := recordHeaderBytes + opsBytes(ops)
+	dst = dst[:base+need]
+	b := dst[base:]
+	off := recordHeaderBytes
+	for i := range ops {
+		b[off] = byte(ops[i].Kind)
+		off++
+		putLE64(b[off:], uint64(ops[i].Key))
+		off += 8
+		if ops[i].Kind == OpPut {
+			putLE64(b[off:], uint64(ops[i].Val))
+			off += 8
+		}
+	}
+	putLE32(b[4:], uint32(off-recordHeaderBytes))
+	putLE64(b[8:], lsn)
+	putLE32(b[16:], shard)
+	putLE32(b, crc32.Checksum(b[4:off], castagnoli))
+	return dst
+}
+
+// appendRawRecord encodes one record with an opaque payload (the
+// genesis record). Cold path: may grow dst.
+func appendRawRecord(dst []byte, lsn uint64, shard uint32, payload []byte) []byte {
+	base := len(dst)
+	b := make([]byte, recordHeaderBytes+len(payload))
+	copy(b[recordHeaderBytes:], payload)
+	putLE32(b[4:], uint32(len(payload)))
+	putLE64(b[8:], lsn)
+	putLE32(b[16:], shard)
+	putLE32(b, crc32.Checksum(b[4:], castagnoli))
+	return append(dst[:base], b...)
+}
+
+// parseRecord validates the record starting at data[off]. ok is false
+// when the bytes there are not an intact record (torn tail, corrupt
+// CRC, malformed payload) — the scanner treats that as end of log.
+func parseRecord(data []byte, off int) (lsn uint64, shard uint32, payload []byte, end int, ok bool) {
+	if off+recordHeaderBytes > len(data) {
+		return 0, 0, nil, 0, false
+	}
+	ln := le32(data[off+4:])
+	if ln > maxRecordPayload {
+		return 0, 0, nil, 0, false
+	}
+	end = off + recordHeaderBytes + int(ln)
+	if end > len(data) {
+		return 0, 0, nil, 0, false
+	}
+	if le32(data[off:]) != crc32.Checksum(data[off+4:end], castagnoli) {
+		return 0, 0, nil, 0, false
+	}
+	lsn = le64(data[off+8:])
+	shard = le32(data[off+16:])
+	payload = data[off+recordHeaderBytes : end]
+	if shard == genesisShard {
+		if _, ok := decodeGenesis(payload); !ok {
+			return 0, 0, nil, 0, false
+		}
+	} else if !validOps(payload) {
+		return 0, 0, nil, 0, false
+	}
+	return lsn, shard, payload, end, true
+}
+
+// validOps checks that payload is a well-formed op run.
+func validOps(payload []byte) bool {
+	for off := 0; off < len(payload); {
+		switch OpKind(payload[off]) {
+		case OpPut:
+			off += opPutBytes
+		case OpDelete:
+			off += opDeleteBytes
+		default:
+			return false
+		}
+		if off > len(payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeOps appends payload's operations to dst (validated by
+// validOps first; a malformed run returns ok=false).
+func decodeOps(payload []byte, dst []Op) ([]Op, bool) {
+	for off := 0; off < len(payload); {
+		kind := OpKind(payload[off])
+		switch kind {
+		case OpPut:
+			if off+opPutBytes > len(payload) {
+				return dst, false
+			}
+			dst = append(dst, Op{
+				Kind: OpPut,
+				Key:  int64(le64(payload[off+1:])),
+				Val:  int64(le64(payload[off+9:])),
+			})
+			off += opPutBytes
+		case OpDelete:
+			if off+opDeleteBytes > len(payload) {
+				return dst, false
+			}
+			dst = append(dst, Op{Kind: OpDelete, Key: int64(le64(payload[off+1:]))})
+			off += opDeleteBytes
+		default:
+			return dst, false
+		}
+	}
+	return dst, true
+}
+
+func encodeGenesis(seps []int64) []byte {
+	b := make([]byte, 4+8*len(seps))
+	putLE32(b, uint32(len(seps)))
+	for i, s := range seps {
+		putLE64(b[4+8*i:], uint64(s))
+	}
+	return b
+}
+
+func decodeGenesis(payload []byte) ([]int64, bool) {
+	if len(payload) < 4 {
+		return nil, false
+	}
+	n := int(le32(payload))
+	if n > 1<<20 || len(payload) != 4+8*n {
+		return nil, false
+	}
+	seps := make([]int64, n)
+	for i := range seps {
+		seps[i] = int64(le64(payload[4+8*i:]))
+	}
+	return seps, true
+}

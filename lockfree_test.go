@@ -239,3 +239,49 @@ func TestSnapshotScanConsistentUnderWriters(t *testing.T) {
 	}
 	t.Logf("scans: %d consistent, %d broken; SnapshotBreaks=%d", consistent, broken, s.Stats().SnapshotBreaks)
 }
+
+// TestSnapshotBreaksCountFinalDegradationsOnly: under a sustained
+// writer, snapshot scans restart with backoff before settling for a
+// torn verdict — so the SnapshotBreaks counter must equal exactly the
+// number of scans that actually REPORTED a broken cut, never the
+// (larger) number of broken attempts the retry loop absorbed.
+func TestSnapshotBreaksCountFinalDegradationsOnly(t *testing.T) {
+	const n = 2048
+	s := newLockFreeFixture(t, n, WithBackgroundRebalancing(1))
+	defer s.Close()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := workload.NewRNG(31)
+		for !stop.Load() {
+			k := int64(rng.Uint64n(2 * n))
+			if rng.Uint64n(2) == 0 {
+				if err := s.Insert(k, diffVal(k)); err != nil {
+					t.Error(err)
+					return
+				}
+			} else if _, err := s.Delete(k); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	torn := uint64(0)
+	for i := 0; i < 3_000; i++ {
+		if !s.SnapshotScan(0, 2*n, func(k, v int64) bool { return true }) {
+			torn++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if st := s.Stats(); st.SnapshotBreaks != torn {
+		t.Fatalf("SnapshotBreaks = %d but %d scans reported torn cuts — the counter must track final degradations only",
+			st.SnapshotBreaks, torn)
+	}
+	t.Logf("3000 scans under a sustained writer: %d torn verdicts, SnapshotBreaks matches", torn)
+}

@@ -103,6 +103,9 @@ type options struct {
 	// lockFree enables the sharded layer's seqlock read path
 	// (WithLockFreeReads). Ignored by New.
 	lockFree bool
+	// wal, when non-nil, composes a write-ahead log with the durability
+	// tree (WithWAL). Ignored by New.
+	wal *WALConfig
 }
 
 func defaultOptions() options {
@@ -380,6 +383,18 @@ type Stats struct {
 	// per-shard semantics.
 	LockFreeReads, ReadRetries, ReadFallbacks uint64
 	EpochAdvances, SnapshotBreaks             uint64
+	// Write-ahead-log counters; all stay 0 without WithWAL. Records,
+	// waves and syncs count staged records, group-commit waves and
+	// fsyncs; rotations/truncations count segment lifecycle; the
+	// *Failures counters count faults on each WAL edge (injected or
+	// real) — after every one the store keeps serving with its last
+	// recovery point intact. AutoCheckpoints counts the checkpoint
+	// rounds the automatic scheduler started.
+	WALRecords, WALWaves, WALSyncs         uint64
+	WALRotations, WALTruncations           uint64
+	WALAppendFailures, WALSyncFailures     uint64
+	WALRotateFailures, WALTruncateFailures uint64
+	AutoCheckpoints                        uint64
 }
 
 // Stats returns the operation counters accumulated so far.

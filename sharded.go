@@ -82,6 +82,18 @@ func newSharded(seps []int64, opts []Option) (*Sharded, error) {
 			return nil, err
 		}
 	}
+	if o.wal != nil {
+		if o.durDir == "" {
+			return nil, fmt.Errorf("rma: WithWAL requires WithDurability")
+		}
+		wo, err := o.wal.walOptions()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.EnableWAL(walDirFor(o.durDir), wo, o.wal.policy()); err != nil {
+			return nil, err
+		}
+	}
 	return finishSharded(m, o), nil
 }
 
@@ -102,6 +114,9 @@ func finishSharded(m *shard.Map, o options) *Sharded {
 			workers = runtime.GOMAXPROCS(0)
 		}
 		s.pool = rebal.NewPool(m, workers)
+		if o.wal != nil && o.wal.SchedulerPeriod > 0 {
+			s.pool.SetSchedulerPeriod(o.wal.SchedulerPeriod)
+		}
 		// Order matters: deferred mode (and the notify hook) must be in
 		// place before the map is shared, and the pool must be running
 		// before the first write can defer work.
@@ -127,6 +142,9 @@ func (s *Sharded) Close() error {
 		if derr := s.m.DisableDeferredRebalancing(); err == nil {
 			err = derr
 		}
+	}
+	if werr := s.m.CloseWAL(); err == nil {
+		err = werr
 	}
 	if cerr := s.m.CloseDurability(); err == nil {
 		err = cerr
@@ -269,6 +287,11 @@ func (s *Sharded) Stats() Stats {
 		LockFreeReads:   st.LockFreeReads, ReadRetries: st.ReadRetries,
 		ReadFallbacks: st.ReadFallbacks, EpochAdvances: st.EpochAdvances,
 		SnapshotBreaks: st.SnapshotBreaks,
+		WALRecords:     st.WALRecords, WALWaves: st.WALWaves, WALSyncs: st.WALSyncs,
+		WALRotations: st.WALRotations, WALTruncations: st.WALTruncations,
+		WALAppendFailures: st.WALAppendFailures, WALSyncFailures: st.WALSyncFailures,
+		WALRotateFailures: st.WALRotateFailures, WALTruncateFailures: st.WALTruncateFailures,
+		AutoCheckpoints: st.AutoCheckpoints,
 	}
 }
 
@@ -289,18 +312,27 @@ type ServeStats struct {
 	PendingWindows int
 	// FootprintBytes is the physical memory held by all shards.
 	FootprintBytes int64
+	// CheckpointRounds and CheckpointLSN identify the last published
+	// recovery point: rounds published since this process started and
+	// the WAL LSN the latest covers (both 0 without WithDurability /
+	// WithWAL) — the LASTSAVE surface.
+	CheckpointRounds uint64
+	CheckpointLSN    uint64
 }
 
 // ServeStats returns the serving snapshot. It takes each shard's lock
 // once per aggregated surface; under heavy traffic call it at reporting
 // cadence, not per request.
 func (s *Sharded) ServeStats() ServeStats {
+	rounds, lsn := s.m.LastCheckpoint()
 	return ServeStats{
-		Stats:          s.Stats(),
-		Size:           s.Size(),
-		Shards:         s.NumShards(),
-		PendingWindows: s.PendingWindows(),
-		FootprintBytes: s.FootprintBytes(),
+		Stats:            s.Stats(),
+		Size:             s.Size(),
+		Shards:           s.NumShards(),
+		PendingWindows:   s.PendingWindows(),
+		FootprintBytes:   s.FootprintBytes(),
+		CheckpointRounds: rounds,
+		CheckpointLSN:    lsn,
 	}
 }
 

@@ -1,0 +1,303 @@
+package rma
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// WAL kill -9 torture: the zero-lost-acks crash contract, end to end.
+// A child process (this binary re-execed with RMA_WAL_TORTURE_DIR set)
+// runs a deterministic single-threaded op stream against a durable
+// sharded map with the write-ahead log enabled (fsync "always") and
+// tiny segments, so the automatic checkpoint scheduler, segment
+// rotation and truncation all churn constantly. The child appends an
+// 8-byte op count to an ack file after EACH op returns — an op returns
+// only after its WAL commit wave is durable, so every acked op must
+// survive any kill. The parent SIGKILLs the child at random offsets —
+// mid-wave, mid-rotation, mid-truncation, mid-checkpoint — recovers
+// the map, and verifies:
+//
+//   - zero lost acked writes: the recovered content equals the
+//     reference after exactly P ops, where P >= acked;
+//   - exact prefix: the child is single-threaded, so at most one op is
+//     in flight when the kill lands and P ∈ {acked, acked+1} — the
+//     recovered state IS one of the two candidate prefixes, key for
+//     key and value for value, never a partial application.
+//
+// The op stream is a pure function of the op index: op i inserts the
+// unique key i<<1 unless splitmix64(i+1)%8 == 0, in which case it
+// deletes the (possibly absent) key of an earlier op. Unique put keys
+// keep the reference a plain map (no multiset bookkeeping), and make
+// resumption exact: a restarted child probes whether the one
+// potentially-unacked op landed before re-applying it. The ack file is
+// deliberately NOT fsynced — it rides the page cache, which survives
+// killing the process; the durability contract under test is the
+// map's, not the ack file's.
+//
+// Cycles: 50 by default (8 with -short), scaled by RMA_TORTURE_SCALE —
+// the knob CI's nightly job turns up.
+
+const (
+	walTortureMaxOps = 1 << 20
+	// walTortureMinProgress is how many NEW acked ops the parent waits
+	// for before killing — enough for several commit waves, rotations
+	// and scheduler rounds per cycle.
+	walTortureMinProgress = 200
+)
+
+func walTortureCfg() WALConfig {
+	return WALConfig{
+		// 4 KiB segments rotate every couple hundred records; the
+		// scheduler checkpoints every 25ms or 16 KiB of live log, so
+		// truncation races the kill constantly.
+		SegmentBytes:       4096,
+		CheckpointInterval: 25 * time.Millisecond,
+		CheckpointWALBytes: 16 << 10,
+		SchedulerPeriod:    10 * time.Millisecond,
+		// Fsync defaults to "always": an op ack implies durable.
+	}
+}
+
+func walTortureOpts() []Option {
+	return []Option{
+		WithSegmentCapacity(8),
+		WithPageCapacity(64),
+		WithBackgroundRebalancing(2),
+		WithWAL(walTortureCfg()),
+	}
+}
+
+// walTortureApply replays op i into the reference map.
+func walTortureApply(ref map[int64]int64, i int) {
+	h := splitmix64(uint64(i) + 1)
+	if i > 0 && h%8 == 0 {
+		delete(ref, int64((h>>8)%uint64(i))<<1)
+	} else {
+		ref[int64(i)<<1] = int64(i)
+	}
+}
+
+// TestWALTortureChild is the child body — a no-op unless re-execed by
+// the parent with RMA_WAL_TORTURE_DIR set. It acks every op and runs
+// until killed.
+func TestWALTortureChild(t *testing.T) {
+	dir := os.Getenv("RMA_WAL_TORTURE_DIR")
+	if dir == "" {
+		t.Skip("torture child helper; driven by TestWALKill9Torture")
+	}
+	ackPath := os.Getenv("RMA_WAL_TORTURE_ACK")
+
+	s, err := OpenSharded(dir, walTortureOpts()...)
+	if errors.Is(err, ErrNoCheckpoint) {
+		s, err = NewSharded(tortureShards, append(walTortureOpts(), WithDurability(dir))...)
+		if err != nil {
+			tortureDie("create: %v", err)
+		}
+	} else if err != nil {
+		tortureDie("open: %v", err)
+	}
+
+	start := int(lastAckAt(ackPath))
+	ack, err := os.OpenFile(ackPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		tortureDie("ack log: %v", err)
+	}
+	for i := start; i < walTortureMaxOps; i++ {
+		h := splitmix64(uint64(i) + 1)
+		if i > 0 && h%8 == 0 {
+			// Deletes are idempotent re-applied (the key is just absent
+			// the second time), so no resumption probe is needed.
+			if _, err := s.Delete(int64((h>>8)%uint64(i)) << 1); err != nil {
+				tortureDie("op %d: delete: %v", i, err)
+			}
+		} else {
+			key := int64(i) << 1
+			apply := true
+			if i == start {
+				// Op start may have landed durably before the previous
+				// kill beat its ack; its key is unique to it, so a probe
+				// decides exactly.
+				if _, ok := s.Find(key); ok {
+					apply = false
+				}
+			}
+			if apply {
+				if err := s.Insert(key, int64(i)); err != nil {
+					tortureDie("op %d: insert: %v", i, err)
+				}
+			}
+		}
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(i+1))
+		if _, err := ack.Write(rec[:]); err != nil {
+			tortureDie("ack write: %v", err)
+		}
+	}
+	ack.Close()
+	s.Close()
+}
+
+// lastAckAt reads the newest complete ack record without a testing.T
+// (shared by the child, which dies rather than fails).
+func lastAckAt(path string) uint64 {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n := len(b) / 8 * 8
+	if n == 0 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[n-8:])
+}
+
+// walTortureMatches reports whether the map's content equals ref
+// exactly.
+func walTortureMatches(s *Sharded, ref map[int64]int64) bool {
+	if s.Size() != len(ref) {
+		return false
+	}
+	for k, v := range s.All() {
+		if rv, ok := ref[k]; !ok || rv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyWALTortureDir recovers the map and checks it equals the
+// reference after exactly acked or acked+1 ops; returns the matched
+// prefix length.
+func verifyWALTortureDir(t *testing.T, dir string, acked uint64) uint64 {
+	t.Helper()
+	s, err := OpenSharded(dir, walTortureOpts()...)
+	if errors.Is(err, ErrNoCheckpoint) {
+		if acked != 0 {
+			t.Fatalf("%d acked ops but no recovery point on disk", acked)
+		}
+		return 0
+	}
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer s.Close()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("recovered map invalid: %v", err)
+	}
+
+	ref := make(map[int64]int64)
+	for i := 0; i < int(acked); i++ {
+		walTortureApply(ref, i)
+	}
+	if walTortureMatches(s, ref) {
+		return acked
+	}
+	// One op may have landed durably after the last ack made it out.
+	walTortureApply(ref, int(acked))
+	if walTortureMatches(s, ref) {
+		return acked + 1
+	}
+	t.Fatalf("recovered content matches neither prefix %d nor %d: size %d, ref size %d",
+		acked, acked+1, s.Size(), len(ref))
+	return 0
+}
+
+// TestWALKill9Torture is the crash loop: spawn child, let it ack a few
+// hundred new ops, SIGKILL it at a random offset, recover and verify
+// the exact-prefix contract. Repeat.
+func TestWALKill9Torture(t *testing.T) {
+	if os.Getenv("RMA_WAL_TORTURE_DIR") != "" || os.Getenv("RMA_TORTURE_DIR") != "" {
+		t.Skip("torture child process")
+	}
+	if testing.Short() && os.Getenv("RMA_TORTURE_SCALE") == "" {
+		t.Skip("kill -9 torture skipped in -short mode")
+	}
+	cycles := 50
+	if testing.Short() {
+		cycles = 8
+	}
+	if s := os.Getenv("RMA_TORTURE_SCALE"); s != "" {
+		scale, err := strconv.Atoi(s)
+		if err != nil || scale < 1 {
+			t.Fatalf("bad RMA_TORTURE_SCALE %q", s)
+		}
+		cycles *= scale
+	}
+
+	// Under RMA_TORTURE_BASE, state lives in a wal/ subtree so a CI
+	// artifact carries both tortures' trees without collision.
+	base := os.Getenv("RMA_TORTURE_BASE")
+	if base == "" {
+		base = t.TempDir()
+	} else {
+		base = filepath.Join(base, "wal")
+		if err := os.MkdirAll(base, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := filepath.Join(base, "map")
+	ackPath := filepath.Join(base, "acks.log")
+	rng := rand.New(rand.NewSource(20260808))
+	var total uint64
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		ackBefore := lastAck(t, ackPath)
+		cmd := exec.Command(os.Args[0], "-test.run=^TestWALTortureChild$")
+		cmd.Env = append(os.Environ(),
+			"RMA_WAL_TORTURE_DIR="+dir, "RMA_WAL_TORTURE_ACK="+ackPath)
+		var out strings.Builder
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+
+		deadline := time.After(60 * time.Second)
+	progress:
+		for lastAck(t, ackPath) < ackBefore+walTortureMinProgress {
+			select {
+			case err := <-exited:
+				if err != nil {
+					t.Fatalf("cycle %d: child died on its own: %v\n%s", cycle, err, out.String())
+				}
+				break progress
+			case <-deadline:
+				cmd.Process.Kill()
+				<-exited
+				t.Fatalf("cycle %d: fewer than %d acked ops in 60s (at %d)\n%s",
+					cycle, walTortureMinProgress, lastAck(t, ackPath), out.String())
+			case <-time.After(time.Millisecond):
+			}
+		}
+		select {
+		case <-exited:
+		default:
+			time.Sleep(time.Duration(rng.Intn(40)) * time.Millisecond)
+			cmd.Process.Kill()
+			<-exited
+		}
+
+		acked := lastAck(t, ackPath)
+		if acked < ackBefore {
+			t.Fatalf("cycle %d: ack count went backwards: %d after %d", cycle, acked, ackBefore)
+		}
+		p := verifyWALTortureDir(t, dir, acked)
+		if p != acked && p != acked+1 {
+			t.Fatalf("cycle %d: durable prefix %d outside {%d,%d}", cycle, p, acked, acked+1)
+		}
+		total = p
+	}
+	if total == 0 {
+		t.Fatal("torture loop made no progress: no op ever acknowledged")
+	}
+	t.Logf("survived %d kill -9 cycles with zero lost acked writes; durable prefix %d", cycles, total)
+}
