@@ -248,6 +248,13 @@ func OpenMapWAL(dir, walDir string, cfg core.Config, o wal.Options, p WALPolicy)
 			m.CloseDurability()
 			return nil, lerr
 		}
+		// The surviving log can sit entirely below the checkpoint: after a
+		// publish truncates the sealed segments, the active one may be
+		// header-only (a forced wave rotates even with nothing staged), so
+		// Open's record scan seeds the counter below the persisted floors.
+		// Fresh appends must land strictly above every floor or the next
+		// recovery would skip them.
+		l.EnsureLSNAtLeast(maxFloor)
 		if rerr := m.replayWAL(l, floors); rerr != nil {
 			l.Close()
 			m.CloseDurability()

@@ -28,11 +28,16 @@ import (
 //     kept in a small per-stripe ring so every waiter of a failed wave
 //     observes its error.
 
-// waveErrRing bounds how many past wave outcomes a stripe remembers; a
-// waiter that sleeps through more waves than this reads a recycled
-// slot and reports success, which is acceptable — by then its own
-// wave's bytes are long since committed (or overwritten by a later
-// successful wave at the same offset).
+// waveErrRing bounds how many past wave outcomes a stripe remembers
+// exactly. A waiter that sleeps through more collections than this
+// reads a recycled slot and falls back to the stripe's failed-wave
+// watermark: failures are recorded monotonically in failedWave, so a
+// ticket at or below the watermark conservatively reports the recorded
+// error (its own wave may have succeeded — acceptable, the caller just
+// declines to ack), and a ticket above it genuinely succeeded. Success
+// is never reported for a failed wave: a WriteAt-failed wave's bytes
+// were never written, so acking it would breach the zero-lost-acks
+// contract.
 const waveErrRing = 64
 
 type waveErr struct {
@@ -50,6 +55,12 @@ type stripe struct {
 	seq    uint64 // collections taken from this stripe
 	dur    uint64 // collections made durable
 	errs   [waveErrRing]waveErr
+
+	// Failed-wave watermark: the highest collection whose wave failed,
+	// and that wave's error. Monotone, so failedWave < t.wave proves
+	// t's wave succeeded even after its ring slot is recycled.
+	failedWave uint64
+	failedErr  error
 }
 
 func (s *stripe) init(capBytes int) {
@@ -151,11 +162,19 @@ func (l *Log) Wait(t Ticket) error {
 		s.cond.Wait()
 	}
 	e := s.errs[t.wave%waveErrRing]
-	s.lk.Unlock()
-	if e.wave == t.wave {
-		return e.err
+	var err error
+	switch {
+	case e.wave == t.wave:
+		err = e.err
+	case t.wave <= s.failedWave:
+		// The slot was recycled by 64+ later collections and a wave at
+		// or after t's failed since: t's own outcome is unknowable, so
+		// report the recorded failure rather than risk acking a write
+		// whose bytes never reached the log (see waveErrRing).
+		err = s.failedErr
 	}
-	return nil
+	s.lk.Unlock()
+	return err
 }
 
 // nudge wakes the syncer (coalescing; a pending wakeup is enough).
@@ -258,6 +277,9 @@ func (l *Log) commitWave(force bool) {
 		s.lk.Lock()
 		s.dur = s.seq
 		s.errs[s.seq%waveErrRing] = waveErr{wave: s.seq, err: werr}
+		if werr != nil {
+			s.failedWave, s.failedErr = s.seq, werr
+		}
 		s.cond.Broadcast()
 		s.lk.Unlock()
 	}

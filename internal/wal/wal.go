@@ -414,6 +414,24 @@ func (l *Log) Seps() []int64 { return l.seps }
 // LastLSN returns the highest LSN assigned so far.
 func (l *Log) LastLSN() uint64 { return l.lsn.Load() }
 
+// EnsureLSNAtLeast raises the LSN counter to at least floor. Recovery
+// calls it after Open when the store's persisted checkpoint floors
+// exceed the highest LSN surviving in the log: once a publish has
+// truncated every record-bearing sealed segment and a forced wave has
+// rotated in a fresh one, the reopened log can be header-only, and
+// seeding the counter from surviving records alone would hand fresh
+// appends LSNs at or below the floors — records the next recovery
+// would silently skip. Must run before concurrent appends begin
+// (recovery time), like Replay.
+func (l *Log) EnsureLSNAtLeast(floor uint64) {
+	for {
+		cur := l.lsn.Load()
+		if cur >= floor || l.lsn.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
 // LiveBytes returns the total on-disk size of live segments.
 func (l *Log) LiveBytes() int64 {
 	l.segLk.Lock()

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"rma/internal/vmem"
 )
@@ -423,6 +425,71 @@ func TestWALFaultSync(t *testing.T) {
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWALFailedWaveOutlivesErrRing pins that a waiter can never observe
+// success for a failed wave, even after its ring slot has been recycled
+// by waveErrRing+ later collections: the failed-wave watermark survives
+// indefinitely, so a scheduler-starved Wait still reports the error for
+// a wave whose bytes never reached the log.
+func TestWALFailedWaveOutlivesErrRing(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, []int64{0}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	l.InjectFault(FaultSync, 1)
+	tk, err := l.Append(0, []Op{{Kind: OpPut, Key: 1, Val: 1}})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Let the injected wave fail before staging anything else, so the
+	// ticket's wave holds exactly the failure.
+	deadline := time.Now().Add(10 * time.Second)
+	for l.Stats().SyncFailures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("injected sync fault never fired")
+		}
+		runtime.Gosched()
+	}
+	// Recycle the ticket's ring slot: each Append+Wait pair forces at
+	// least one further collection of the same stripe.
+	for i := 0; i < waveErrRing+8; i++ {
+		mustAppend(t, l, 0, Op{Kind: OpPut, Key: int64(100 + i), Val: 1})
+	}
+	if err := l.Wait(tk); !errors.Is(err, vmem.ErrFaultInjected) {
+		t.Fatalf("recycled failed wave reported %v, want fault injected", err)
+	}
+	// The failed wave's record must not replay either.
+	for _, r := range replayAll(t, l) {
+		if r.ops == fmt.Sprintf("%d:1:1;", OpPut) {
+			t.Fatal("failed wave's record resurfaced in replay")
+		}
+	}
+}
+
+// TestWALEnsureLSNAtLeast pins the recovery seeding hook: raising the
+// counter is monotone and appends continue strictly above the floor.
+func TestWALEnsureLSNAtLeast(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, []int64{0}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.EnsureLSNAtLeast(100)
+	if got := l.LastLSN(); got != 100 {
+		t.Fatalf("LastLSN = %d, want 100", got)
+	}
+	l.EnsureLSNAtLeast(50) // lowering is a no-op
+	if got := l.LastLSN(); got != 100 {
+		t.Fatalf("LastLSN after lower floor = %d, want 100", got)
+	}
+	if tk := mustAppend(t, l, 0, Op{Kind: OpPut, Key: 1, Val: 1}); tk.LSN() != 101 {
+		t.Fatalf("append LSN = %d, want 101", tk.LSN())
 	}
 }
 

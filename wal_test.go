@@ -131,6 +131,85 @@ func TestWALShardedRecovery(t *testing.T) {
 	}
 }
 
+// TestWALEmptyLogReopenKeepsLSNAboveFloor pins recovery's LSN seeding
+// against the empty-log edge: a checkpoint's publish truncates every
+// record-bearing sealed segment and the close-time drain rotates in a
+// header-only active one, so the next open finds a log with zero
+// surviving records. The reopened map must still assign fresh LSNs
+// strictly above the persisted per-shard replay floors — seeding the
+// counter from surviving records alone would hand out LSNs at or below
+// the floors, and the recovery after that would silently skip the newly
+// acked writes.
+func TestWALEmptyLogReopenKeepsLSNAboveFloor(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes 1 clamps to the minimum, so every record-bearing
+	// segment is past the rotation threshold and a header-only one
+	// never is.
+	cfg := WALConfig{Fsync: "never", SegmentBytes: 1, CheckpointInterval: -1, CheckpointWALBytes: -1}
+	open := func() *Sharded {
+		t.Helper()
+		s, err := OpenSharded(dir, walOpts(WithWAL(cfg))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ref := make(map[int64]int64)
+
+	// Generation 1: writes only; the final drain rotates the last
+	// records into a sealed segment.
+	s := newWALSharded(t, dir, cfg)
+	for i := int64(0); i < 50; i++ {
+		if err := s.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = i
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 2: the checkpoint covers every logged record, so its
+	// publish truncates all sealed segments; only the header-only
+	// active one survives the close.
+	s = open()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	_, floor := s.LastCheckpoint()
+	if floor == 0 {
+		t.Fatal("checkpoint published no LSN floor")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want a single header-only segment after full truncation, have %v (%v)", segs, err)
+	}
+
+	// Generation 3: the reopened log holds zero records; fresh writes
+	// must land strictly above the floor.
+	s = open()
+	if got := s.m.WAL().LastLSN(); got < floor {
+		t.Fatalf("reopened log seeded LSN %d below the persisted floor %d", got, floor)
+	}
+	for i := int64(1000); i < 1050; i++ {
+		if err := s.Insert(i, -i); err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = -i
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 4: every acked write of generation 3 must replay.
+	s = open()
+	defer s.Close()
+	checkContents(t, s, ref)
+}
+
 // TestWALSchedulerAutoCheckpoint drives the WAL-bytes threshold: under
 // sustained writes the scheduler must start checkpoint rounds on its
 // own and published rounds must truncate sealed segments.
